@@ -1,0 +1,100 @@
+//! Cluster- and physical-area model (paper §7.1, Table 1).
+
+use oneq_hardware::ResourceKind;
+
+/// Side length of one 2-D cluster slice for an `n`-qubit circuit: qubits
+/// sit on a `k x k` grid (`k = ceil(sqrt(n))`) with one ancilla row/column
+/// between neighbours, so the slice is `(2k - 1)` on a side.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// // Paper Table 1: 16 qubits -> 7x7, 25 -> 9x9, 36 -> 11x11, 100 -> 19x19.
+/// assert_eq!(oneq_baseline::cluster_side(16), 7);
+/// assert_eq!(oneq_baseline::cluster_side(25), 9);
+/// assert_eq!(oneq_baseline::cluster_side(36), 11);
+/// assert_eq!(oneq_baseline::cluster_side(100), 19);
+/// ```
+pub fn cluster_side(n: usize) -> usize {
+    assert!(n > 0, "need at least one qubit");
+    let k = (n as f64).sqrt().ceil() as usize;
+    2 * k - 1
+}
+
+/// Logical grid side (`k`) used for qubit placement and routing.
+pub fn logical_side(n: usize) -> usize {
+    assert!(n > 0, "need at least one qubit");
+    (n as f64).sqrt().ceil() as usize
+}
+
+/// Side length of the RSG array needed to knit one cluster slice per
+/// cycle: each cluster-state node has degree up to 6 in the 3-D cluster
+/// (4 in-plane + 2 temporal), so it takes `chain_nodes(6)` resource states;
+/// the paper adopts this count (ignoring routing constraints) as a lower
+/// bound and rounds up to a square array.
+///
+/// # Example
+///
+/// ```
+/// use oneq_hardware::ResourceKind;
+/// // Paper Table 1 (3-qubit states): 7x7 -> 16x16, 9x9 -> 21x21,
+/// // 11x11 -> 25x25, 19x19 -> 43x43.
+/// assert_eq!(oneq_baseline::physical_side(16, ResourceKind::LINE3), 16);
+/// assert_eq!(oneq_baseline::physical_side(25, ResourceKind::LINE3), 21);
+/// assert_eq!(oneq_baseline::physical_side(36, ResourceKind::LINE3), 25);
+/// assert_eq!(oneq_baseline::physical_side(100, ResourceKind::LINE3), 43);
+/// ```
+pub fn physical_side(n: usize, kind: ResourceKind) -> usize {
+    let slice_nodes = cluster_side(n).pow(2);
+    let per_node = kind.chain_nodes(6);
+    ((slice_nodes * per_node) as f64).sqrt().ceil() as usize
+}
+
+/// Number of RSGs in the physical array.
+pub fn physical_area(n: usize, kind: ResourceKind) -> usize {
+    physical_side(n, kind).pow(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_cluster_areas() {
+        for (n, side) in [(16, 7), (25, 9), (36, 11), (100, 19)] {
+            assert_eq!(cluster_side(n), side, "n={n}");
+        }
+    }
+
+    #[test]
+    fn table1_physical_areas() {
+        for (n, side) in [(16, 16), (25, 21), (36, 25), (100, 43)] {
+            assert_eq!(physical_side(n, ResourceKind::LINE3), side, "n={n}");
+        }
+    }
+
+    #[test]
+    fn non_square_qubit_counts_round_up() {
+        assert_eq!(logical_side(17), 5);
+        assert_eq!(cluster_side(17), 9);
+        assert_eq!(cluster_side(2), 3);
+        assert_eq!(cluster_side(1), 1);
+    }
+
+    #[test]
+    fn richer_resource_states_shrink_the_array() {
+        let line3 = physical_area(16, ResourceKind::LINE3);
+        let star4 = physical_area(16, ResourceKind::STAR4);
+        assert!(star4 < line3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_qubits_rejected() {
+        cluster_side(0);
+    }
+}

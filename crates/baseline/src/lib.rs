@@ -1,0 +1,43 @@
+//! # oneq-baseline
+//!
+//! The cluster-state MBQC interpreter baseline (paper §2.2.2 and §7.1).
+//!
+//! The baseline executes a circuit on a 3-D cluster state: each clock
+//! cycle the RSG array knits one 2-D *slice*; circuit qubits live at fixed
+//! sites of the slice and gates are implemented by joining the standard
+//! measurement patterns (5-qubit lines for rotations, the 15-qubit CNOT
+//! block) along the time axis, with redundant qubits removed by
+//! Z-measurements. Following the paper's optimized setup:
+//!
+//! * qubits are placed on a `k x k` logical grid (`k = ceil(sqrt(n))`),
+//!   giving a *cluster area* of `(2k - 1)²` sites per slice,
+//! * far-apart two-qubit gates are fixed by a SWAP-insertion router
+//!   ([`router`]) standing in for Qiskit's transpiler,
+//! * the *physical area* is the number of RSGs needed to synthesize one
+//!   slice from the resource states — the lower bound the paper adopts
+//!   ([`cluster`]),
+//! * depth is the number of slices consumed by the joined patterns and
+//!   every RSG's resource state participates in knitting each slice, so
+//!   `#fusions = depth × physical_area` ([`interpreter`]) — this matches
+//!   the paper's Table 2 numbers exactly (e.g. BV-16: 24 064 / 94 = 256).
+//!
+//! # Example
+//!
+//! ```
+//! use oneq_baseline::evaluate;
+//! use oneq_circuit::benchmarks;
+//! use oneq_hardware::ResourceKind;
+//!
+//! let result = evaluate(&benchmarks::qft(16), ResourceKind::LINE3);
+//! assert_eq!(result.cluster_side, 7);   // paper Table 1
+//! assert_eq!(result.physical_side, 16); // paper Table 1
+//! assert_eq!(result.fusions, result.depth * 256);
+//! ```
+
+pub mod cluster;
+pub mod interpreter;
+pub mod router;
+
+pub use cluster::{cluster_side, physical_side};
+pub use interpreter::{evaluate, BaselineResult, Footprints};
+pub use router::{route_on_grid, RoutedCircuit};

@@ -1,0 +1,255 @@
+//! SWAP-insertion routing on the logical qubit grid.
+//!
+//! The baseline places circuit qubits on a `k x k` grid and requires
+//! two-qubit gates to act on grid-adjacent qubits (the cluster-state CNOT
+//! pattern joins neighbouring strips). This router stands in for the
+//! Qiskit transpile step the paper uses (§7.1): an interaction-aware
+//! initial placement followed by greedy SWAP insertion along shortest
+//! paths.
+
+use oneq_circuit::{Circuit, Gate, Qubit};
+use oneq_hardware::Position;
+use std::collections::HashMap;
+
+/// A routed circuit: every multi-qubit gate acts on grid neighbours.
+#[derive(Debug, Clone)]
+pub struct RoutedCircuit {
+    /// The rewritten gate list (SWAPs inserted).
+    pub circuit: Circuit,
+    /// Number of SWAPs inserted.
+    pub swap_count: usize,
+    /// Final map from logical qubit to grid position.
+    pub placement: Vec<Position>,
+    /// Logical grid side.
+    pub grid_side: usize,
+}
+
+/// Routes `circuit` on a `side x side` grid.
+///
+/// Initial placement is interaction-aware: qubits are laid out in
+/// descending two-qubit-gate count, each next to its most frequent
+/// partner when possible (this is what keeps the BV oracle's CNOT fan-in
+/// cheap, mirroring a tuned Qiskit layout).
+///
+/// # Panics
+///
+/// Panics if the grid cannot hold all qubits.
+pub fn route_on_grid(circuit: &Circuit, side: usize) -> RoutedCircuit {
+    let n = circuit.n_qubits();
+    assert!(side * side >= n, "grid too small for {n} qubits");
+
+    let mut pos = initial_placement(circuit, side);
+    // occupancy: position index -> logical qubit.
+    let mut occupant: HashMap<Position, usize> = pos
+        .iter()
+        .enumerate()
+        .map(|(q, &p)| (p, q))
+        .collect();
+
+    let mut out = Circuit::new(n);
+    let mut swaps = 0usize;
+
+    for gate in circuit.gates() {
+        let qs = gate.qubits();
+        if qs.len() == 2 {
+            let (a, b) = (qs[0].index(), qs[1].index());
+            // Walk qubit a toward b one grid step at a time.
+            while pos[a].manhattan(pos[b]) > 1 {
+                let next = step_toward(pos[a], pos[b]);
+                if let Some(&other) = occupant.get(&next) {
+                    out.push(Gate::Swap(Qubit::new(a), Qubit::new(other)))
+                        .expect("swap operands valid");
+                    swaps += 1;
+                    occupant.insert(pos[a], other);
+                    occupant.insert(next, a);
+                    pos.swap(a, other);
+                } else {
+                    // Free cell: the qubit just moves (its strip bends).
+                    occupant.remove(&pos[a]);
+                    occupant.insert(next, a);
+                    pos[a] = next;
+                }
+            }
+            assert_eq!(
+                pos[a].manhattan(pos[b]),
+                1,
+                "router invariant: operands adjacent before every 2q gate"
+            );
+        } else if qs.len() > 2 {
+            panic!("route_on_grid expects circuits lowered to <= 2-qubit gates");
+        }
+        out.push(*gate).expect("gate already validated");
+    }
+
+    RoutedCircuit {
+        circuit: out,
+        swap_count: swaps,
+        placement: pos,
+        grid_side: side,
+    }
+}
+
+/// One grid step from `from` toward `to` (rows first).
+fn step_toward(from: Position, to: Position) -> Position {
+    if from.row != to.row {
+        Position::new(
+            if from.row < to.row {
+                from.row + 1
+            } else {
+                from.row - 1
+            },
+            from.col,
+        )
+    } else {
+        Position::new(
+            from.row,
+            if from.col < to.col {
+                from.col + 1
+            } else {
+                from.col - 1
+            },
+        )
+    }
+}
+
+/// Interaction-aware initial placement.
+fn initial_placement(circuit: &Circuit, side: usize) -> Vec<Position> {
+    let n = circuit.n_qubits();
+    // Interaction counts.
+    let mut weight: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut degree = vec![0usize; n];
+    for g in circuit.gates() {
+        let qs = g.qubits();
+        if qs.len() == 2 {
+            let (a, b) = (qs[0].index().min(qs[1].index()), qs[0].index().max(qs[1].index()));
+            *weight.entry((a, b)).or_default() += 1;
+            degree[a.min(b)] += 1;
+            degree[a.max(b)] += 1;
+        }
+    }
+
+    // Spiral order of grid cells from the center outward.
+    let center = Position::new(side / 2, side / 2);
+    let mut cells: Vec<Position> = (0..side)
+        .flat_map(|r| (0..side).map(move |c| Position::new(r, c)))
+        .collect();
+    cells.sort_by_key(|p| (p.manhattan(center), p.row, p.col));
+
+    // Qubits in descending interaction degree, then index.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&q| (std::cmp::Reverse(degree[q]), q));
+
+    let mut pos: Vec<Option<Position>> = vec![None; n];
+    let mut used = vec![false; cells.len()];
+    // Deterministic iteration order for reproducible placements.
+    let mut weight_list: Vec<((usize, usize), usize)> =
+        weight.iter().map(|(&k, &v)| (k, v)).collect();
+    weight_list.sort();
+
+    for &q in &order {
+        // Prefer a free cell adjacent to the already-placed partner with
+        // the heaviest interaction.
+        let mut best: Option<(usize, Position)> = None; // (weight, cell)
+        for &((a, b), w) in &weight_list {
+            let partner = if a == q { b } else if b == q { a } else { continue };
+            if let Some(pp) = pos[partner] {
+                for (ci, &cell) in cells.iter().enumerate() {
+                    if !used[ci] && cell.manhattan(pp) == 1 {
+                        if best.map_or(true, |(bw, _)| w > bw) {
+                            best = Some((w, cell));
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        let cell = match best {
+            Some((_, cell)) => cell,
+            None => cells
+                .iter()
+                .copied()
+                .find(|c| !used[cells.iter().position(|x| x == c).expect("cell exists")])
+                .expect("grid has room"),
+        };
+        let ci = cells.iter().position(|&c| c == cell).expect("cell exists");
+        used[ci] = true;
+        pos[q] = Some(cell);
+    }
+    pos.into_iter().map(|p| p.expect("all qubits placed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oneq_circuit::benchmarks;
+
+    // Adjacency at execution time is asserted inside route_on_grid itself
+    // (the router panics if a 2-qubit gate is emitted on non-neighbours),
+    // so a routing call returning at all certifies the invariant.
+
+    #[test]
+    fn adjacent_gates_need_no_swaps() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        let routed = route_on_grid(&c, 2);
+        assert_eq!(routed.swap_count, 0);
+    }
+
+    #[test]
+    fn single_qubit_circuits_are_untouched() {
+        let mut c = Circuit::new(4);
+        c.h(0).t(1).rz(2, 0.4);
+        let routed = route_on_grid(&c, 2);
+        assert_eq!(routed.swap_count, 0);
+        assert_eq!(routed.circuit.gate_count(), 3);
+    }
+
+    #[test]
+    fn far_apart_gates_get_swaps_or_moves() {
+        // Force interaction between many pairs on a 3x3 grid.
+        let mut c = Circuit::new(9);
+        for i in 0..9 {
+            for j in (i + 1)..9 {
+                c.cz(i, j);
+            }
+        }
+        let routed = route_on_grid(&c, 3);
+        assert!(routed.swap_count + c.gate_count() == routed.circuit.gate_count());
+    }
+
+    #[test]
+    fn bv_oracle_routes_cheaply() {
+        // Interaction-aware placement puts the ancilla next to the secret
+        // qubits, so the fan-in costs few SWAPs.
+        let c = benchmarks::bv(&[true; 4]); // 5 qubits, 4 CNOTs to q4
+        let routed = route_on_grid(&c, 3);
+        assert!(
+            routed.swap_count <= 4,
+            "expected cheap fan-in, got {} swaps",
+            routed.swap_count
+        );
+    }
+
+    #[test]
+    fn qft_routes_completely() {
+        let c = oneq_circuit::decompose::to_jcz(&benchmarks::qft(9));
+        let routed = route_on_grid(&c, 3);
+        assert!(routed.circuit.gate_count() >= c.gate_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "grid too small")]
+    fn too_small_grid_panics() {
+        route_on_grid(&Circuit::new(10), 3);
+    }
+
+    #[test]
+    fn routed_gate_count_grows_only_by_swaps() {
+        let c = oneq_circuit::decompose::to_jcz(&benchmarks::qft(6));
+        let routed = route_on_grid(&c, 3);
+        assert_eq!(
+            routed.circuit.gate_count(),
+            c.gate_count() + routed.swap_count
+        );
+    }
+}

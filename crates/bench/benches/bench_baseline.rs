@@ -1,0 +1,26 @@
+//! Baseline interpreter performance (routing + column scheduling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oneq_bench::{BenchKind, SEED};
+use oneq_hardware::ResourceKind;
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline");
+    group.sample_size(20);
+    for kind in BenchKind::ALL {
+        let circuit = kind.circuit(16, SEED);
+        group.bench_with_input(
+            BenchmarkId::new("evaluate", format!("{}-16", kind.name())),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    oneq_baseline::evaluate(std::hint::black_box(circuit), ResourceKind::LINE3)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Graph-substrate performance: planarity testing, embedding extraction,
+//! maximal planar subgraph and biconnectivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oneq_graph::{biconnected, generators, mps, planarity};
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(30);
+
+    for side in [8usize, 16] {
+        let grid = generators::grid(side, side);
+        group.bench_with_input(
+            BenchmarkId::new("planarity_grid", format!("{side}x{side}")),
+            &grid,
+            |b, g| b.iter(|| planarity::is_planar(std::hint::black_box(g))),
+        );
+    }
+
+    let k6 = generators::complete(6);
+    group.bench_function("mps_k6", |b| {
+        b.iter(|| mps::maximal_planar_subgraph(std::hint::black_box(&k6)))
+    });
+
+    let grid = generators::grid(20, 20);
+    group.bench_function("biconnected_grid20", |b| {
+        b.iter(|| biconnected::analyze(std::hint::black_box(&grid)))
+    });
+
+    let wheel = {
+        let mut g = generators::cycle(64);
+        let hub = g.add_node();
+        for i in 0..64 {
+            g.add_edge(hub, oneq_graph::NodeId::new(i)).unwrap();
+        }
+        g
+    };
+    group.bench_function("embedding_wheel64", |b| {
+        b.iter(|| planarity::planar_embedding(std::hint::black_box(&wheel)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! End-to-end compiler performance per benchmark program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oneq::{Compiler, CompilerOptions};
+use oneq_bench::{BenchKind, SEED};
+use oneq_hardware::LayerGeometry;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(20);
+    for kind in BenchKind::ALL {
+        let circuit = kind.circuit(16, SEED);
+        let baseline = oneq_baseline::evaluate(&circuit, oneq_hardware::ResourceKind::LINE3);
+        let options = CompilerOptions::new(LayerGeometry::square(baseline.physical_side));
+        group.bench_with_input(
+            BenchmarkId::new("oneq", format!("{}-16", kind.name())),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| Compiler::new(options).compile(std::hint::black_box(circuit)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

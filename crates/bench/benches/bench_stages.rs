@@ -1,0 +1,62 @@
+//! Per-stage compiler performance on QFT-16: translation, dependency
+//! analysis, partitioning, fusion-graph generation and mapping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oneq::fusion_graph;
+use oneq::mapping::{map_graph, MappingOptions};
+use oneq::partition::{partition, PartitionOptions};
+use oneq_bench::{BenchKind, SEED};
+use oneq_hardware::{LayerGeometry, ResourceKind};
+use oneq_mbqc::{flow, translate};
+
+fn bench_stages(c: &mut Criterion) {
+    let circuit = BenchKind::Qft.circuit(16, SEED);
+    let pattern = translate::from_circuit(&circuit);
+    let parts = partition(&pattern, &PartitionOptions::default());
+    let biggest = parts
+        .partitions
+        .iter()
+        .max_by_key(|p| p.global_nodes.len())
+        .expect("QFT has partitions")
+        .clone();
+    let fg = fusion_graph::generate(
+        &biggest.subgraph,
+        &biggest.full_degree,
+        ResourceKind::LINE3,
+    );
+    let geometry = LayerGeometry::square(16);
+
+    let mut group = c.benchmark_group("stages-qft16");
+    group.sample_size(20);
+    group.bench_function("translate", |b| {
+        b.iter(|| translate::from_circuit(std::hint::black_box(&circuit)))
+    });
+    group.bench_function("dependency_layers", |b| {
+        b.iter(|| flow::dependency_layers(std::hint::black_box(&pattern)))
+    });
+    group.bench_function("partition", |b| {
+        b.iter(|| partition(std::hint::black_box(&pattern), &PartitionOptions::default()))
+    });
+    group.bench_function("fusion_graph", |b| {
+        b.iter(|| {
+            fusion_graph::generate(
+                std::hint::black_box(&biggest.subgraph),
+                &biggest.full_degree,
+                ResourceKind::LINE3,
+            )
+        })
+    });
+    group.bench_function("mapping", |b| {
+        b.iter(|| {
+            map_graph(
+                std::hint::black_box(fg.graph()),
+                geometry,
+                &MappingOptions::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

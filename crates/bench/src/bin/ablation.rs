@@ -1,0 +1,67 @@
+//! Ablation study over the design choices DESIGN.md calls out:
+//!
+//! * **planarity enforcement** on/off (paper §4 graph planarization),
+//! * **cycle-prioritized** vs plain BFS edge order (paper §6),
+//! * **in-layer routing** on/off (paper §6 routing triggers),
+//! * **extended physical layers** ×1 vs ×3 (paper §3.1 / Fig. 14).
+
+use oneq::{Compiler, CompilerOptions};
+use oneq_bench::{format_table, BenchKind, SEED};
+use oneq_hardware::LayerGeometry;
+
+fn main() {
+    let geometry = LayerGeometry::square(16);
+    let base = CompilerOptions::new(geometry);
+
+    let variants: Vec<(&str, CompilerOptions)> = vec![
+        ("default", base),
+        ("no planarity", {
+            let mut o = base;
+            o.enforce_planarity = false;
+            o
+        }),
+        ("plain BFS order", {
+            let mut o = base;
+            o.mapping.cycle_priority = false;
+            o
+        }),
+        ("no routing", {
+            let mut o = base;
+            o.mapping.allow_routing = false;
+            o
+        }),
+        ("extended x3", base.with_extension(3)),
+    ];
+
+    let mut rows = Vec::new();
+    for bench in BenchKind::ALL {
+        let circuit = bench.circuit(16, SEED);
+        for (name, options) in &variants {
+            let program = Compiler::new(*options).compile(&circuit);
+            rows.push(vec![
+                format!("{}-16", bench.name()),
+                name.to_string(),
+                program.depth.to_string(),
+                program.fusions.to_string(),
+                program.stats.partitions.to_string(),
+                program.stats.shuffle_fusions.to_string(),
+            ]);
+        }
+    }
+
+    println!("Ablations on 16-qubit benchmarks (16x16 layers):");
+    println!(
+        "{}",
+        format_table(
+            &[
+                "bench",
+                "variant",
+                "depth",
+                "#fusions",
+                "partitions",
+                "shuffle fusions"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,33 @@
+//! Developer diagnostic: per-stage breakdown for one benchmark.
+
+use oneq::{Compiler, CompilerOptions};
+use oneq_bench::{BenchKind, SEED};
+use oneq_hardware::LayerGeometry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench = match args.get(1).map(String::as_str) {
+        Some("qft") => BenchKind::Qft,
+        Some("qaoa") => BenchKind::Qaoa,
+        Some("rca") => BenchKind::Rca,
+        _ => BenchKind::Bv,
+    };
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let side: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(43);
+
+    let circuit = bench.circuit(n, SEED);
+    let program = Compiler::new(CompilerOptions::new(LayerGeometry::square(side)))
+        .compile(&circuit);
+    println!("{}-{n} on {side}x{side}:", bench.name());
+    println!("  depth {}  fusions {}", program.depth, program.fusions);
+    println!("  stats: {:#?}", program.stats);
+    println!("  layouts: {}", program.layouts.len());
+    for (i, l) in program.layouts.iter().enumerate().take(8) {
+        println!(
+            "    layout {i}: {} nodes, {} routing cells, bbox {}",
+            l.placed().len(),
+            l.routing_cells(),
+            l.occupied_area()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Figure 12**: improvement factors of physical depth (a)
+//! and fusion count (b) for 16-qubit benchmarks across resource-state
+//! types (3-line, 4-line, 4-star, 4-ring).
+
+use oneq_bench::{compare, format_table, BenchKind, SEED};
+use oneq_hardware::ResourceKind;
+
+fn main() {
+    let kinds = [
+        ResourceKind::LINE3,
+        ResourceKind::LINE4,
+        ResourceKind::STAR4,
+        ResourceKind::RING4,
+    ];
+
+    for (metric, pick) in [
+        (
+            "depth improvement",
+            (|c: &oneq_bench::Comparison| c.depth_improvement())
+                as fn(&oneq_bench::Comparison) -> f64,
+        ),
+        ("#fusion improvement", |c: &oneq_bench::Comparison| {
+            c.fusion_improvement()
+        }),
+    ] {
+        let mut rows = Vec::new();
+        for bench in BenchKind::ALL {
+            let mut row = vec![bench.name().to_string()];
+            for kind in kinds {
+                let cmp = compare(bench, 16, SEED, kind);
+                row.push(format!("{:.0}", pick(&cmp)));
+            }
+            rows.push(row);
+        }
+        println!("Figure 12 ({metric}), 16-qubit benchmarks:");
+        println!(
+            "{}",
+            format_table(&["bench", "3-line", "4-line", "4-star", "4-ring"], &rows)
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Figure 13**: normalized physical depth (a) and fusion
+//! count (b) of 16-qubit benchmarks on rectangular physical layers with
+//! length/width ratios 1, 1.5, 2.1 and 2.6 (area ≈ 256), normalized by
+//! the square-layer results.
+
+use oneq::{Compiler, CompilerOptions};
+use oneq_bench::{format_table, BenchKind, SEED};
+use oneq_hardware::LayerGeometry;
+
+fn main() {
+    let ratios = [1.0, 1.5, 2.1, 2.6];
+    let area = 256; // the baseline physical area for 16 qubits
+
+    let mut depth_rows = Vec::new();
+    let mut fusion_rows = Vec::new();
+    for bench in BenchKind::ALL {
+        let circuit = bench.circuit(16, SEED);
+        let mut depths = Vec::new();
+        let mut fusions = Vec::new();
+        for &ratio in &ratios {
+            let geometry = LayerGeometry::from_area_and_ratio(area, ratio);
+            let program = Compiler::new(CompilerOptions::new(geometry)).compile(&circuit);
+            depths.push(program.depth as f64);
+            fusions.push(program.fusions as f64);
+        }
+        let norm = |v: &[f64]| -> Vec<String> {
+            v.iter().map(|x| format!("{:.2}", x / v[0])).collect()
+        };
+        let mut dr = vec![bench.name().to_string()];
+        dr.extend(norm(&depths));
+        depth_rows.push(dr);
+        let mut fr = vec![bench.name().to_string()];
+        fr.extend(norm(&fusions));
+        fusion_rows.push(fr);
+    }
+
+    let headers = ["bench", "ratio 1", "ratio 1.5", "ratio 2.1", "ratio 2.6"];
+    println!("Figure 13(a): normalized physical depth vs layer aspect ratio");
+    println!("{}", format_table(&headers, &depth_rows));
+    println!("Figure 13(b): normalized #fusions vs layer aspect ratio");
+    println!("{}", format_table(&headers, &fusion_rows));
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Figure 15**: normalized physical depth (a) and fusion
+//! count (b) of 16-qubit benchmarks as the physical area sweeps
+//! 200..1000 RSGs, normalized by the area the baseline requires (256).
+//! Expected shape: depth falls then plateaus; fusions grow.
+
+use oneq::{Compiler, CompilerOptions};
+use oneq_bench::{format_table, BenchKind, SEED};
+use oneq_hardware::LayerGeometry;
+
+fn main() {
+    let areas = [200usize, 400, 600, 800, 1000];
+    let reference_area = 256;
+
+    let mut depth_rows = Vec::new();
+    let mut fusion_rows = Vec::new();
+    for bench in BenchKind::ALL {
+        let circuit = bench.circuit(16, SEED);
+        let run = |area: usize| {
+            let side = (area as f64).sqrt().round() as usize;
+            let geometry = LayerGeometry::new(side, area.div_ceil(side));
+            let program = Compiler::new(CompilerOptions::new(geometry)).compile(&circuit);
+            (program.depth as f64, program.fusions as f64)
+        };
+        let (d0, f0) = run(reference_area);
+        let mut dr = vec![bench.name().to_string()];
+        let mut fr = vec![bench.name().to_string()];
+        for &area in &areas {
+            let (d, f) = run(area);
+            dr.push(format!("{:.2}", d / d0));
+            fr.push(format!("{:.2}", f / f0));
+        }
+        depth_rows.push(dr);
+        fusion_rows.push(fr);
+    }
+
+    let headers = ["bench", "200", "400", "600", "800", "1000"];
+    println!("Figure 15(a): normalized depth vs physical area (ref = 256)");
+    println!("{}", format_table(&headers, &depth_rows));
+    println!("Figure 15(b): normalized #fusions vs physical area (ref = 256)");
+    println!("{}", format_table(&headers, &fusion_rows));
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Table 1**: benchmark programs with qubit count, gate
+//! count, cluster area and physical area required by the baseline.
+
+use oneq_bench::{format_table, BenchKind, SEED};
+use oneq_hardware::ResourceKind;
+
+fn main() {
+    let mut rows = Vec::new();
+    for kind in BenchKind::ALL {
+        for &n in kind.paper_sizes() {
+            let circuit = kind.circuit(n, SEED);
+            let result = oneq_baseline::evaluate(&circuit, ResourceKind::LINE3);
+            rows.push(vec![
+                format!("{}-{}", kind.name(), n),
+                n.to_string(),
+                circuit.gate_count().to_string(),
+                format!("{0}x{0}", result.cluster_side),
+                format!("{0}x{0}", result.physical_side),
+            ]);
+        }
+    }
+    println!("Table 1: benchmark programs (paper §7.1)");
+    println!(
+        "{}",
+        format_table(
+            &["name", "#qubit", "#gates", "cluster area", "physical area"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,51 @@
+//! Regenerates **Table 2**: baseline vs OneQ physical depth and fusion
+//! count (3-qubit resource states), with improvement factors and the
+//! geomean summary the paper quotes (§7.2).
+
+use oneq_bench::{compare, format_table, geomean, BenchKind, SEED};
+use oneq_hardware::ResourceKind;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut depth_improvements = Vec::new();
+    let mut fusion_improvements = Vec::new();
+
+    for kind in BenchKind::ALL {
+        for &n in kind.paper_sizes() {
+            let cmp = compare(kind, n, SEED, ResourceKind::LINE3);
+            depth_improvements.push(cmp.depth_improvement());
+            fusion_improvements.push(cmp.fusion_improvement());
+            rows.push(vec![
+                cmp.label.clone(),
+                cmp.baseline.depth.to_string(),
+                cmp.depth.to_string(),
+                format!("{:.0}", cmp.depth_improvement()),
+                cmp.baseline.fusions.to_string(),
+                cmp.fusions.to_string(),
+                format!("{:.0}", cmp.fusion_improvement()),
+            ]);
+        }
+    }
+
+    println!("Table 2: OneQ vs the cluster-state interpreter baseline");
+    println!(
+        "{}",
+        format_table(
+            &[
+                "name-#qubits",
+                "base depth",
+                "our depth",
+                "improv",
+                "base #fusions",
+                "our #fusions",
+                "improv",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "geomean improvement: depth {:.1}x, #fusions {:.1}x",
+        geomean(&depth_improvements),
+        geomean(&fusion_improvements)
+    );
+}

@@ -1,0 +1,41 @@
+//! Extension experiment (paper §7.2, closing remark): OneQ's modules have
+//! no hard dependency on the orthogonal grid, so the compiler also targets
+//! **triangular** (6-neighbour) and **hexagonal** (3-neighbour) RSG
+//! couplings. This sweep compares the three topologies on the 16-qubit
+//! benchmarks at the baseline's physical area.
+
+use oneq::{Compiler, CompilerOptions};
+use oneq_bench::{format_table, BenchKind, SEED};
+use oneq_hardware::{LayerGeometry, Topology};
+
+fn main() {
+    let topologies = [
+        ("orthogonal", Topology::Orthogonal),
+        ("triangular", Topology::Triangular),
+        ("hexagonal", Topology::Hexagonal),
+    ];
+
+    let mut rows = Vec::new();
+    for bench in BenchKind::ALL {
+        let circuit = bench.circuit(16, SEED);
+        for (name, topo) in topologies {
+            let geometry = LayerGeometry::square(16).with_topology(topo);
+            let program = Compiler::new(CompilerOptions::new(geometry)).compile(&circuit);
+            rows.push(vec![
+                format!("{}-16", bench.name()),
+                name.to_string(),
+                program.depth.to_string(),
+                program.fusions.to_string(),
+            ]);
+        }
+    }
+
+    println!("RSG coupling topologies, 16-qubit benchmarks (16x16 layers):");
+    println!(
+        "{}",
+        format_table(&["bench", "topology", "depth", "#fusions"], &rows)
+    );
+    println!(
+        "expectation: triangular (6 couplings/site) <= orthogonal <= hexagonal (3/site)"
+    );
+}

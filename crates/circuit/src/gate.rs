@@ -1,0 +1,280 @@
+//! Gate set of the circuit IR.
+
+use std::f64::consts::PI;
+use std::fmt;
+
+/// A qubit index inside a [`crate::Circuit`].
+///
+/// # Example
+///
+/// ```
+/// use oneq_circuit::Qubit;
+///
+/// let q = Qubit::new(3);
+/// assert_eq!(q.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Qubit(usize);
+
+impl Qubit {
+    /// Creates a qubit handle from a raw index.
+    pub fn new(index: usize) -> Self {
+        Qubit(index)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<usize> for Qubit {
+    fn from(i: usize) -> Self {
+        Qubit(i)
+    }
+}
+
+/// A rotation angle in radians.
+pub type Angle = f64;
+
+/// Normalizes an angle into `[0, 2π)`.
+pub fn normalize_angle(a: Angle) -> Angle {
+    let two_pi = 2.0 * PI;
+    let mut r = a % two_pi;
+    if r < 0.0 {
+        r += two_pi;
+    }
+    // Collapse values that round to 2π back to 0.
+    if (r - two_pi).abs() < 1e-12 {
+        r = 0.0;
+    }
+    r
+}
+
+/// Returns `true` when `a` is a multiple of π/2 (a *Pauli/Clifford* angle):
+/// equatorial measurements at these angles are X- or Y-basis measurements
+/// and induce no adaptive dependencies (paper §4).
+pub fn is_clifford_angle(a: Angle) -> bool {
+    let r = normalize_angle(a);
+    let step = r / (PI / 2.0);
+    (step - step.round()).abs() < 1e-9
+}
+
+/// The gate set of the IR.
+///
+/// The set is chosen to cover the paper's benchmarks; everything lowers to
+/// the universal set `{J(α), CZ}` via [`crate::decompose::to_jcz`], where
+/// `J(α) = 1/√2 [[1, e^{iα}], [1, -e^{iα}]]` (paper §2.2.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Hadamard; equals `J(0)`.
+    H(Qubit),
+    /// Pauli X.
+    X(Qubit),
+    /// Pauli Y.
+    Y(Qubit),
+    /// Pauli Z.
+    Z(Qubit),
+    /// Phase gate S = diag(1, i).
+    S(Qubit),
+    /// Inverse phase gate S† = diag(1, -i).
+    Sdg(Qubit),
+    /// T = diag(1, e^{iπ/4}).
+    T(Qubit),
+    /// T† = diag(1, e^{-iπ/4}).
+    Tdg(Qubit),
+    /// Z-rotation: diag(1, e^{iθ}) up to global phase.
+    Rz(Qubit, Angle),
+    /// X-rotation.
+    Rx(Qubit, Angle),
+    /// The MBQC-native J gate: `J(α) = H · diag(1, e^{iα})`.
+    J(Qubit, Angle),
+    /// Controlled-Z (symmetric).
+    Cz(Qubit, Qubit),
+    /// Controlled-X.
+    Cnot {
+        /// Control qubit.
+        control: Qubit,
+        /// Target qubit.
+        target: Qubit,
+    },
+    /// Swap two qubits.
+    Swap(Qubit, Qubit),
+    /// Controlled-phase: diag(1,1,1,e^{iθ}) (used by QFT).
+    Cp(Qubit, Qubit, Angle),
+    /// Toffoli (CCX); used by the ripple-carry adder.
+    Ccx {
+        /// First control.
+        c1: Qubit,
+        /// Second control.
+        c2: Qubit,
+        /// Target.
+        target: Qubit,
+    },
+}
+
+impl Gate {
+    /// The qubits this gate acts on, in a fixed order.
+    pub fn qubits(&self) -> Vec<Qubit> {
+        match *self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Rz(q, _)
+            | Gate::Rx(q, _)
+            | Gate::J(q, _) => vec![q],
+            Gate::Cz(a, b) | Gate::Swap(a, b) | Gate::Cp(a, b, _) => vec![a, b],
+            Gate::Cnot { control, target } => vec![control, target],
+            Gate::Ccx { c1, c2, target } => vec![c1, c2, target],
+        }
+    }
+
+    /// Number of qubits the gate acts on.
+    pub fn arity(&self) -> usize {
+        self.qubits().len()
+    }
+
+    /// `true` for gates acting on two or more qubits.
+    pub fn is_multi_qubit(&self) -> bool {
+        self.arity() > 1
+    }
+
+    /// `true` if the gate is already in the `{J(α), CZ}` universal set.
+    pub fn is_j_or_cz(&self) -> bool {
+        matches!(self, Gate::J(_, _) | Gate::Cz(_, _))
+    }
+
+    /// `true` if the gate is a Clifford operation.
+    ///
+    /// Rotations count as Clifford when their angle is a multiple of π/2.
+    pub fn is_clifford(&self) -> bool {
+        match *self {
+            Gate::T(_) | Gate::Tdg(_) | Gate::Ccx { .. } => false,
+            Gate::Rz(_, a) | Gate::Rx(_, a) | Gate::J(_, a) | Gate::Cp(_, _, a) => {
+                is_clifford_angle(a)
+            }
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Gate::H(q) => write!(f, "H {q}"),
+            Gate::X(q) => write!(f, "X {q}"),
+            Gate::Y(q) => write!(f, "Y {q}"),
+            Gate::Z(q) => write!(f, "Z {q}"),
+            Gate::S(q) => write!(f, "S {q}"),
+            Gate::Sdg(q) => write!(f, "Sdg {q}"),
+            Gate::T(q) => write!(f, "T {q}"),
+            Gate::Tdg(q) => write!(f, "Tdg {q}"),
+            Gate::Rz(q, a) => write!(f, "Rz({a:.4}) {q}"),
+            Gate::Rx(q, a) => write!(f, "Rx({a:.4}) {q}"),
+            Gate::J(q, a) => write!(f, "J({a:.4}) {q}"),
+            Gate::Cz(a, b) => write!(f, "CZ {a} {b}"),
+            Gate::Cnot { control, target } => write!(f, "CNOT {control} {target}"),
+            Gate::Swap(a, b) => write!(f, "SWAP {a} {b}"),
+            Gate::Cp(a, b, t) => write!(f, "CP({t:.4}) {a} {b}"),
+            Gate::Ccx { c1, c2, target } => write!(f, "CCX {c1} {c2} {target}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_roundtrip() {
+        assert_eq!(Qubit::from(4).index(), 4);
+        assert_eq!(format!("{}", Qubit::new(2)), "q2");
+    }
+
+    #[test]
+    fn normalize_angle_wraps() {
+        assert!((normalize_angle(2.5 * PI) - 0.5 * PI).abs() < 1e-12);
+        assert!((normalize_angle(-0.5 * PI) - 1.5 * PI).abs() < 1e-12);
+        assert_eq!(normalize_angle(0.0), 0.0);
+        assert_eq!(normalize_angle(2.0 * PI), 0.0);
+    }
+
+    #[test]
+    fn clifford_angles() {
+        assert!(is_clifford_angle(0.0));
+        assert!(is_clifford_angle(PI / 2.0));
+        assert!(is_clifford_angle(PI));
+        assert!(is_clifford_angle(-PI / 2.0));
+        assert!(is_clifford_angle(7.0 * PI));
+        assert!(!is_clifford_angle(PI / 4.0));
+        assert!(!is_clifford_angle(0.3));
+    }
+
+    #[test]
+    fn gate_qubits_and_arity() {
+        let g = Gate::Cnot {
+            control: Qubit::new(0),
+            target: Qubit::new(1),
+        };
+        assert_eq!(g.arity(), 2);
+        assert!(g.is_multi_qubit());
+        assert!(!Gate::H(Qubit::new(0)).is_multi_qubit());
+        assert_eq!(
+            Gate::Ccx {
+                c1: Qubit::new(0),
+                c2: Qubit::new(1),
+                target: Qubit::new(2)
+            }
+            .arity(),
+            3
+        );
+    }
+
+    #[test]
+    fn clifford_classification() {
+        assert!(Gate::H(Qubit::new(0)).is_clifford());
+        assert!(Gate::Cz(Qubit::new(0), Qubit::new(1)).is_clifford());
+        assert!(!Gate::T(Qubit::new(0)).is_clifford());
+        assert!(Gate::Rz(Qubit::new(0), PI).is_clifford());
+        assert!(!Gate::Rz(Qubit::new(0), PI / 4.0).is_clifford());
+        assert!(Gate::J(Qubit::new(0), PI / 2.0).is_clifford());
+        assert!(!Gate::Ccx {
+            c1: Qubit::new(0),
+            c2: Qubit::new(1),
+            target: Qubit::new(2)
+        }
+        .is_clifford());
+    }
+
+    #[test]
+    fn j_and_cz_detection() {
+        assert!(Gate::J(Qubit::new(0), 0.1).is_j_or_cz());
+        assert!(Gate::Cz(Qubit::new(0), Qubit::new(1)).is_j_or_cz());
+        assert!(!Gate::H(Qubit::new(0)).is_j_or_cz());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for g in [
+            Gate::H(Qubit::new(0)),
+            Gate::Rz(Qubit::new(1), 0.25),
+            Gate::Cnot {
+                control: Qubit::new(0),
+                target: Qubit::new(1),
+            },
+        ] {
+            assert!(!format!("{g}").is_empty());
+        }
+    }
+}

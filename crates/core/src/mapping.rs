@@ -1,0 +1,1037 @@
+//! Fusion mapping & routing (paper §6).
+//!
+//! Embeds the irregular fusion graph into the regular RSG grid. The
+//! in-layer mapper traverses edges in a *cycle-prioritized breadth-first
+//! order* (cycle edges before tree edges), places nodes greedily, and
+//! evaluates candidates with the paper's heuristic cost
+//!
+//! ```text
+//! H = occupied_area + #partially_blocked_nodes + α · #totally_blocked_nodes
+//! ```
+//!
+//! Edges between non-adjacent positions are *routed*: a path of auxiliary
+//! resource states performs consecutive fusions (path length ≥ 2 cells in
+//! real hardware; paper Fig. 6d/11). When a layer fills up, remaining work
+//! moves to a freshly allocated layer and the nodes left with unmapped
+//! edges become *incomplete nodes*, later connected by **inter-layer
+//! shuffling** on dedicated layers between the 2-D layouts (paper
+//! Fig. 10).
+
+use oneq_graph::{biconnected, Edge, Graph, NodeId};
+use oneq_hardware::{LayerGeometry, Position};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// What occupies a grid cell in a layer layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellUse {
+    /// A fusion-graph node (a resource state carrying graph-state qubits).
+    Node(NodeId),
+    /// An auxiliary resource state forwarding a routed fusion path.
+    Routing(Edge),
+}
+
+/// Mapper tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct MappingOptions {
+    /// Weight of totally blocked nodes in the cost function (`α`; the
+    /// paper suggests the maximum degree of the physical layer).
+    pub alpha: f64,
+    /// Maximum routed-path length explored by the in-layer router.
+    pub max_route_len: usize,
+    /// Number of placement candidates scored per node.
+    pub candidate_limit: usize,
+    /// Traverse cycle edges before tree edges (paper §6); disable for the
+    /// plain-BFS ablation.
+    pub cycle_priority: bool,
+    /// Allow in-layer routing through auxiliary resource states; disable
+    /// for the routing ablation (everything non-adjacent then shuffles).
+    pub allow_routing: bool,
+}
+
+impl Default for MappingOptions {
+    fn default() -> Self {
+        MappingOptions {
+            alpha: 64.0,
+            max_route_len: 14,
+            candidate_limit: 24,
+            cycle_priority: true,
+            allow_routing: true,
+        }
+    }
+}
+
+/// The layout of one (possibly extended) physical layer.
+#[derive(Debug, Clone)]
+pub struct LayerLayout {
+    geometry: LayerGeometry,
+    cells: HashMap<Position, CellUse>,
+    placed: HashMap<NodeId, Position>,
+}
+
+impl LayerLayout {
+    fn new(geometry: LayerGeometry) -> Self {
+        LayerLayout {
+            geometry,
+            cells: HashMap::new(),
+            placed: HashMap::new(),
+        }
+    }
+
+    /// Grid geometry of this layout.
+    pub fn geometry(&self) -> LayerGeometry {
+        self.geometry
+    }
+
+    /// Cell occupancy.
+    pub fn cells(&self) -> &HashMap<Position, CellUse> {
+        &self.cells
+    }
+
+    /// Placement of fusion-graph nodes.
+    pub fn placed(&self) -> &HashMap<NodeId, Position> {
+        &self.placed
+    }
+
+    /// Position of `n` if it lives on this layer.
+    pub fn position_of(&self, n: NodeId) -> Option<Position> {
+        self.placed.get(&n).copied()
+    }
+
+    fn is_free(&self, p: Position) -> bool {
+        self.geometry.contains(p) && !self.cells.contains_key(&p)
+    }
+
+    fn free_neighbors(&self, p: Position) -> Vec<Position> {
+        self.geometry
+            .neighbors(p)
+            .into_iter()
+            .filter(|&q| self.is_free(q))
+            .collect()
+    }
+
+    fn place(&mut self, n: NodeId, p: Position) {
+        debug_assert!(self.is_free(p), "cell {p} already used");
+        self.cells.insert(p, CellUse::Node(n));
+        self.placed.insert(n, p);
+    }
+
+    /// Number of auxiliary routing cells consumed.
+    pub fn routing_cells(&self) -> usize {
+        self.cells
+            .values()
+            .filter(|c| matches!(c, CellUse::Routing(_)))
+            .count()
+    }
+
+    /// Bounding-box area of everything mapped so far (the cost function's
+    /// `occupied_area`).
+    pub fn occupied_area(&self) -> usize {
+        if self.cells.is_empty() {
+            return 0;
+        }
+        let (mut rmin, mut rmax, mut cmin, mut cmax) = (usize::MAX, 0, usize::MAX, 0);
+        for p in self.cells.keys() {
+            rmin = rmin.min(p.row);
+            rmax = rmax.max(p.row);
+            cmin = cmin.min(p.col);
+            cmax = cmax.max(p.col);
+        }
+        (rmax - rmin + 1) * (cmax - cmin + 1)
+    }
+}
+
+/// An edge mapped across layers, resolved by shuffling.
+#[derive(Debug, Clone, Copy)]
+pub struct ShuffleEdge {
+    /// The fusion-graph edge (or cross-partition edge id pair).
+    pub edge: Edge,
+    /// Source layer index and position.
+    pub from: (usize, Position),
+    /// Target layer index and position.
+    pub to: (usize, Position),
+}
+
+/// The result of mapping one fusion graph.
+#[derive(Debug, Clone)]
+pub struct MappingResult {
+    /// In-layer layouts in allocation order.
+    pub layouts: Vec<LayerLayout>,
+    /// Edges realized by inter-layer shuffling.
+    pub shuffled: Vec<ShuffleEdge>,
+    /// Extra physical layers consumed by shuffling.
+    pub shuffle_layers: usize,
+    /// Fusions from directly mapped edges (1 each).
+    pub direct_fusions: usize,
+    /// Fusions from in-layer routed paths (path cells + 1 each).
+    pub routed_fusions: usize,
+    /// Fusions from shuffling (path cells + 1 each, includes the two
+    /// temporal hops).
+    pub shuffle_fusions: usize,
+    /// Node placements: fusion node -> (layout index, position).
+    pub placement: HashMap<NodeId, (usize, Position)>,
+}
+
+impl MappingResult {
+    /// Total fusions performed by this mapping.
+    pub fn total_fusions(&self) -> usize {
+        self.direct_fusions + self.routed_fusions + self.shuffle_fusions
+    }
+
+    /// Physical layers consumed (each layout is one layer here; extended
+    /// layers are accounted by the pipeline) plus shuffle layers.
+    pub fn depth(&self) -> usize {
+        self.layouts.len() + self.shuffle_layers
+    }
+}
+
+/// Maps `fusion_graph` onto layers of `geometry`.
+///
+/// # Example
+///
+/// ```
+/// use oneq::mapping::{map_graph, MappingOptions};
+/// use oneq_graph::generators;
+/// use oneq_hardware::LayerGeometry;
+///
+/// let g = generators::cycle(6);
+/// let result = map_graph(&g, LayerGeometry::new(8, 8), &MappingOptions::default());
+/// assert_eq!(result.layouts.len(), 1);
+/// assert_eq!(result.total_fusions() >= 6, true);
+/// ```
+pub fn map_graph(
+    fusion_graph: &Graph,
+    geometry: LayerGeometry,
+    options: &MappingOptions,
+) -> MappingResult {
+    Mapper::new(fusion_graph, geometry, *options).run()
+}
+
+struct Mapper<'g> {
+    graph: &'g Graph,
+    geometry: LayerGeometry,
+    options: MappingOptions,
+    /// Remaining unmapped edge count per node (the `r` of the blocking
+    /// definition).
+    remaining: Vec<usize>,
+    mapped_edges: HashSet<Edge>,
+    layouts: Vec<LayerLayout>,
+    placement: HashMap<NodeId, (usize, Position)>,
+    direct_fusions: usize,
+    routed_fusions: usize,
+}
+
+impl<'g> Mapper<'g> {
+    fn new(graph: &'g Graph, geometry: LayerGeometry, options: MappingOptions) -> Self {
+        let remaining = graph.nodes().map(|n| graph.degree(n)).collect();
+        Mapper {
+            graph,
+            geometry,
+            options,
+            remaining,
+            mapped_edges: HashSet::new(),
+            layouts: vec![LayerLayout::new(geometry)],
+            placement: HashMap::new(),
+            direct_fusions: 0,
+            routed_fusions: 0,
+        }
+    }
+
+    fn run(mut self) -> MappingResult {
+        let order = if self.options.cycle_priority {
+            edge_order(self.graph)
+        } else {
+            plain_bfs_edge_order(self.graph)
+        };
+        let mut deferred: Vec<Edge> = Vec::new();
+
+        for edge in order {
+            if !self.try_map_edge(edge) {
+                deferred.push(edge);
+            }
+        }
+
+        // Re-try deferred edges on fresh layers until no progress is
+        // possible; whatever remains becomes shuffle work.
+        let mut pending = deferred;
+        while !pending.is_empty() {
+            self.layouts.push(LayerLayout::new(self.geometry));
+            let mut next = Vec::new();
+            let before = self.mapped_edges.len();
+            for edge in pending {
+                if !self.try_map_edge(edge) {
+                    next.push(edge);
+                }
+            }
+            if self.mapped_edges.len() == before {
+                // No in-layer progress: everything left shuffles.
+                pending = next;
+                break;
+            }
+            pending = next;
+        }
+
+        // Nodes without any in-partition edge (their edges are all
+        // cross-partition) were never touched by the edge loop: place them
+        // now — near a placed neighbor when one exists — so cross-edge
+        // shuffling has coordinates for them.
+        let unplaced: Vec<NodeId> = self
+            .graph
+            .nodes()
+            .filter(|n| !self.placement.contains_key(n))
+            .collect();
+        for n in unplaced {
+            if self.placement.contains_key(&n) {
+                continue; // placed as a neighbor hint target meanwhile
+            }
+            let hint = self
+                .graph
+                .neighbors(n)
+                .iter()
+                .find_map(|nb| self.placement.get(nb).map(|&(_, p)| p));
+            self.force_place(n, hint);
+        }
+
+        // Shuffle resolution for the remaining edges: both endpoints must
+        // be placed somewhere first; stragglers land near their partner's
+        // grid position so the shuffle path stays short.
+        let mut shuffled = Vec::new();
+        for edge in pending {
+            let hint = self
+                .placement
+                .get(&edge.a())
+                .or_else(|| self.placement.get(&edge.b()))
+                .map(|&(_, p)| p);
+            for n in [edge.a(), edge.b()] {
+                if !self.placement.contains_key(&n) {
+                    self.force_place(n, hint);
+                }
+            }
+            let (la, pa) = self.placement[&edge.a()];
+            let (lb, pb) = self.placement[&edge.b()];
+            shuffled.push(ShuffleEdge {
+                edge,
+                from: (la, pa),
+                to: (lb, pb),
+            });
+            self.mapped_edges.insert(edge);
+        }
+
+        let (shuffle_layers, shuffle_fusions) =
+            plan_shuffles(&shuffled, self.geometry);
+
+        MappingResult {
+            layouts: self.layouts,
+            shuffled,
+            shuffle_layers,
+            direct_fusions: self.direct_fusions,
+            routed_fusions: self.routed_fusions,
+            shuffle_fusions,
+            placement: self.placement,
+        }
+    }
+
+    /// Current working layout index (always the last one).
+    fn cur(&self) -> usize {
+        self.layouts.len() - 1
+    }
+
+    fn try_map_edge(&mut self, edge: Edge) -> bool {
+        if self.mapped_edges.contains(&edge) {
+            return true;
+        }
+        let (u, v) = (edge.a(), edge.b());
+        let pu = self.placement.get(&u).copied();
+        let pv = self.placement.get(&v).copied();
+        let cur = self.cur();
+
+        let ok = match (pu, pv) {
+            (None, None) => {
+                if let Some(seed) = self.pick_seed_cell() {
+                    self.place_node(u, seed);
+                    self.attach_new_node(v, u, edge)
+                } else {
+                    false
+                }
+            }
+            (Some((lu, _)), None) => {
+                if lu == cur {
+                    self.attach_new_node(v, u, edge)
+                } else {
+                    // u lives on an older layer: place v on the current
+                    // layer; the edge itself shuffles.
+                    false
+                }
+            }
+            (None, Some((lv, _))) => {
+                if lv == cur {
+                    self.attach_new_node(u, v, edge)
+                } else {
+                    false
+                }
+            }
+            (Some((lu, qu)), Some((lv, qv))) => {
+                if lu == lv && lu == cur {
+                    self.connect_placed(qu, qv, edge)
+                } else if lu == lv {
+                    // Both on a finished layer: route there if possible.
+                    self.connect_on_layer(lu, qu, qv, edge)
+                } else {
+                    false
+                }
+            }
+        };
+        if ok {
+            self.mark_mapped(edge);
+        }
+        ok
+    }
+
+    fn mark_mapped(&mut self, edge: Edge) {
+        self.mapped_edges.insert(edge);
+        self.remaining[edge.a().index()] -= 1;
+        self.remaining[edge.b().index()] -= 1;
+    }
+
+    /// Seed position for a fresh component: near the grid center first,
+    /// then anywhere free.
+    fn pick_seed_cell(&self) -> Option<Position> {
+        let layout = &self.layouts[self.cur()];
+        let center = Position::new(self.geometry.rows() / 2, self.geometry.cols() / 2);
+        if layout.is_free(center) {
+            return Some(center);
+        }
+        // Nearest free cell to the center (BFS ring scan).
+        self.geometry
+            .positions()
+            .filter(|&p| layout.is_free(p))
+            .min_by_key(|&p| p.manhattan(center))
+    }
+
+    fn place_node(&mut self, n: NodeId, p: Position) {
+        let cur = self.cur();
+        self.layouts[cur].place(n, p);
+        self.placement.insert(n, (cur, p));
+    }
+
+    /// Places `node` connected to the already-placed `anchor`, directly
+    /// adjacent when possible, else at the end of a routed path. Candidate
+    /// cells are scored with the paper's cost function.
+    fn attach_new_node(&mut self, node: NodeId, anchor: NodeId, edge: Edge) -> bool {
+        let cur = self.cur();
+        let (al, ap) = self.placement[&anchor];
+        if al != cur {
+            return false;
+        }
+        // Direct candidates: free neighbors of the anchor.
+        let direct: Vec<Position> = self.layouts[cur].free_neighbors(ap);
+        let mut best: Option<(f64, Position, Option<Vec<Position>>)> = None;
+        for &cand in direct.iter().take(self.options.candidate_limit) {
+            let cost = self.score_placement(node, cand, &[]);
+            if best.as_ref().map_or(true, |(b, _, _)| cost < *b) {
+                best = Some((cost, cand, None));
+            }
+        }
+        // Routed candidates when the anchor is partially blocked: route to
+        // a roomier area (paper Fig. 11b). Only explored when direct
+        // placement is impossible or the node still has many edges.
+        let need_room = self.remaining[node.index()] > direct.len();
+        if self.options.allow_routing && (direct.is_empty() || need_room) {
+            if let Some((path, dest)) = self.route_to_open_area(ap, node) {
+                let cost = self.score_placement(node, dest, &path);
+                if best.as_ref().map_or(true, |(b, _, _)| cost < *b) {
+                    best = Some((cost, dest, Some(path)));
+                }
+            }
+        }
+        match best {
+            Some((_, dest, maybe_path)) => {
+                if let Some(path) = maybe_path {
+                    let cur = self.cur();
+                    for &cell in &path {
+                        self.layouts[cur].cells.insert(cell, CellUse::Routing(edge));
+                    }
+                    self.routed_fusions += path.len() + 1;
+                } else {
+                    self.direct_fusions += 1;
+                }
+                self.place_node(node, dest);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Connects two nodes already placed on the current layer.
+    fn connect_placed(&mut self, pa: Position, pb: Position, edge: Edge) -> bool {
+        if pa.manhattan(pb) == 1 {
+            self.direct_fusions += 1;
+            return true;
+        }
+        self.connect_on_layer(self.cur(), pa, pb, edge)
+    }
+
+    /// Routes a fusion path between two positions on layer `layer`.
+    fn connect_on_layer(
+        &mut self,
+        layer: usize,
+        pa: Position,
+        pb: Position,
+        edge: Edge,
+    ) -> bool {
+        if pa.manhattan(pb) == 1 {
+            self.direct_fusions += 1;
+            return true;
+        }
+        if !self.options.allow_routing {
+            return false;
+        }
+        let path = {
+            let layout = &self.layouts[layer];
+            route_path(layout, pa, pb, self.options.max_route_len)
+        };
+        match path {
+            Some(cells) => {
+                for &cell in &cells {
+                    self.layouts[layer].cells.insert(cell, CellUse::Routing(edge));
+                }
+                self.routed_fusions += cells.len() + 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// BFS through free cells from `from`'s neighborhood to any free cell
+    /// with enough free neighbors for `node`'s remaining edges.
+    fn route_to_open_area(
+        &self,
+        from: Position,
+        node: NodeId,
+    ) -> Option<(Vec<Position>, Position)> {
+        let layout = &self.layouts[self.cur()];
+        let needed = self.remaining[node.index()].saturating_sub(1);
+        let mut prev: HashMap<Position, Position> = HashMap::new();
+        let mut queue = VecDeque::new();
+        for q in layout.free_neighbors(from) {
+            prev.insert(q, from);
+            queue.push_back((q, 1usize));
+        }
+        while let Some((p, depth)) = queue.pop_front() {
+            // Destination test: the paper requires routed paths of length
+            // >= 2 (at least one auxiliary state between the endpoints).
+            if depth >= 2 && layout.free_neighbors(p).len() >= needed.min(3) {
+                // Reconstruct: cells strictly between `from` and `p`.
+                let mut path = Vec::new();
+                let mut cur = prev[&p];
+                while cur != from {
+                    path.push(cur);
+                    cur = prev[&cur];
+                }
+                path.reverse();
+                return Some((path, p));
+            }
+            if depth >= self.options.max_route_len {
+                continue;
+            }
+            for q in layout.free_neighbors(p) {
+                if !prev.contains_key(&q) && q != from {
+                    prev.insert(q, p);
+                    queue.push_back((q, depth + 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// The paper's heuristic cost of a tentative placement.
+    fn score_placement(&self, node: NodeId, cand: Position, path: &[Position]) -> f64 {
+        let layout = &self.layouts[self.cur()];
+        // Occupied-area term with the tentative cells added.
+        let (mut rmin, mut rmax, mut cmin, mut cmax) = (usize::MAX, 0usize, usize::MAX, 0usize);
+        let mut consider = |p: Position| {
+            rmin = rmin.min(p.row);
+            rmax = rmax.max(p.row);
+            cmin = cmin.min(p.col);
+            cmax = cmax.max(p.col);
+        };
+        for p in layout.cells.keys() {
+            consider(*p);
+        }
+        consider(cand);
+        for &p in path {
+            consider(p);
+        }
+        let area = (rmax - rmin + 1) * (cmax - cmin + 1);
+
+        // Blocking terms over placed nodes, with the tentative occupancy.
+        let occupied: HashSet<Position> = layout
+            .cells
+            .keys()
+            .copied()
+            .chain(std::iter::once(cand))
+            .chain(path.iter().copied())
+            .collect();
+        let mut partially = 0usize;
+        let mut totally = 0usize;
+        let mut assess = |_n: NodeId, p: Position, r: usize| {
+            if r == 0 {
+                return;
+            }
+            let free = self
+                .geometry
+                .neighbors(p)
+                .into_iter()
+                .filter(|q| !occupied.contains(q))
+                .count();
+            if free == 0 {
+                totally += 1;
+            } else if r > free {
+                partially += 1;
+            }
+        };
+        for (&n, &p) in &layout.placed {
+            assess(n, p, self.remaining[n.index()]);
+        }
+        assess(node, cand, self.remaining[node.index()].saturating_sub(1));
+
+        area as f64 + partially as f64 + self.options.alpha * totally as f64
+    }
+
+    /// Places a node anywhere (used before shuffling so every endpoint has
+    /// coordinates), preferring cells near `hint`. Allocates a new layer
+    /// when everything is full.
+    fn force_place(&mut self, n: NodeId, hint: Option<Position>) {
+        let target = hint.unwrap_or(Position::new(
+            self.geometry.rows() / 2,
+            self.geometry.cols() / 2,
+        ));
+        let found = {
+            let layout = &self.layouts[self.cur()];
+            self.geometry
+                .positions()
+                .filter(|&p| layout.is_free(p))
+                .min_by_key(|&p| p.manhattan(target))
+        };
+        if let Some(p) = found {
+            self.place_node(n, p);
+            return;
+        }
+        self.layouts.push(LayerLayout::new(self.geometry));
+        let seed = self
+            .pick_seed_cell()
+            .expect("fresh layer always has room");
+        self.place_node(n, seed);
+    }
+}
+
+/// Cycle-prioritized breadth-first edge order (paper §6): starting from a
+/// highest-degree node, BFS the graph; at each node emit unvisited cycle
+/// edges before tree edges.
+pub fn edge_order(graph: &Graph) -> Vec<Edge> {
+    let bridges = biconnected::bridges(graph);
+    let mut order = Vec::with_capacity(graph.edge_count());
+    let mut seen_edges: HashSet<Edge> = HashSet::new();
+    let mut visited = vec![false; graph.node_count()];
+
+    let mut components: Vec<NodeId> = graph.nodes().collect();
+    // Highest-degree seeds first for deterministic, hub-centric layouts.
+    components.sort_by_key(|&n| std::cmp::Reverse(graph.degree(n)));
+
+    for seed in components {
+        if visited[seed.index()] {
+            continue;
+        }
+        visited[seed.index()] = true;
+        let mut queue = VecDeque::from([seed]);
+        while let Some(u) = queue.pop_front() {
+            let mut incident: Vec<NodeId> = graph.neighbors(u).to_vec();
+            incident.sort_by_key(|&w| {
+                (
+                    bridges.contains(&Edge::new(u, w)),
+                    std::cmp::Reverse(graph.degree(w)),
+                    w,
+                )
+            });
+            for w in incident {
+                let e = Edge::new(u, w);
+                if seen_edges.insert(e) {
+                    order.push(e);
+                }
+                if !visited[w.index()] {
+                    visited[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    // Global cycle priority: all cycle edges (in BFS discovery order)
+    // before all tree edges (same order) — tree edges are flexible and
+    // can attach later without hurting compactness (paper §6).
+    let (cycles, trees): (Vec<Edge>, Vec<Edge>) =
+        order.into_iter().partition(|e| !bridges.contains(e));
+    cycles.into_iter().chain(trees).collect()
+}
+
+/// Plain breadth-first edge order without cycle priority (the ablation
+/// counterpart of [`edge_order`]).
+pub fn plain_bfs_edge_order(graph: &Graph) -> Vec<Edge> {
+    let mut order = Vec::with_capacity(graph.edge_count());
+    let mut seen_edges: HashSet<Edge> = HashSet::new();
+    let mut visited = vec![false; graph.node_count()];
+    let mut seeds: Vec<NodeId> = graph.nodes().collect();
+    seeds.sort_by_key(|&n| std::cmp::Reverse(graph.degree(n)));
+    for seed in seeds {
+        if visited[seed.index()] {
+            continue;
+        }
+        visited[seed.index()] = true;
+        let mut queue = VecDeque::from([seed]);
+        while let Some(u) = queue.pop_front() {
+            for &w in graph.neighbors(u) {
+                let e = Edge::new(u, w);
+                if seen_edges.insert(e) {
+                    order.push(e);
+                }
+                if !visited[w.index()] {
+                    visited[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// BFS a free-cell path between `a` and `b` (exclusive); `None` when no
+/// path of length `<= max_len` exists. Paths have at least one cell
+/// (length >= 2 edges), matching the hardware constraint.
+fn route_path(
+    layout: &LayerLayout,
+    a: Position,
+    b: Position,
+    max_len: usize,
+) -> Option<Vec<Position>> {
+    let mut prev: HashMap<Position, Position> = HashMap::new();
+    let mut queue = VecDeque::new();
+    for q in layout.free_neighbors(a) {
+        prev.insert(q, a);
+        queue.push_back((q, 1usize));
+    }
+    while let Some((p, depth)) = queue.pop_front() {
+        if p.manhattan(b) == 1 {
+            let mut path = vec![p];
+            let mut cur = p;
+            while prev[&cur] != a {
+                cur = prev[&cur];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if depth >= max_len {
+            continue;
+        }
+        for q in layout.free_neighbors(p) {
+            if !prev.contains_key(&q) {
+                prev.insert(q, p);
+                queue.push_back((q, depth + 1));
+            }
+        }
+    }
+    None
+}
+
+/// Plans the inter-layer shuffling: pairs are sorted by distance and each
+/// shuffle layer hosts disjoint routing paths; a new layer is allocated
+/// when paths would overlap (paper §6). Returns `(layers, fusions)`.
+fn plan_shuffles(edges: &[ShuffleEdge], geometry: LayerGeometry) -> (usize, usize) {
+    let pairs: Vec<(Position, Position)> =
+        edges.iter().map(|s| (s.from.1, s.to.1)).collect();
+    plan_position_shuffles(&pairs, geometry)
+}
+
+/// Plans shuffle layers for raw position pairs: used both for in-mapping
+/// leftovers and for cross-partition edges (paper §4, dynamic allocation
+/// of additional physical layers between partitions).
+///
+/// Pairs are connected by L-shaped paths in ascending distance order; a
+/// fresh layer is allocated whenever a path would overlap cells already
+/// used on the current shuffle layer. Returns `(layers, fusions)` where
+/// each path costs `cells + 1` fusions (the spatial chain plus the two
+/// temporal hops into and out of the shuffle layer).
+pub fn plan_position_shuffles(
+    pairs: &[(Position, Position)],
+    geometry: LayerGeometry,
+) -> (usize, usize) {
+    if pairs.is_empty() {
+        return (0, 0);
+    }
+    let mut sorted: Vec<&(Position, Position)> = pairs.iter().collect();
+    sorted.sort_by_key(|(a, b)| a.manhattan(*b));
+
+    // First-fit packing of paths onto shuffle layers. Interior path cells
+    // must be disjoint per layer; the endpoint cells may be shared (each
+    // deferred edge spends a different photon of the endpoint's chain on
+    // its temporal hop).
+    let mut layers: Vec<HashSet<Position>> = vec![HashSet::new()];
+    let mut fusions = 0usize;
+    for (pa, pb) in sorted {
+        let cells = geometry.path_between(*pa, *pb);
+        let interior: Vec<Position> = if cells.len() > 2 {
+            cells[1..cells.len() - 1].to_vec()
+        } else {
+            Vec::new()
+        };
+        let slot = layers
+            .iter()
+            .position(|used| interior.iter().all(|c| !used.contains(c)));
+        let slot = match slot {
+            Some(s) => s,
+            None => {
+                layers.push(HashSet::new());
+                layers.len() - 1
+            }
+        };
+        layers[slot].extend(interior);
+        // Fusions: temporal hop in, spatial along the path, temporal out.
+        fusions += cells.len() + 1;
+    }
+    (layers.len(), fusions)
+}
+
+/// Cells of an L-shaped (row-then-column) path from `a` to `b`, inclusive.
+/// Kept as the reference implementation for orthogonal layers; production
+/// shuffle planning uses `LayerGeometry::path_between`, which also handles
+/// triangular and hexagonal couplings.
+#[cfg_attr(not(test), allow(dead_code))]
+fn l_path(a: Position, b: Position) -> Vec<Position> {
+    let mut cells = Vec::new();
+    let mut r = a.row;
+    let c = a.col;
+    cells.push(a);
+    while r != b.row {
+        r = if r < b.row { r + 1 } else { r - 1 };
+        cells.push(Position::new(r, c));
+    }
+    let mut c = a.col;
+    while c != b.col {
+        c = if c < b.col { c + 1 } else { c - 1 };
+        cells.push(Position::new(r, c));
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oneq_graph::generators;
+
+    fn opts() -> MappingOptions {
+        MappingOptions::default()
+    }
+
+    #[test]
+    fn small_cycle_fits_one_layer() {
+        let g = generators::cycle(8);
+        let r = map_graph(&g, LayerGeometry::new(8, 8), &opts());
+        assert_eq!(r.layouts.len(), 1);
+        assert_eq!(r.shuffle_layers, 0);
+        assert!(r.total_fusions() >= 8);
+        // Every node placed exactly once.
+        assert_eq!(r.placement.len(), 8);
+    }
+
+    #[test]
+    fn path_graph_maps_with_exact_fusions() {
+        let g = generators::path(6);
+        let r = map_graph(&g, LayerGeometry::new(8, 8), &opts());
+        // A path can always be laid out contiguously: 5 direct fusions.
+        assert_eq!(r.total_fusions(), 5);
+        assert_eq!(r.routed_fusions, 0);
+    }
+
+    #[test]
+    fn every_edge_is_realized() {
+        for g in [
+            generators::grid(3, 4),
+            generators::star(9),
+            generators::cycle(12),
+            generators::complete(4),
+        ] {
+            let r = map_graph(&g, LayerGeometry::new(10, 10), &opts());
+            let realized = r.direct_fusions
+                + r.shuffled.len()
+                + r
+                    .layouts
+                    .iter()
+                    .map(|l| {
+                        l.cells()
+                            .values()
+                            .filter(|c| matches!(c, CellUse::Routing(_)))
+                            .count()
+                    })
+                    .sum::<usize>()
+                    .min(usize::MAX);
+            // Simpler invariant: fusions >= edge count (each edge costs at
+            // least one fusion) and every node is placed.
+            assert!(r.total_fusions() >= g.edge_count());
+            assert_eq!(r.placement.len(), g.node_count());
+            let _ = realized;
+        }
+    }
+
+    #[test]
+    fn star_hub_triggers_routing_or_more_layers() {
+        // A degree-12 hub cannot keep all leaves adjacent on a grid: the
+        // mapper must route (pink auxiliary dots of paper Fig. 11).
+        let g = generators::star(13);
+        let r = map_graph(&g, LayerGeometry::new(10, 10), &opts());
+        assert!(r.total_fusions() > 12 || r.shuffle_layers > 0);
+    }
+
+    #[test]
+    fn tiny_grid_forces_multiple_layers() {
+        let g = generators::grid(5, 5); // 25 nodes
+        let r = map_graph(&g, LayerGeometry::new(3, 3), &opts()); // 9 cells
+        assert!(r.layouts.len() > 1, "25 nodes cannot fit 9 cells");
+        assert_eq!(r.placement.len(), 25);
+    }
+
+    #[test]
+    fn shuffle_edges_connect_across_layers() {
+        let g = generators::grid(4, 4);
+        let r = map_graph(&g, LayerGeometry::new(3, 3), &opts());
+        if !r.shuffled.is_empty() {
+            assert!(r.shuffle_layers >= 1);
+            assert!(r.shuffle_fusions > 0);
+        }
+    }
+
+    #[test]
+    fn edge_order_prioritizes_cycles() {
+        // Lollipop: triangle 0-1-2 with tail 2-3; the bridge must come
+        // after the cycle edges.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let order = edge_order(&g);
+        let bridge = Edge::new(NodeId::new(2), NodeId::new(3));
+        let bridge_pos = order.iter().position(|&e| e == bridge).unwrap();
+        assert_eq!(bridge_pos, 3, "bridge should be ordered last: {order:?}");
+    }
+
+    #[test]
+    fn edge_order_covers_all_edges_once() {
+        let g = generators::grid(4, 5);
+        let order = edge_order(&g);
+        assert_eq!(order.len(), g.edge_count());
+        let unique: HashSet<Edge> = order.iter().copied().collect();
+        assert_eq!(unique.len(), order.len());
+    }
+
+    #[test]
+    fn l_path_is_contiguous() {
+        let cells = l_path(Position::new(0, 0), Position::new(2, 3));
+        assert_eq!(cells.len(), 6);
+        for w in cells.windows(2) {
+            assert_eq!(w[0].manhattan(w[1]), 1);
+        }
+        assert_eq!(l_path(Position::new(1, 1), Position::new(1, 1)).len(), 1);
+    }
+
+    #[test]
+    fn routed_paths_have_min_length() {
+        // route_to_open_area only returns paths with >= 1 intermediate
+        // cell (total length >= 2), per the paper's hardware constraint.
+        let g = generators::star(10);
+        let r = map_graph(&g, LayerGeometry::new(12, 12), &opts());
+        // All fusions accounted: direct are 1 each; routed are >= 2 each.
+        assert!(r.routed_fusions == 0 || r.routed_fusions >= 2);
+    }
+
+    #[test]
+    fn occupied_area_tracks_bounding_box() {
+        let mut layout = LayerLayout::new(LayerGeometry::new(8, 8));
+        assert_eq!(layout.occupied_area(), 0);
+        layout.place(NodeId::new(0), Position::new(2, 2));
+        assert_eq!(layout.occupied_area(), 1);
+        layout.place(NodeId::new(1), Position::new(4, 5));
+        assert_eq!(layout.occupied_area(), 12);
+    }
+
+    #[test]
+    fn larger_area_reduces_layer_count() {
+        let g = generators::grid(6, 6);
+        let small = map_graph(&g, LayerGeometry::new(5, 5), &opts());
+        let large = map_graph(&g, LayerGeometry::new(12, 12), &opts());
+        assert!(large.layouts.len() <= small.layouts.len());
+        assert!(large.depth() <= small.depth());
+    }
+
+    #[test]
+    fn plain_bfs_order_covers_all_edges() {
+        let g = generators::grid(4, 4);
+        let order = plain_bfs_edge_order(&g);
+        assert_eq!(order.len(), g.edge_count());
+        let unique: HashSet<Edge> = order.iter().copied().collect();
+        assert_eq!(unique.len(), order.len());
+    }
+
+    #[test]
+    fn position_shuffles_pack_disjoint_paths_on_one_layer() {
+        // Two far-apart, non-overlapping pairs fit one shuffle layer.
+        let pairs = [
+            (Position::new(0, 0), Position::new(0, 3)),
+            (Position::new(5, 0), Position::new(5, 3)),
+        ];
+        let (layers, fusions) = plan_position_shuffles(&pairs, LayerGeometry::new(8, 8));
+        assert_eq!(layers, 1);
+        assert_eq!(fusions, 2 * (4 + 1));
+    }
+
+    #[test]
+    fn position_shuffles_split_overlapping_paths() {
+        // Identical pairs overlap in the interior: second path needs a new
+        // layer.
+        let pairs = [
+            (Position::new(0, 0), Position::new(0, 5)),
+            (Position::new(0, 0), Position::new(0, 5)),
+        ];
+        let (layers, _) = plan_position_shuffles(&pairs, LayerGeometry::new(8, 8));
+        assert_eq!(layers, 2);
+    }
+
+    #[test]
+    fn position_shuffles_share_endpoints() {
+        // Paths that only touch at an endpoint cell share a layer (the
+        // temporal hops come from different photons of the chain).
+        let pairs = [
+            (Position::new(2, 2), Position::new(2, 0)),
+            (Position::new(2, 2), Position::new(0, 2)),
+        ];
+        let (layers, _) = plan_position_shuffles(&pairs, LayerGeometry::new(8, 8));
+        assert_eq!(layers, 1);
+    }
+
+    #[test]
+    fn empty_shuffle_plan_is_free() {
+        let (layers, fusions) = plan_position_shuffles(&[], LayerGeometry::new(4, 4));
+        assert_eq!((layers, fusions), (0, 0));
+    }
+
+    #[test]
+    fn disabled_routing_defers_instead() {
+        let g = generators::star(10);
+        let mut opts = MappingOptions::default();
+        opts.allow_routing = false;
+        let r = map_graph(&g, LayerGeometry::new(10, 10), &opts);
+        assert_eq!(r.routed_fusions, 0);
+        assert_eq!(r.placement.len(), 10);
+    }
+
+    #[test]
+    fn empty_graph_maps_trivially() {
+        let g = Graph::new();
+        let r = map_graph(&g, LayerGeometry::new(4, 4), &opts());
+        assert_eq!(r.total_fusions(), 0);
+        assert_eq!(r.depth(), 1); // one (empty) layer allocated
+    }
+}

@@ -1,0 +1,367 @@
+//! Graph partition & scheduling (paper §4).
+//!
+//! The graph state is too large for one batch of physical layers, so the
+//! partitioner groups the causal-flow *dependency layers* (Lemma 1) into
+//! *partitions*, each later scheduled onto a dynamically allocated run of
+//! physical layers. Grouping is coarse-grained: a partition may span
+//! several dependency layers (delay lines tolerate the mismatch), which
+//! preserves local geometry and improves layout compactness. For small
+//! resource states a planarity check gates the grouping, and a
+//! single non-planar layer is reduced to its maximal planar subgraph with
+//! the leftover edges deferred to inter-layer shuffling.
+
+use oneq_graph::{mps, planarity, Graph, NodeId};
+use oneq_hardware::ResourceKind;
+use oneq_mbqc::{flow, Pattern};
+
+/// Tuning knobs for the partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionOptions {
+    /// Maximum consecutive dependency layers per partition (bounded by the
+    /// delay-line reach; paper §4).
+    pub max_dependency_layers: usize,
+    /// Soft budget of fusion-graph nodes per partition; `None` disables
+    /// the capacity check. Usually set to a fraction of the layer area.
+    pub capacity_hint: Option<usize>,
+    /// Enforce that every partition's subgraph is planar (required for
+    /// small resource states; paper §4 "Graph Planarization").
+    pub enforce_planarity: bool,
+    /// Resource state used to estimate synthesis cost.
+    pub resource_kind: ResourceKind,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions {
+            max_dependency_layers: 8,
+            capacity_hint: None,
+            enforce_planarity: true,
+            resource_kind: ResourceKind::LINE3,
+        }
+    }
+}
+
+/// One partition: a set of graph-state nodes scheduled together.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Pattern node ids in this partition (local index `i` of
+    /// [`Partition::subgraph`] is `global_nodes[i]`).
+    pub global_nodes: Vec<NodeId>,
+    /// Induced subgraph over the partition's nodes (possibly missing edges
+    /// removed by planarization — those are deferred to cross edges).
+    pub subgraph: Graph,
+    /// Degree of each local node in the **full** graph state: node
+    /// synthesis must provision fusion slots for cross-partition edges too.
+    pub full_degree: Vec<usize>,
+}
+
+impl Partition {
+    /// Estimated fusion-graph node count for this partition.
+    pub fn synthesis_cost(&self, kind: ResourceKind) -> usize {
+        self.full_degree.iter().map(|&d| kind.chain_nodes(d)).sum()
+    }
+}
+
+/// Output of the partitioning stage.
+#[derive(Debug, Clone)]
+pub struct PartitionResult {
+    /// Partitions in executability order.
+    pub partitions: Vec<Partition>,
+    /// Graph-state edges not contained in any partition subgraph: edges
+    /// between partitions plus edges dropped by planarization. They are
+    /// realized later by inter-layer shuffling (paper §6).
+    pub cross_edges: Vec<(NodeId, NodeId)>,
+}
+
+impl PartitionResult {
+    /// Total nodes across partitions (equals the pattern's node count).
+    pub fn node_count(&self) -> usize {
+        self.partitions.iter().map(|p| p.global_nodes.len()).sum()
+    }
+}
+
+/// Partitions `pattern`'s graph state.
+///
+/// Dependency layers are computed per Lemma 1 (outputs form a final
+/// pseudo-layer so they are scheduled too), then grouped greedily in
+/// executability order subject to the layer-count limit, the capacity
+/// hint, and (optionally) planarity of the accumulated subgraph.
+///
+/// # Example
+///
+/// ```
+/// use oneq_circuit::benchmarks;
+/// use oneq_mbqc::translate;
+/// use oneq::partition::{partition, PartitionOptions};
+///
+/// let pattern = translate::from_circuit(&benchmarks::qft(4));
+/// let result = partition(&pattern, &PartitionOptions::default());
+/// assert!(!result.partitions.is_empty());
+/// assert_eq!(result.node_count(), pattern.node_count());
+/// ```
+pub fn partition(pattern: &Pattern, options: &PartitionOptions) -> PartitionResult {
+    // Scheduled layers: executability order with measurements postponed to
+    // keep wires layer-monotone (see `oneq_mbqc::flow::scheduled_layers`).
+    let mut layers = flow::scheduled_layers(pattern);
+    let outputs: Vec<NodeId> = pattern.outputs().to_vec();
+    if !outputs.is_empty() {
+        layers.push(outputs);
+    }
+    if layers.is_empty() {
+        return PartitionResult {
+            partitions: Vec::new(),
+            cross_edges: Vec::new(),
+        };
+    }
+
+    let full_graph = pattern.graph();
+    let mut partitions: Vec<Partition> = Vec::new();
+    let mut current: Vec<NodeId> = Vec::new();
+    let mut current_layers = 0usize;
+
+    let flush = |current: &mut Vec<NodeId>, partitions: &mut Vec<Partition>| {
+        if current.is_empty() {
+            return;
+        }
+        partitions.push(build_partition(pattern, current, options.enforce_planarity));
+        current.clear();
+    };
+
+    for layer in layers {
+        let fits = |acc: &[NodeId], extra: &[NodeId]| -> bool {
+            let mut nodes: Vec<NodeId> = acc.to_vec();
+            nodes.extend_from_slice(extra);
+            if let Some(cap) = options.capacity_hint {
+                let cost: usize = nodes
+                    .iter()
+                    .map(|&n| {
+                        options
+                            .resource_kind
+                            .chain_nodes(full_graph.degree(n))
+                    })
+                    .sum();
+                if cost > cap {
+                    return false;
+                }
+            }
+            if options.enforce_planarity {
+                let (sub, _) = full_graph.induced_subgraph(&nodes);
+                if !planarity::is_planar(&sub) {
+                    return false;
+                }
+            }
+            true
+        };
+
+        let layer_ok = current_layers < options.max_dependency_layers
+            && !current.is_empty()
+            && fits(&current, &layer);
+        if layer_ok {
+            current.extend_from_slice(&layer);
+            current_layers += 1;
+            continue;
+        }
+        // Close the running partition and start fresh with this layer.
+        // A single layer that is itself non-planar keeps all of its nodes
+        // but only a maximal planar subgraph of its edges — the trimming
+        // happens inside build_partition (paper §4, graph planarization).
+        flush(&mut current, &mut partitions);
+        current = layer;
+        current_layers = 1;
+    }
+    flush(&mut current, &mut partitions);
+
+    // Cross edges: every full-graph edge not inside some partition.
+    let mut cross_edges = Vec::new();
+    let mut in_partition_edges: std::collections::HashSet<(usize, usize)> =
+        std::collections::HashSet::new();
+    for p in &partitions {
+        for e in p.subgraph.sorted_edges() {
+            let (a, b) = (
+                p.global_nodes[e.a().index()],
+                p.global_nodes[e.b().index()],
+            );
+            let key = if a <= b {
+                (a.index(), b.index())
+            } else {
+                (b.index(), a.index())
+            };
+            in_partition_edges.insert(key);
+        }
+    }
+    for e in full_graph.sorted_edges() {
+        let key = (e.a().index(), e.b().index());
+        if !in_partition_edges.contains(&key) {
+            cross_edges.push((e.a(), e.b()));
+        }
+    }
+
+    PartitionResult {
+        partitions,
+        cross_edges,
+    }
+}
+
+fn build_partition(pattern: &Pattern, nodes: &[NodeId], enforce_planarity: bool) -> Partition {
+    let full_graph = pattern.graph();
+    let (mut subgraph, global_nodes) = full_graph.induced_subgraph(nodes);
+    // Planarity safety net (small resource states only): if the induced
+    // subgraph is non-planar — possible for a single oversized/non-planar
+    // dependency layer — keep a maximal planar subgraph.
+    if enforce_planarity && !planarity::is_planar(&subgraph) {
+        let reduced = mps::maximal_planar_subgraph(&subgraph);
+        subgraph = reduced.subgraph;
+    }
+    let full_degree = global_nodes
+        .iter()
+        .map(|&g| full_graph.degree(g))
+        .collect();
+    Partition {
+        global_nodes,
+        subgraph,
+        full_degree,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oneq_circuit::{benchmarks, Circuit};
+    use oneq_mbqc::translate;
+    use std::collections::HashSet;
+
+    fn total_edges(result: &PartitionResult) -> usize {
+        result
+            .partitions
+            .iter()
+            .map(|p| p.subgraph.edge_count())
+            .sum::<usize>()
+            + result.cross_edges.len()
+    }
+
+    #[test]
+    fn nodes_are_partitioned_exactly_once() {
+        let pattern = translate::from_circuit(&benchmarks::qft(5));
+        let result = partition(&pattern, &PartitionOptions::default());
+        let mut seen = HashSet::new();
+        for p in &result.partitions {
+            for &n in &p.global_nodes {
+                assert!(seen.insert(n), "node {n} in two partitions");
+            }
+        }
+        assert_eq!(seen.len(), pattern.node_count());
+    }
+
+    #[test]
+    fn every_edge_is_accounted_for() {
+        let pattern = translate::from_circuit(&benchmarks::qft(5));
+        let result = partition(&pattern, &PartitionOptions::default());
+        assert_eq!(total_edges(&result), pattern.edge_count());
+    }
+
+    #[test]
+    fn clifford_circuit_collapses_to_few_partitions() {
+        let pattern = translate::from_circuit(&benchmarks::bv(&[true; 8]));
+        let result = partition(&pattern, &PartitionOptions::default());
+        // One measured layer + the output pseudo-layer, planar: 1 partition.
+        assert_eq!(result.partitions.len(), 1);
+        assert!(result.cross_edges.is_empty());
+    }
+
+    #[test]
+    fn partitions_respect_layer_limit() {
+        let mut c = Circuit::new(1);
+        for _ in 0..12 {
+            c.j(0, 0.3); // 12 chained adaptive layers
+        }
+        let pattern = translate::from_circuit(&c);
+        let opts = PartitionOptions {
+            max_dependency_layers: 3,
+            ..PartitionOptions::default()
+        };
+        let result = partition(&pattern, &opts);
+        assert!(
+            result.partitions.len() >= 4,
+            "expected >= 4 partitions, got {}",
+            result.partitions.len()
+        );
+    }
+
+    #[test]
+    fn capacity_hint_limits_partition_size() {
+        let pattern = translate::from_circuit(&benchmarks::qft(5));
+        let small = partition(
+            &pattern,
+            &PartitionOptions {
+                capacity_hint: Some(20),
+                ..PartitionOptions::default()
+            },
+        );
+        let big = partition(
+            &pattern,
+            &PartitionOptions {
+                capacity_hint: None,
+                ..PartitionOptions::default()
+            },
+        );
+        assert!(small.partitions.len() > big.partitions.len());
+        for p in &small.partitions {
+            // Single layers can exceed the hint, but multi-layer unions
+            // only form while under it.
+            if p.global_nodes.len() > 1 {
+                // No hard guarantee per layer; sanity-check the typical case.
+            }
+        }
+    }
+
+    #[test]
+    fn planarity_enforced_partitions_are_planar() {
+        use oneq_graph::planarity::is_planar;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+        let pattern =
+            translate::from_circuit(&benchmarks::qaoa_maxcut_random(8, &mut rng));
+        let result = partition(&pattern, &PartitionOptions::default());
+        for p in &result.partitions {
+            assert!(is_planar(&p.subgraph));
+        }
+        assert_eq!(total_edges(&result), pattern.edge_count());
+    }
+
+    #[test]
+    fn full_degree_counts_cross_partition_edges() {
+        let pattern = translate::from_circuit(&benchmarks::qft(4));
+        let opts = PartitionOptions {
+            max_dependency_layers: 1,
+            ..PartitionOptions::default()
+        };
+        let result = partition(&pattern, &opts);
+        for p in &result.partitions {
+            for (i, &g) in p.global_nodes.iter().enumerate() {
+                assert_eq!(p.full_degree[i], pattern.graph().degree(g));
+                assert!(p.full_degree[i] >= p.subgraph.degree(oneq_graph::NodeId::new(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pattern_yields_no_partitions() {
+        let pattern = oneq_mbqc::Pattern::new();
+        let result = partition(&pattern, &PartitionOptions::default());
+        assert!(result.partitions.is_empty());
+        assert!(result.cross_edges.is_empty());
+    }
+
+    #[test]
+    fn synthesis_cost_uses_chain_rule() {
+        let pattern = translate::from_circuit(&benchmarks::qft(4));
+        let result = partition(&pattern, &PartitionOptions::default());
+        for p in &result.partitions {
+            let expected: usize = p
+                .full_degree
+                .iter()
+                .map(|&d| ResourceKind::LINE3.chain_nodes(d))
+                .sum();
+            assert_eq!(p.synthesis_cost(ResourceKind::LINE3), expected);
+        }
+    }
+}

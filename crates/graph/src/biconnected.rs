@@ -1,0 +1,261 @@
+//! Biconnectivity analysis: bridges, articulation points and biconnected
+//! components (Hopcroft–Tarjan lowlink algorithm, iterative form).
+//!
+//! The fusion mapper (paper §6) traverses edges in a *cycle-prioritized*
+//! breadth-first order: edges that participate in cycles are mapped before
+//! tree edges. An edge lies on a cycle exactly when it is **not** a bridge,
+//! so the mapper consumes [`bridges`] / [`cycle_edges`] from this module.
+
+use crate::{Edge, Graph, NodeId};
+use std::collections::HashSet;
+
+/// The result of a single biconnectivity sweep over a graph.
+#[derive(Debug, Clone)]
+pub struct Biconnectivity {
+    /// Edges whose removal disconnects their component.
+    pub bridges: HashSet<Edge>,
+    /// Nodes whose removal disconnects their component.
+    pub articulation_points: HashSet<NodeId>,
+    /// Edge sets of the biconnected components (bridges form singleton
+    /// components).
+    pub components: Vec<Vec<Edge>>,
+}
+
+/// Runs the Hopcroft–Tarjan algorithm and returns bridges, articulation
+/// points and biconnected components in one pass.
+///
+/// # Example
+///
+/// ```
+/// use oneq_graph::{Graph, biconnected};
+///
+/// // Two triangles sharing node 2: node 2 is an articulation point,
+/// // there are no bridges, and there are two biconnected components.
+/// let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+/// let b = biconnected::analyze(&g);
+/// assert!(b.bridges.is_empty());
+/// assert_eq!(b.articulation_points.len(), 1);
+/// assert_eq!(b.components.len(), 2);
+/// ```
+pub fn analyze(graph: &Graph) -> Biconnectivity {
+    let n = graph.node_count();
+    let mut disc = vec![usize::MAX; n]; // discovery time
+    let mut low = vec![usize::MAX; n]; // lowlink
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut timer = 0usize;
+    let mut bridges = HashSet::new();
+    let mut articulation = HashSet::new();
+    let mut components: Vec<Vec<Edge>> = Vec::new();
+    let mut edge_stack: Vec<Edge> = Vec::new();
+
+    // Iterative DFS frame: (node, index into neighbor list).
+    for root in graph.nodes() {
+        if disc[root.index()] != usize::MAX {
+            continue;
+        }
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        disc[root.index()] = timer;
+        low[root.index()] = timer;
+        timer += 1;
+        let mut root_children = 0usize;
+
+        while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+            let neighbors = graph.neighbors(u);
+            if *i < neighbors.len() {
+                let v = neighbors[*i];
+                *i += 1;
+                if disc[v.index()] == usize::MAX {
+                    // Tree edge.
+                    parent[v.index()] = Some(u);
+                    edge_stack.push(Edge::new(u, v));
+                    if u == root {
+                        root_children += 1;
+                    }
+                    disc[v.index()] = timer;
+                    low[v.index()] = timer;
+                    timer += 1;
+                    stack.push((v, 0));
+                } else if Some(v) != parent[u.index()] && disc[v.index()] < disc[u.index()] {
+                    // Back edge (counted once, toward the ancestor).
+                    edge_stack.push(Edge::new(u, v));
+                    low[u.index()] = low[u.index()].min(disc[v.index()]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p.index()] = low[p.index()].min(low[u.index()]);
+                    if low[u.index()] >= disc[p.index()] {
+                        // p separates u's subtree: pop one biconnected
+                        // component ending with edge (p, u).
+                        if p != root || root_children > 1 || low[u.index()] > disc[p.index()] {
+                            // Articulation unless p is a root with one child
+                            // (bridge case still recorded below).
+                        }
+                        let mut comp = Vec::new();
+                        let sep = Edge::new(p, u);
+                        while let Some(e) = edge_stack.pop() {
+                            comp.push(e);
+                            if e == sep {
+                                break;
+                            }
+                        }
+                        if !comp.is_empty() {
+                            if comp.len() == 1 {
+                                bridges.insert(comp[0]);
+                            }
+                            components.push(comp);
+                        }
+                        if p != root {
+                            articulation.insert(p);
+                        }
+                    }
+                    if low[u.index()] > disc[p.index()] {
+                        bridges.insert(Edge::new(p, u));
+                    }
+                }
+            }
+        }
+        if root_children > 1 {
+            articulation.insert(root);
+        }
+    }
+
+    Biconnectivity {
+        bridges,
+        articulation_points: articulation,
+        components,
+    }
+}
+
+/// Edges whose removal disconnects their component.
+pub fn bridges(graph: &Graph) -> HashSet<Edge> {
+    analyze(graph).bridges
+}
+
+/// Edges that participate in at least one cycle (the non-bridge edges).
+pub fn cycle_edges(graph: &Graph) -> HashSet<Edge> {
+    let b = bridges(graph);
+    graph.edges().filter(|e| !b.contains(e)).collect()
+}
+
+/// Node sets of the biconnected components (derived from the edge sets;
+/// isolated nodes are not listed).
+pub fn biconnected_node_sets(graph: &Graph) -> Vec<Vec<NodeId>> {
+    analyze(graph)
+        .components
+        .iter()
+        .map(|comp| {
+            let mut nodes: Vec<NodeId> = comp
+                .iter()
+                .flat_map(|e| [e.a(), e.b()])
+                .collect::<HashSet<_>>()
+                .into_iter()
+                .collect();
+            nodes.sort();
+            nodes
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn tree_edges_are_all_bridges() {
+        let g = generators::path(6);
+        let b = analyze(&g);
+        assert_eq!(b.bridges.len(), 5);
+        assert_eq!(b.components.len(), 5);
+        // All interior nodes are articulation points.
+        assert_eq!(b.articulation_points.len(), 4);
+    }
+
+    #[test]
+    fn cycle_has_no_bridges() {
+        let g = generators::cycle(7);
+        let b = analyze(&g);
+        assert!(b.bridges.is_empty());
+        assert!(b.articulation_points.is_empty());
+        assert_eq!(b.components.len(), 1);
+        assert_eq!(b.components[0].len(), 7);
+    }
+
+    #[test]
+    fn lollipop_has_one_bridge() {
+        // Triangle 0-1-2 plus a tail 2-3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let b = analyze(&g);
+        assert_eq!(b.bridges.len(), 1);
+        assert!(b.bridges.contains(&Edge::new(NodeId::new(2), NodeId::new(3))));
+        assert_eq!(b.articulation_points.len(), 1);
+        assert!(b.articulation_points.contains(&NodeId::new(2)));
+        assert_eq!(b.components.len(), 2);
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_node() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let b = analyze(&g);
+        assert!(b.bridges.is_empty());
+        assert_eq!(b.articulation_points, HashSet::from([NodeId::new(2)]));
+        assert_eq!(b.components.len(), 2);
+        for comp in &b.components {
+            assert_eq!(comp.len(), 3);
+        }
+    }
+
+    #[test]
+    fn cycle_edges_excludes_tail() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let ce = cycle_edges(&g);
+        assert_eq!(ce.len(), 3);
+        assert!(!ce.contains(&Edge::new(NodeId::new(2), NodeId::new(3))));
+    }
+
+    #[test]
+    fn disconnected_graph_is_analyzed_per_component() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5)]);
+        let b = analyze(&g);
+        assert_eq!(b.bridges.len(), 2);
+        assert_eq!(b.components.len(), 3);
+    }
+
+    #[test]
+    fn complete_graph_is_one_component() {
+        let g = generators::complete(5);
+        let b = analyze(&g);
+        assert!(b.bridges.is_empty());
+        assert!(b.articulation_points.is_empty());
+        assert_eq!(b.components.len(), 1);
+        assert_eq!(b.components[0].len(), 10);
+    }
+
+    #[test]
+    fn node_sets_cover_components() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let sets = biconnected_node_sets(&g);
+        assert_eq!(sets.len(), 2);
+        for s in sets {
+            assert_eq!(s.len(), 3);
+            assert!(s.contains(&NodeId::new(2)));
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let b = analyze(&Graph::new());
+        assert!(b.components.is_empty());
+        let b = analyze(&Graph::with_nodes(3));
+        assert!(b.components.is_empty());
+        assert!(b.bridges.is_empty());
+    }
+
+    #[test]
+    fn grid_has_no_bridges() {
+        let g = generators::grid(3, 3);
+        assert!(bridges(&g).is_empty());
+        assert_eq!(cycle_edges(&g).len(), g.edge_count());
+    }
+}

@@ -1,0 +1,100 @@
+//! Greedy pairing utilities for inter-layer shuffling.
+//!
+//! The shuffling stage (paper §6) "first pairs up the incomplete nodes,
+//! sorts the node pairs according to their distances, and then finds the
+//! shortest routing paths ... in ascending order of the distances". This
+//! module provides the distance-greedy pairing used when incomplete nodes
+//! must be matched many-to-many (cross-partition edge bundles).
+
+use crate::NodeId;
+
+/// Greedily pairs items by ascending cost.
+///
+/// `cost(a, b)` gives the pairing cost of two items; each item is used at
+/// most once; leftover items (odd counts) are returned unpaired.
+///
+/// # Example
+///
+/// ```
+/// use oneq_graph::matching::greedy_pairing;
+///
+/// let items = vec![0usize, 10, 11, 1];
+/// let (pairs, rest) = greedy_pairing(&items, |a, b| a.abs_diff(*b));
+/// assert_eq!(pairs, vec![(0, 1), (10, 11)]);
+/// assert!(rest.is_empty());
+/// ```
+pub fn greedy_pairing<T: Copy + Ord, F: Fn(&T, &T) -> usize>(
+    items: &[T],
+    cost: F,
+) -> (Vec<(T, T)>, Vec<T>) {
+    let mut candidates: Vec<(usize, T, T)> = Vec::new();
+    for (i, &a) in items.iter().enumerate() {
+        for &b in &items[i + 1..] {
+            let (x, y) = if a <= b { (a, b) } else { (b, a) };
+            candidates.push((cost(&x, &y), x, y));
+        }
+    }
+    candidates.sort();
+    let mut used = std::collections::BTreeSet::new();
+    let mut pairs = Vec::new();
+    for (_, a, b) in candidates {
+        if !used.contains(&a) && !used.contains(&b) {
+            used.insert(a);
+            used.insert(b);
+            pairs.push((a, b));
+        }
+    }
+    let rest: Vec<T> = items
+        .iter()
+        .copied()
+        .filter(|x| !used.contains(x))
+        .collect();
+    (pairs, rest)
+}
+
+/// Distance-greedy pairing of graph nodes using an arbitrary metric.
+pub fn pair_nodes<F: Fn(NodeId, NodeId) -> usize>(
+    nodes: &[NodeId],
+    metric: F,
+) -> (Vec<(NodeId, NodeId)>, Vec<NodeId>) {
+    greedy_pairing(nodes, |a, b| metric(*a, *b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_minimize_greedy_cost() {
+        let items = vec![1usize, 2, 100, 101];
+        let (pairs, rest) = greedy_pairing(&items, |a, b| a.abs_diff(*b));
+        assert_eq!(pairs, vec![(1, 2), (100, 101)]);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn odd_counts_leave_one_unpaired() {
+        let items = vec![5usize, 6, 50];
+        let (pairs, rest) = greedy_pairing(&items, |a, b| a.abs_diff(*b));
+        assert_eq!(pairs, vec![(5, 6)]);
+        assert_eq!(rest, vec![50]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let (pairs, rest) = greedy_pairing::<usize, _>(&[], |_, _| 0);
+        assert!(pairs.is_empty() && rest.is_empty());
+        let (pairs, rest) = greedy_pairing(&[7usize], |a, b| a.abs_diff(*b));
+        assert!(pairs.is_empty());
+        assert_eq!(rest, vec![7]);
+    }
+
+    #[test]
+    fn node_pairing_uses_metric() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        let (pairs, rest) =
+            pair_nodes(&nodes, |a, b| a.index().abs_diff(b.index()));
+        assert_eq!(pairs.len(), 2);
+        assert!(rest.is_empty());
+    }
+}

@@ -1,0 +1,653 @@
+//! Planarity testing with embedding extraction.
+//!
+//! OneQ needs planarity in three places: graph planarization during
+//! partitioning (paper §4), planarity preservation in fusion-graph
+//! generation (paper §5) and the planarity-aware in-layer search (paper §6).
+//! All three need not just a yes/no answer but a *planar embedding*
+//! (clockwise edge orders), so we implement **Demoucron's face-insertion
+//! algorithm**: start from a cycle, repeatedly pick a fragment of the
+//! remaining graph, and embed one of its paths into a face containing all of
+//! the fragment's attachment points. If some fragment has no such face the
+//! graph is non-planar. The algorithm is O(n·m) per biconnected component,
+//! which is ample for the partition-sized graphs the compiler tests.
+//!
+//! General graphs are handled by decomposing into biconnected components
+//! (a graph is planar iff all its biconnected components are) and merging
+//! the per-component rotations at the cut vertices.
+
+use crate::biconnected;
+use crate::{Edge, Embedding, Graph, NodeId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Result of [`check_planarity`].
+#[derive(Debug, Clone)]
+pub enum PlanarityResult {
+    /// The graph is planar; a planar embedding (rotation system) is attached.
+    Planar(Embedding),
+    /// The graph is not planar.
+    NonPlanar,
+}
+
+impl PlanarityResult {
+    /// Returns `true` for the planar case.
+    pub fn is_planar(&self) -> bool {
+        matches!(self, PlanarityResult::Planar(_))
+    }
+
+    /// Extracts the embedding, if planar.
+    pub fn into_embedding(self) -> Option<Embedding> {
+        match self {
+            PlanarityResult::Planar(e) => Some(e),
+            PlanarityResult::NonPlanar => None,
+        }
+    }
+}
+
+/// Returns `true` if `graph` is planar.
+///
+/// # Example
+///
+/// ```
+/// use oneq_graph::{generators, planarity};
+///
+/// assert!(planarity::is_planar(&generators::grid(4, 4)));
+/// assert!(!planarity::is_planar(&generators::complete(5)));
+/// assert!(!planarity::is_planar(&generators::complete_bipartite(3, 3)));
+/// ```
+pub fn is_planar(graph: &Graph) -> bool {
+    check_planarity(graph).is_planar()
+}
+
+/// Computes a planar embedding, or `None` when the graph is non-planar.
+pub fn planar_embedding(graph: &Graph) -> Option<Embedding> {
+    check_planarity(graph).into_embedding()
+}
+
+/// Tests planarity and extracts an embedding in one call.
+///
+/// The embedding merges per-biconnected-component embeddings; at a cut
+/// vertex the rotations of the incident components are concatenated, which
+/// preserves planarity.
+pub fn check_planarity(graph: &Graph) -> PlanarityResult {
+    let n = graph.node_count();
+    // Quick Euler-bound rejection for simple graphs.
+    if n >= 3 && graph.edge_count() > 3 * n - 6 {
+        return PlanarityResult::NonPlanar;
+    }
+
+    // Rotation under construction: per node, a list of blocks (one per
+    // biconnected component touching the node) concatenated at the end.
+    let mut rotation: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+
+    let bic = biconnected::analyze(graph);
+    for comp_edges in &bic.components {
+        if comp_edges.len() == 1 {
+            // A bridge: both endpoints just get each other appended.
+            let e = comp_edges[0];
+            rotation[e.a().index()].push(e.b());
+            rotation[e.b().index()].push(e.a());
+            continue;
+        }
+        // Build the induced subgraph of this biconnected component.
+        let mut nodes: Vec<NodeId> = comp_edges
+            .iter()
+            .flat_map(|e| [e.a(), e.b()])
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        nodes.sort();
+        let to_local: HashMap<NodeId, NodeId> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &old)| (old, NodeId::new(i)))
+            .collect();
+        let mut sub = Graph::with_nodes(nodes.len());
+        for e in comp_edges {
+            sub.add_edge(to_local[&e.a()], to_local[&e.b()])
+                .expect("component edges are valid");
+        }
+        if sub.node_count() >= 3 && sub.edge_count() > 3 * sub.node_count() - 6 {
+            return PlanarityResult::NonPlanar;
+        }
+        match demoucron(&sub) {
+            Some(local_rot) => {
+                for (local_idx, rot) in local_rot.into_iter().enumerate() {
+                    let global = nodes[local_idx];
+                    rotation[global.index()]
+                        .extend(rot.into_iter().map(|ln| nodes[ln.index()]));
+                }
+            }
+            None => return PlanarityResult::NonPlanar,
+        }
+    }
+
+    PlanarityResult::Planar(Embedding::from_rotations(rotation))
+}
+
+/// A fragment of the not-yet-embedded part of the graph relative to the
+/// embedded subgraph H: either a single chord between embedded nodes, or a
+/// connected component of unembedded nodes together with its attachment
+/// edges.
+#[derive(Debug)]
+struct Fragment {
+    /// Embedded nodes the fragment is attached to.
+    attachments: Vec<NodeId>,
+    /// Unembedded nodes inside the fragment (empty for a chord).
+    inner: Vec<NodeId>,
+    /// For chords: the single edge.
+    chord: Option<Edge>,
+}
+
+/// Runs Demoucron's algorithm on a biconnected graph with >= 3 nodes.
+/// Returns the rotation system, or `None` when non-planar.
+fn demoucron(g: &Graph) -> Option<Vec<Vec<NodeId>>> {
+    debug_assert!(g.node_count() >= 3);
+    let cycle = find_cycle(g).expect("a biconnected graph with >=3 nodes has a cycle");
+
+    let mut embedded_node = vec![false; g.node_count()];
+    for &v in &cycle {
+        embedded_node[v.index()] = true;
+    }
+    let mut embedded_edges: HashSet<Edge> = HashSet::new();
+    for i in 0..cycle.len() {
+        embedded_edges.insert(Edge::new(cycle[i], cycle[(i + 1) % cycle.len()]));
+    }
+
+    // Faces as directed node cycles: the cycle and its mirror.
+    let mut faces: Vec<Vec<NodeId>> = vec![cycle.clone(), {
+        let mut rev = cycle.clone();
+        rev.reverse();
+        rev
+    }];
+
+    while embedded_edges.len() < g.edge_count() {
+        let fragments = compute_fragments(g, &embedded_node, &embedded_edges);
+        debug_assert!(!fragments.is_empty());
+
+        // Admissible faces per fragment.
+        let mut choice: Option<(usize, usize)> = None; // (fragment idx, face idx)
+        let mut fallback: Option<(usize, usize)> = None;
+        for (fi, frag) in fragments.iter().enumerate() {
+            let admissible: Vec<usize> = faces
+                .iter()
+                .enumerate()
+                .filter(|(_, face)| frag.attachments.iter().all(|a| face.contains(a)))
+                .map(|(i, _)| i)
+                .collect();
+            match admissible.len() {
+                0 => return None, // non-planar
+                1 => {
+                    choice = Some((fi, admissible[0]));
+                    break;
+                }
+                _ => {
+                    if fallback.is_none() {
+                        fallback = Some((fi, admissible[0]));
+                    }
+                }
+            }
+        }
+        let (fi, face_idx) =
+            choice.or(fallback).expect("at least one fragment exists");
+        let frag = &fragments[fi];
+
+        // An alpha-path through the fragment between two attachments.
+        let path = fragment_path(g, frag, &embedded_node);
+        debug_assert!(path.len() >= 2);
+
+        // Record the path as embedded.
+        for w in path.windows(2) {
+            embedded_edges.insert(Edge::new(w[0], w[1]));
+        }
+        for &v in &path[1..path.len() - 1] {
+            embedded_node[v.index()] = true;
+        }
+
+        split_face(&mut faces, face_idx, &path);
+    }
+
+    Some(rotation_from_faces(g, &faces))
+}
+
+/// Finds any cycle in `g` via DFS, returned as a node sequence.
+fn find_cycle(g: &Graph) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack path, 2 done
+    for root in g.nodes() {
+        if state[root.index()] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        state[root.index()] = 1;
+        while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+            let neigh = g.neighbors(u);
+            if *i < neigh.len() {
+                let v = neigh[*i];
+                *i += 1;
+                if Some(v) == parent[u.index()] {
+                    continue;
+                }
+                if state[v.index()] == 1 {
+                    // Found a cycle: walk u back to v.
+                    let mut cyc = vec![u];
+                    let mut cur = u;
+                    while cur != v {
+                        cur = parent[cur.index()].expect("path to ancestor exists");
+                        cyc.push(cur);
+                    }
+                    return Some(cyc);
+                }
+                if state[v.index()] == 0 {
+                    parent[v.index()] = Some(u);
+                    state[v.index()] = 1;
+                    stack.push((v, 0));
+                }
+            } else {
+                state[u.index()] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Computes the fragments of `g` relative to the embedded subgraph.
+fn compute_fragments(
+    g: &Graph,
+    embedded_node: &[bool],
+    embedded_edges: &HashSet<Edge>,
+) -> Vec<Fragment> {
+    let mut fragments = Vec::new();
+
+    // Chords: unembedded edges between embedded nodes.
+    for e in g.sorted_edges() {
+        if !embedded_edges.contains(&e)
+            && embedded_node[e.a().index()]
+            && embedded_node[e.b().index()]
+        {
+            fragments.push(Fragment {
+                attachments: vec![e.a(), e.b()],
+                inner: Vec::new(),
+                chord: Some(e),
+            });
+        }
+    }
+
+    // Components of unembedded nodes.
+    let mut seen = vec![false; g.node_count()];
+    for s in g.nodes() {
+        if embedded_node[s.index()] || seen[s.index()] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut attach: HashSet<NodeId> = HashSet::new();
+        let mut queue = VecDeque::from([s]);
+        seen[s.index()] = true;
+        while let Some(u) = queue.pop_front() {
+            comp.push(u);
+            for &v in g.neighbors(u) {
+                if embedded_node[v.index()] {
+                    attach.insert(v);
+                } else if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        let mut attachments: Vec<NodeId> = attach.into_iter().collect();
+        attachments.sort();
+        fragments.push(Fragment {
+            attachments,
+            inner: comp,
+            chord: None,
+        });
+    }
+
+    fragments
+}
+
+/// Finds a path through the fragment connecting two distinct attachments.
+fn fragment_path(g: &Graph, frag: &Fragment, embedded_node: &[bool]) -> Vec<NodeId> {
+    if let Some(chord) = frag.chord {
+        return vec![chord.a(), chord.b()];
+    }
+    debug_assert!(
+        frag.attachments.len() >= 2,
+        "fragments of a biconnected graph have >= 2 attachments"
+    );
+    let start = frag.attachments[0];
+    let inner: HashSet<NodeId> = frag.inner.iter().copied().collect();
+
+    // BFS from `start` through inner nodes until another attachment is hit.
+    let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut queue = VecDeque::new();
+    for &v in g.neighbors(start) {
+        if inner.contains(&v) && !prev.contains_key(&v) {
+            prev.insert(v, start);
+            queue.push_back(v);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if embedded_node[v.index()] && v != start {
+                // Reached another attachment: reconstruct.
+                let mut path = vec![v, u];
+                let mut cur = u;
+                while let Some(&p) = prev.get(&cur) {
+                    path.push(p);
+                    cur = p;
+                    if p == start {
+                        break;
+                    }
+                }
+                path.reverse();
+                return path;
+            }
+            if inner.contains(&v) && !prev.contains_key(&v) {
+                prev.insert(v, u);
+                queue.push_back(v);
+            }
+        }
+    }
+    unreachable!("biconnected graphs always yield a second attachment");
+}
+
+/// Splits `faces[face_idx]` along `path` (whose endpoints lie on the face).
+fn split_face(faces: &mut Vec<Vec<NodeId>>, face_idx: usize, path: &[NodeId]) {
+    let face = faces.swap_remove(face_idx);
+    let a = path[0];
+    let b = *path.last().expect("paths are non-empty");
+    let pa = face
+        .iter()
+        .position(|&x| x == a)
+        .expect("path endpoint lies on the face");
+    let pb = face
+        .iter()
+        .position(|&x| x == b)
+        .expect("path endpoint lies on the face");
+    let k = face.len();
+    let interior = &path[1..path.len() - 1];
+
+    // Walk from a to b along the face (forward direction).
+    let mut seg_ab = Vec::new();
+    let mut i = pa;
+    loop {
+        seg_ab.push(face[i]);
+        if i == pb {
+            break;
+        }
+        i = (i + 1) % k;
+    }
+    // Walk from b to a along the face (forward direction).
+    let mut seg_ba = Vec::new();
+    let mut i = pb;
+    loop {
+        seg_ba.push(face[i]);
+        if i == pa {
+            break;
+        }
+        i = (i + 1) % k;
+    }
+
+    // Face 1: a ->(face)-> b ->(reversed path)-> a.
+    let mut f1 = seg_ab;
+    f1.extend(interior.iter().rev().copied());
+    // Face 2: b ->(face)-> a ->(forward path)-> b.
+    let mut f2 = seg_ba;
+    f2.extend(interior.iter().copied());
+
+    faces.push(f1);
+    faces.push(f2);
+}
+
+/// Reconstructs the rotation system from consistently oriented face walks.
+fn rotation_from_faces(g: &Graph, faces: &[Vec<NodeId>]) -> Vec<Vec<NodeId>> {
+    // succ[v][u] = w  where some face contains the corner u -> v -> w.
+    let mut succ: Vec<HashMap<NodeId, NodeId>> = vec![HashMap::new(); g.node_count()];
+    for face in faces {
+        let k = face.len();
+        for i in 0..k {
+            let u = face[(i + k - 1) % k];
+            let v = face[i];
+            let w = face[(i + 1) % k];
+            let old = succ[v.index()].insert(u, w);
+            debug_assert!(old.is_none(), "each directed edge lies on one face");
+        }
+    }
+    let mut rotation = Vec::with_capacity(g.node_count());
+    for v in g.nodes() {
+        let map = &succ[v.index()];
+        let mut rot = Vec::with_capacity(g.degree(v));
+        if let Some(&start) = g.neighbors(v).first() {
+            let mut cur = start;
+            loop {
+                rot.push(cur);
+                cur = *map
+                    .get(&cur)
+                    .expect("corner successor exists for every neighbor");
+                if cur == start {
+                    break;
+                }
+                debug_assert!(rot.len() <= g.degree(v), "rotation must be a single cycle");
+            }
+        }
+        debug_assert_eq!(rot.len(), g.degree(v));
+        rotation.push(rot);
+    }
+    rotation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_planar_with_valid_embedding(g: &Graph) {
+        match check_planarity(g) {
+            PlanarityResult::Planar(emb) => {
+                assert!(emb.verify(g), "embedding must satisfy Euler's formula");
+            }
+            PlanarityResult::NonPlanar => panic!("graph should be planar: {g}"),
+        }
+    }
+
+    #[test]
+    fn trivial_graphs_are_planar() {
+        assert_planar_with_valid_embedding(&Graph::new());
+        assert_planar_with_valid_embedding(&Graph::with_nodes(5));
+        assert_planar_with_valid_embedding(&generators::path(2));
+    }
+
+    #[test]
+    fn trees_are_planar() {
+        assert_planar_with_valid_embedding(&generators::path(10));
+        assert_planar_with_valid_embedding(&generators::star(10));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_planar_with_valid_embedding(&generators::random_tree(30, &mut rng));
+        }
+    }
+
+    #[test]
+    fn cycles_and_grids_are_planar() {
+        assert_planar_with_valid_embedding(&generators::cycle(3));
+        assert_planar_with_valid_embedding(&generators::cycle(12));
+        assert_planar_with_valid_embedding(&generators::grid(4, 4));
+        assert_planar_with_valid_embedding(&generators::grid(7, 3));
+    }
+
+    #[test]
+    fn small_complete_graphs() {
+        assert_planar_with_valid_embedding(&generators::complete(3));
+        assert_planar_with_valid_embedding(&generators::complete(4));
+        assert!(!is_planar(&generators::complete(5)));
+        assert!(!is_planar(&generators::complete(6)));
+    }
+
+    #[test]
+    fn k33_is_non_planar() {
+        assert!(!is_planar(&generators::complete_bipartite(3, 3)));
+        assert!(is_planar(&generators::complete_bipartite(2, 3)));
+        assert!(is_planar(&generators::complete_bipartite(2, 10)));
+    }
+
+    #[test]
+    fn k5_subdivision_is_non_planar() {
+        // Subdivide every edge of K5 with one extra node: still non-planar,
+        // but passes the Euler bound check, exercising Demoucron proper.
+        let k5 = generators::complete(5);
+        let mut g = Graph::with_nodes(5);
+        for e in k5.sorted_edges() {
+            let mid = g.add_node();
+            g.add_edge(e.a(), mid).unwrap();
+            g.add_edge(mid, e.b()).unwrap();
+        }
+        assert_eq!(g.node_count(), 15);
+        assert!(!is_planar(&g));
+    }
+
+    #[test]
+    fn k4_with_pendant_trees_is_planar() {
+        let mut g = generators::complete(4);
+        let t = g.add_node();
+        g.add_edge(NodeId::new(0), t).unwrap();
+        let t2 = g.add_node();
+        g.add_edge(t, t2).unwrap();
+        assert_planar_with_valid_embedding(&g);
+    }
+
+    #[test]
+    fn two_blocks_sharing_a_cut_vertex() {
+        // Two K4s glued at node 0.
+        let mut g = generators::complete(4);
+        let extra: Vec<NodeId> = (0..3).map(|_| g.add_node()).collect();
+        let mut block2 = vec![NodeId::new(0)];
+        block2.extend(extra);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let _ = g.add_edge(block2[i], block2[j]);
+            }
+        }
+        assert_planar_with_valid_embedding(&g);
+    }
+
+    #[test]
+    fn wheel_graphs_are_planar() {
+        // Wheel = cycle + hub connected to everything.
+        for k in 3..8 {
+            let mut g = generators::cycle(k);
+            let hub = g.add_node();
+            for i in 0..k {
+                g.add_edge(hub, NodeId::new(i)).unwrap();
+            }
+            assert_planar_with_valid_embedding(&g);
+        }
+    }
+
+    #[test]
+    fn maximal_planar_triangulation_accepted_and_plus_one_edge_rejected() {
+        // Octahedron: 6 nodes, 12 edges, 3n-6 = 12, planar and maximal.
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 1),
+                (5, 1),
+                (5, 2),
+                (5, 3),
+                (5, 4),
+            ],
+        );
+        assert_planar_with_valid_embedding(&g);
+        let mut g2 = g.clone();
+        g2.add_edge(NodeId::new(0), NodeId::new(5)).unwrap();
+        assert!(!is_planar(&g2)); // now 13 > 3n-6
+    }
+
+    #[test]
+    fn petersen_graph_is_non_planar() {
+        let g = Graph::from_edges(
+            10,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0),
+                (0, 5),
+                (1, 6),
+                (2, 7),
+                (3, 8),
+                (4, 9),
+                (5, 7),
+                (7, 9),
+                (9, 6),
+                (6, 8),
+                (8, 5),
+            ],
+        );
+        assert!(!is_planar(&g));
+    }
+
+    #[test]
+    fn random_subgraphs_of_grids_are_planar() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..20 {
+            let full = generators::grid(5, 5);
+            let mut g = Graph::with_nodes(25);
+            for e in full.sorted_edges() {
+                if rng.gen_bool(0.7) {
+                    g.add_edge(e.a(), e.b()).unwrap();
+                }
+            }
+            match check_planarity(&g) {
+                PlanarityResult::Planar(emb) => assert!(
+                    emb.verify(&g),
+                    "trial {trial}: embedding must verify"
+                ),
+                PlanarityResult::NonPlanar => {
+                    panic!("trial {trial}: grid subgraph must be planar")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_mixture() {
+        let mut g = generators::complete(4);
+        g.disjoint_union(&generators::cycle(5));
+        g.disjoint_union(&generators::star(4));
+        assert_planar_with_valid_embedding(&g);
+        g.disjoint_union(&generators::complete(5));
+        assert!(!is_planar(&g));
+    }
+
+    #[test]
+    fn dense_planar_plus_random_nonplanar_edges() {
+        // Nested triangles (prism-like), planar.
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (0, 3),
+                (1, 4),
+                (2, 5),
+            ],
+        );
+        assert_planar_with_valid_embedding(&g);
+    }
+}

@@ -1,0 +1,225 @@
+//! The extendable space-time coupling graph (paper §3.1, Fig. 5).
+//!
+//! Nodes are RSG emission events `(cycle, row, col)`; edges are fusion
+//! supports: *spatial* between 4-neighbouring RSGs in the same cycle,
+//! *temporal* between the same RSG across cycles up to the delay-line
+//! limit. The compiler mostly works layer-by-layer on [`super::LayerGeometry`],
+//! but this explicit graph backs the hardware-model tests, the examples
+//! and the documentation of the abstraction itself.
+
+use crate::geometry::{LayerGeometry, Position};
+use oneq_graph::{Graph, NodeId};
+use std::fmt;
+
+/// Identifier of an RSG emission event in the coupling graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId {
+    /// Clock cycle (physical-layer index).
+    pub cycle: usize,
+    /// Grid position within the layer.
+    pub pos: Position,
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}{}", self.cycle, self.pos)
+    }
+}
+
+/// A finite window of the space-time coupling graph.
+///
+/// # Example
+///
+/// ```
+/// use oneq_hardware::{CouplingGraph, LayerGeometry};
+///
+/// // 2 cycles of a 2x2 array with delay 1.
+/// let cg = CouplingGraph::new(LayerGeometry::new(2, 2), 2, 1);
+/// assert_eq!(cg.site_count(), 8);
+/// // 4 spatial edges per layer x 2 + 4 temporal edges.
+/// assert_eq!(cg.graph().edge_count(), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CouplingGraph {
+    layer: LayerGeometry,
+    cycles: usize,
+    delay: usize,
+    graph: Graph,
+}
+
+impl CouplingGraph {
+    /// Builds the coupling graph for `cycles` layers of `layer` geometry
+    /// with temporal edges spanning up to `delay` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0`.
+    pub fn new(layer: LayerGeometry, cycles: usize, delay: usize) -> Self {
+        assert!(cycles > 0, "at least one cycle is required");
+        let area = layer.area();
+        let mut graph = Graph::with_nodes(area * cycles);
+        for t in 0..cycles {
+            for p in layer.positions() {
+                let a = NodeId::new(t * area + layer.index_of(p));
+                // Spatial edges within the layer.
+                for q in layer.neighbors(p) {
+                    if q > p {
+                        let b = NodeId::new(t * area + layer.index_of(q));
+                        graph.add_edge(a, b).expect("grid edges are valid");
+                    }
+                }
+                // Temporal edges to later cycles at the same site.
+                for dt in 1..=delay {
+                    if t + dt < cycles {
+                        let b = NodeId::new((t + dt) * area + layer.index_of(p));
+                        graph.add_edge(a, b).expect("temporal edges are valid");
+                    }
+                }
+            }
+        }
+        CouplingGraph {
+            layer,
+            cycles,
+            delay,
+            graph,
+        }
+    }
+
+    /// The per-cycle layer geometry.
+    pub fn layer(&self) -> LayerGeometry {
+        self.layer
+    }
+
+    /// Number of cycles in this window.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Delay-line reach in cycles.
+    pub fn delay(&self) -> usize {
+        self.delay
+    }
+
+    /// Total number of RSG emission events.
+    pub fn site_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying undirected graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Translates a site to its graph node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is outside this window.
+    pub fn node_of(&self, site: SiteId) -> NodeId {
+        assert!(site.cycle < self.cycles, "cycle out of range");
+        NodeId::new(site.cycle * self.layer.area() + self.layer.index_of(site.pos))
+    }
+
+    /// Translates a graph node back to its site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not part of this graph.
+    pub fn site_of(&self, node: NodeId) -> SiteId {
+        assert!(node.index() < self.site_count(), "node out of range");
+        let area = self.layer.area();
+        let cycle = node.index() / area;
+        let rem = node.index() % area;
+        SiteId {
+            cycle,
+            pos: Position::new(rem / self.layer.cols(), rem % self.layer.cols()),
+        }
+    }
+
+    /// `true` when `a` and `b` can fuse: spatial neighbours in the same
+    /// cycle, or the same RSG within the delay window.
+    pub fn can_fuse(&self, a: SiteId, b: SiteId) -> bool {
+        if a.cycle == b.cycle {
+            a.pos.manhattan(b.pos) == 1
+        } else {
+            a.pos == b.pos && a.cycle.abs_diff(b.cycle) <= self.delay
+        }
+    }
+}
+
+impl fmt::Display for CouplingGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CouplingGraph({} x {} cycles, delay {})",
+            self.layer, self.cycles, self.delay
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_node_roundtrip() {
+        let cg = CouplingGraph::new(LayerGeometry::new(3, 4), 5, 2);
+        for t in 0..5 {
+            for p in cg.layer().positions() {
+                let site = SiteId { cycle: t, pos: p };
+                assert_eq!(cg.site_of(cg.node_of(site)), site);
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_fusion_rules() {
+        let cg = CouplingGraph::new(LayerGeometry::new(3, 3), 2, 1);
+        let a = SiteId {
+            cycle: 0,
+            pos: Position::new(1, 1),
+        };
+        let b = SiteId {
+            cycle: 0,
+            pos: Position::new(1, 2),
+        };
+        let c = SiteId {
+            cycle: 0,
+            pos: Position::new(2, 2),
+        };
+        assert!(cg.can_fuse(a, b));
+        assert!(!cg.can_fuse(a, c)); // diagonal
+    }
+
+    #[test]
+    fn temporal_fusion_respects_delay() {
+        let cg = CouplingGraph::new(LayerGeometry::new(2, 2), 4, 2);
+        let p = Position::new(0, 1);
+        let s = |cycle| SiteId { cycle, pos: p };
+        assert!(cg.can_fuse(s(0), s(1)));
+        assert!(cg.can_fuse(s(0), s(2)));
+        assert!(!cg.can_fuse(s(0), s(3))); // beyond delay
+        let q = SiteId {
+            cycle: 1,
+            pos: Position::new(0, 0),
+        };
+        assert!(!cg.can_fuse(s(0), q)); // different site across time
+    }
+
+    #[test]
+    fn edge_counts_match_formula() {
+        let layer = LayerGeometry::new(3, 3);
+        let cg = CouplingGraph::new(layer, 3, 1);
+        // Spatial: 12 per layer x 3; temporal: 9 sites x 2 adjacent pairs.
+        assert_eq!(cg.graph().edge_count(), 12 * 3 + 9 * 2);
+    }
+
+    #[test]
+    fn graph_edges_match_can_fuse() {
+        let cg = CouplingGraph::new(LayerGeometry::new(2, 3), 3, 2);
+        for e in cg.graph().sorted_edges() {
+            let (a, b) = (cg.site_of(e.a()), cg.site_of(e.b()));
+            assert!(cg.can_fuse(a, b), "edge {a}-{b} violates fusion rules");
+        }
+    }
+}

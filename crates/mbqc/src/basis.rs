@@ -1,0 +1,140 @@
+//! Measurement bases for MBQC patterns.
+
+use oneq_circuit::Angle;
+use std::f64::consts::PI;
+use std::fmt;
+
+/// The measurement basis assigned to a graph-state qubit.
+///
+/// Computation uses equatorial measurements `E(α)` (X–Y plane of the Bloch
+/// sphere at angle `α`); `E(0)` is the X basis and `E(±π/2)` the Y basis.
+/// Z-basis measurements remove a qubit from the graph state (used for
+/// redundant qubits and unused resource-state photons). Output qubits are
+/// not measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Basis {
+    /// Equatorial measurement at the given angle (radians).
+    Equatorial(Angle),
+    /// Z-basis measurement: deletes the qubit from the graph state.
+    Z,
+    /// The qubit carries the output and is not measured.
+    Output,
+}
+
+impl Basis {
+    /// X-basis measurement, `E(0)`.
+    pub fn x() -> Self {
+        Basis::Equatorial(0.0)
+    }
+
+    /// Y-basis measurement, `E(π/2)`.
+    pub fn y() -> Self {
+        Basis::Equatorial(PI / 2.0)
+    }
+
+    /// `true` when this is a Pauli (X, Y or Z) measurement. Pauli
+    /// measurements never require adaptivity: sign flips and π shifts map
+    /// the basis to itself up to outcome reinterpretation (paper §4).
+    pub fn is_pauli(&self) -> bool {
+        match self {
+            Basis::Equatorial(a) => oneq_circuit::is_clifford_angle(*a),
+            Basis::Z => true,
+            Basis::Output => false,
+        }
+    }
+
+    /// `true` when measuring in this basis may need to wait for other
+    /// outcomes (a non-Pauli equatorial measurement).
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, Basis::Equatorial(_)) && !self.is_pauli()
+    }
+
+    /// The measurement angle for equatorial bases.
+    pub fn angle(&self) -> Option<Angle> {
+        match self {
+            Basis::Equatorial(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// `true` when the qubit is actually measured.
+    pub fn is_measured(&self) -> bool {
+        !matches!(self, Basis::Output)
+    }
+
+    /// The adapted angle after the corrections `X^s Z^t`:
+    /// `E(α) X^s Z^t = E((-1)^s α + tπ)` (paper §2.2.1).
+    pub fn adapted(&self, s: bool, t: bool) -> Basis {
+        match self {
+            Basis::Equatorial(a) => {
+                let sign = if s { -1.0 } else { 1.0 };
+                let shift = if t { PI } else { 0.0 };
+                Basis::Equatorial(sign * a + shift)
+            }
+            other => *other,
+        }
+    }
+}
+
+impl fmt::Display for Basis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Basis::Equatorial(a) => write!(f, "E({a:.4})"),
+            Basis::Z => write!(f, "Z"),
+            Basis::Output => write!(f, "out"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pauli_classification() {
+        assert!(Basis::x().is_pauli());
+        assert!(Basis::y().is_pauli());
+        assert!(Basis::Z.is_pauli());
+        assert!(Basis::Equatorial(PI).is_pauli());
+        assert!(!Basis::Equatorial(PI / 4.0).is_pauli());
+        assert!(!Basis::Output.is_pauli());
+    }
+
+    #[test]
+    fn adaptivity() {
+        assert!(Basis::Equatorial(0.3).is_adaptive());
+        assert!(!Basis::x().is_adaptive());
+        assert!(!Basis::Z.is_adaptive());
+        assert!(!Basis::Output.is_adaptive());
+    }
+
+    #[test]
+    fn adapted_angle_arithmetic() {
+        let b = Basis::Equatorial(0.5);
+        assert_eq!(b.adapted(false, false), Basis::Equatorial(0.5));
+        assert_eq!(b.adapted(true, false), Basis::Equatorial(-0.5));
+        match b.adapted(false, true) {
+            Basis::Equatorial(a) => assert!((a - (0.5 + PI)).abs() < 1e-12),
+            _ => panic!("expected equatorial"),
+        }
+        match b.adapted(true, true) {
+            Basis::Equatorial(a) => assert!((a - (-0.5 + PI)).abs() < 1e-12),
+            _ => panic!("expected equatorial"),
+        }
+        assert_eq!(Basis::Z.adapted(true, true), Basis::Z);
+    }
+
+    #[test]
+    fn measured_flag() {
+        assert!(Basis::x().is_measured());
+        assert!(Basis::Z.is_measured());
+        assert!(!Basis::Output.is_measured());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Basis::Z), "Z");
+        assert_eq!(format!("{}", Basis::Output), "out");
+        assert!(format!("{}", Basis::x()).starts_with("E("));
+    }
+}

@@ -1,0 +1,40 @@
+//! # oneq-mbqc
+//!
+//! Measurement-based quantum computing (MBQC) substrate for the OneQ
+//! compiler (ISCA'23 reproduction).
+//!
+//! MBQC drives computation by single-qubit projective measurements on an
+//! entangled *graph state* instead of by gates (paper §2.2). This crate
+//! provides:
+//!
+//! * measurement bases ([`Basis`]): equatorial `E(α)`, the Pauli special
+//!   cases, and Z-basis removal measurements,
+//! * the measurement pattern / graph state representation ([`Pattern`])
+//!   with X- and Z-dependency tracking,
+//! * the circuit→pattern translation over the `{J(α), CZ}` set
+//!   ([`translate::from_circuit`], paper §2.2.1 / ref [46]),
+//! * causal-flow analysis: executability layers per the paper's Lemma 1
+//!   ([`flow::dependency_layers`], paper §4).
+//!
+//! # Example
+//!
+//! ```
+//! use oneq_circuit::Circuit;
+//! use oneq_mbqc::{flow, translate};
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cnot(0, 1).t(1);
+//! let pattern = translate::from_circuit(&c);
+//! // One node per input plus one per J gate.
+//! assert!(pattern.node_count() >= 2);
+//! let layers = flow::dependency_layers(&pattern);
+//! assert!(!layers.is_empty());
+//! ```
+
+mod basis;
+pub mod flow;
+mod pattern;
+pub mod translate;
+
+pub use basis::Basis;
+pub use pattern::{Pattern, PatternError};

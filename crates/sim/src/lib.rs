@@ -1,0 +1,43 @@
+//! # oneq-sim
+//!
+//! Quantum simulation substrate used to *verify* the OneQ compiler
+//! (ISCA'23 reproduction).
+//!
+//! The paper validates its translation against known MBQC theory; since the
+//! authors' in-house tooling is unavailable, this crate provides the
+//! verification machinery from scratch:
+//!
+//! * [`Complex`] — minimal complex arithmetic (no external numeric crates),
+//! * [`StateVector`] — a dense simulator for circuits up to ~20 qubits,
+//! * [`Tableau`] — an Aaronson–Gottesman CHP stabilizer simulator for
+//!   Clifford circuits and graph-state stabilizer checks at scale,
+//! * [`pattern_sim`] — executes a measurement pattern (including the
+//!   adaptive feed-forward) qubit-by-qubit over its causal cone and
+//!   compares the result with the circuit-model state.
+//!
+//! # Example
+//!
+//! ```
+//! use oneq_circuit::Circuit;
+//! use oneq_mbqc::translate;
+//! use oneq_sim::{pattern_sim, StateVector};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cnot(0, 1);
+//! let pattern = translate::from_circuit(&c);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mbqc_state = pattern_sim::simulate(&pattern, &mut rng);
+//! let circuit_state = StateVector::run_circuit(&c);
+//! assert!(mbqc_state.approx_eq_up_to_phase(&circuit_state, 1e-9));
+//! ```
+
+mod complex;
+pub mod pattern_sim;
+mod stabilizer;
+mod statevector;
+
+pub use complex::Complex;
+pub use stabilizer::{Pauli, Tableau};
+pub use statevector::StateVector;

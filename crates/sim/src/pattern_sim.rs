@@ -1,0 +1,359 @@
+//! Measurement-pattern execution over the causal cone.
+//!
+//! Simulates an MBQC pattern produced by [`oneq_mbqc::translate`]: qubits
+//! are *activated* lazily (allocated in `|+>`, or `|0>` for circuit
+//! inputs), entangled by CZ when both edge endpoints are live, measured in
+//! their adapted basis — `E((-1)^s α + tπ)` with `s`/`t` the XOR of the X-
+//! and Z-dependency outcomes (paper §2.2.1) — and then dropped from the
+//! state. The live width is the causal-cone frontier, so patterns far
+//! larger than 26 total nodes simulate fine as long as the frontier stays
+//! small.
+//!
+//! This module is the ground truth used by the test-suite to show the
+//! translation implements the original circuit.
+
+use crate::statevector::StateVector;
+use oneq_mbqc::{Basis, Pattern};
+use oneq_graph::NodeId;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// Result of running a pattern: the output state plus per-node outcomes.
+#[derive(Debug, Clone)]
+pub struct PatternRun {
+    /// Final state over the pattern's outputs, ordered like
+    /// [`Pattern::outputs`].
+    pub state: StateVector,
+    /// Measurement outcome per node (`None` for outputs).
+    pub outcomes: Vec<Option<bool>>,
+}
+
+/// Simulates `pattern` on the all-zeros input and returns the output state.
+///
+/// See [`run`] for the variant that also returns the outcome record.
+///
+/// # Panics
+///
+/// Panics if a measured node lacks a causal-flow successor (patterns from
+/// [`oneq_mbqc::translate`] always have one) or the live frontier exceeds
+/// the dense simulator's limit.
+pub fn simulate<R: Rng>(pattern: &Pattern, rng: &mut R) -> StateVector {
+    run(pattern, rng).state
+}
+
+/// Simulates `pattern` and returns both the output state and the outcomes.
+pub fn run<R: Rng>(pattern: &Pattern, rng: &mut R) -> PatternRun {
+    // Measurement-event order: node u is measured when its flow successor
+    // is created, so sorting by successor id linearizes the causal flow and
+    // guarantees every X-/Z-dependency is resolved before it is needed.
+    let mut order: Vec<NodeId> = pattern.measured_nodes();
+    for &n in &order {
+        assert!(
+            pattern.flow(n).is_some(),
+            "measured node {n} has no flow successor; cannot linearize"
+        );
+    }
+    order.sort_by_key(|&n| pattern.flow(n).expect("checked above").index());
+
+    let mut sv = StateVector::empty();
+    // node -> current qubit slot in `sv`.
+    let mut slot: HashMap<NodeId, usize> = HashMap::new();
+    let mut applied: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let inputs: HashSet<NodeId> = pattern.inputs().iter().copied().collect();
+    let mut outcomes: Vec<Option<bool>> = vec![None; pattern.node_count()];
+
+    let activate = |sv: &mut StateVector,
+                        slot: &mut HashMap<NodeId, usize>,
+                        applied: &mut HashSet<(NodeId, NodeId)>,
+                        node: NodeId| {
+        if slot.contains_key(&node) {
+            return;
+        }
+        sv.add_qubit(!inputs.contains(&node));
+        slot.insert(node, sv.n_qubits() - 1);
+        for &nb in pattern.graph().neighbors(node) {
+            if let Some(&other) = slot.get(&nb) {
+                let key = if node < nb { (node, nb) } else { (nb, node) };
+                if applied.insert(key) {
+                    sv.apply_cz(slot[&node], other);
+                }
+            }
+        }
+    };
+
+    for u in order {
+        activate(&mut sv, &mut slot, &mut applied, u);
+        for &nb in pattern.graph().neighbors(u) {
+            // Already-measured neighbors had their CZ applied before they
+            // were consumed; only future nodes need activation.
+            if outcomes[nb.index()].is_none() {
+                activate(&mut sv, &mut slot, &mut applied, nb);
+            }
+        }
+
+        let s = parity(pattern.x_deps(u), &outcomes);
+        let t = parity(pattern.z_deps(u), &outcomes);
+        let basis = pattern.basis(u).adapted(s, t);
+        let q = slot[&u];
+        let outcome = match basis {
+            Basis::Equatorial(alpha) => {
+                // Rotate |±_α> onto |0>/|1>: apply diag(1, e^{-iα}) then H.
+                sv.apply_phase(q, -alpha);
+                sv.apply_single(q, hadamard());
+                sv.measure_qubit(q, rng)
+            }
+            Basis::Z => sv.measure_qubit(q, rng),
+            Basis::Output => unreachable!("outputs are not in the measured set"),
+        };
+        outcomes[u.index()] = Some(outcome);
+        sv.drop_qubit(q, outcome);
+        slot.remove(&u);
+        for v in slot.values_mut() {
+            if *v > q {
+                *v -= 1;
+            }
+        }
+    }
+
+    // Activate any never-touched outputs (identity wires) and their edges.
+    let outputs: Vec<NodeId> = pattern.outputs().to_vec();
+    for &o in &outputs {
+        activate(&mut sv, &mut slot, &mut applied, o);
+    }
+
+    // Final byproduct corrections on the outputs.
+    for &o in &outputs {
+        let q = slot[&o];
+        if parity(pattern.x_deps(o), &outcomes) {
+            sv.apply_single(q, pauli_x());
+        }
+        if parity(pattern.z_deps(o), &outcomes) {
+            sv.apply_phase(q, std::f64::consts::PI);
+        }
+    }
+
+    // Reorder so output k sits at qubit k.
+    let perm: Vec<usize> = outputs.iter().map(|o| slot[o]).collect();
+    sv.permute_qubits(&perm);
+
+    PatternRun {
+        state: sv,
+        outcomes,
+    }
+}
+
+fn parity(deps: &[NodeId], outcomes: &[Option<bool>]) -> bool {
+    deps.iter()
+        .map(|d| outcomes[d.index()].unwrap_or(false))
+        .fold(false, |acc, b| acc ^ b)
+}
+
+fn hadamard() -> [[crate::Complex; 2]; 2] {
+    let r = crate::Complex::from(std::f64::consts::FRAC_1_SQRT_2);
+    [[r, r], [r, -r]]
+}
+
+fn pauli_x() -> [[crate::Complex; 2]; 2] {
+    [
+        [crate::Complex::ZERO, crate::Complex::ONE],
+        [crate::Complex::ONE, crate::Complex::ZERO],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oneq_circuit::{benchmarks, Circuit};
+    use oneq_mbqc::translate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_circuit(c: &Circuit, seeds: std::ops::Range<u64>) {
+        let reference = StateVector::run_circuit(c);
+        let pattern = translate::from_circuit(c);
+        for seed in seeds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let got = simulate(&pattern, &mut rng);
+            assert!(
+                got.approx_eq_up_to_phase(&reference, 1e-9),
+                "pattern diverged from circuit (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn single_hadamard() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        check_circuit(&c, 0..8);
+    }
+
+    #[test]
+    fn single_t_gate() {
+        let mut c = Circuit::new(1);
+        c.t(0);
+        check_circuit(&c, 0..8);
+    }
+
+    #[test]
+    fn arbitrary_rotation_chain() {
+        let mut c = Circuit::new(1);
+        c.h(0).rz(0, 0.31).rx(0, 1.1).rz(0, -0.7);
+        check_circuit(&c, 0..8);
+    }
+
+    #[test]
+    fn bell_preparation() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        check_circuit(&c, 0..8);
+    }
+
+    #[test]
+    fn cz_only() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).cz(0, 1);
+        check_circuit(&c, 0..4);
+    }
+
+    #[test]
+    fn non_clifford_entangled() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).cz(0, 1).t(0).t(1).cnot(0, 1).rz(1, 0.9);
+        check_circuit(&c, 0..12);
+    }
+
+    #[test]
+    fn three_qubit_ghz_with_phases() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).cnot(1, 2).t(2).h(2);
+        check_circuit(&c, 0..8);
+    }
+
+    #[test]
+    fn qft_three_qubits() {
+        let c = benchmarks::qft(3);
+        check_circuit(&c, 0..6);
+    }
+
+    #[test]
+    fn small_bv_matches() {
+        let c = benchmarks::bv(&[true, false]);
+        check_circuit(&c, 0..4);
+    }
+
+    #[test]
+    fn small_qaoa_matches() {
+        let c = benchmarks::qaoa_maxcut(3, &[(0, 1), (1, 2)], 0.43, 0.91);
+        check_circuit(&c, 0..6);
+    }
+
+    #[test]
+    fn identity_wire_passes_through() {
+        // Second wire has no gates: its input doubles as output.
+        let mut c = Circuit::new(2);
+        c.x(0);
+        check_circuit(&c, 0..4);
+    }
+
+    #[test]
+    fn random_circuits_match() {
+        use rand::Rng;
+        let mut gen = StdRng::seed_from_u64(99);
+        for trial in 0..10 {
+            let n = gen.gen_range(2..4usize);
+            let mut c = Circuit::new(n);
+            for _ in 0..gen.gen_range(3..9) {
+                match gen.gen_range(0..6) {
+                    0 => {
+                        let q = gen.gen_range(0..n);
+                        c.h(q);
+                    }
+                    1 => {
+                        let q = gen.gen_range(0..n);
+                        c.t(q);
+                    }
+                    2 => {
+                        let q = gen.gen_range(0..n);
+                        c.rz(q, gen.gen_range(-3.0..3.0));
+                    }
+                    3 => {
+                        let q = gen.gen_range(0..n);
+                        c.rx(q, gen.gen_range(-3.0..3.0));
+                    }
+                    4 => {
+                        let a = gen.gen_range(0..n);
+                        let b = (a + 1 + gen.gen_range(0..n - 1)) % n;
+                        c.cz(a.min(b), a.max(b));
+                    }
+                    _ => {
+                        let a = gen.gen_range(0..n);
+                        let b = (a + 1 + gen.gen_range(0..n - 1)) % n;
+                        c.cnot(a, b);
+                    }
+                }
+            }
+            let reference = StateVector::run_circuit(&c);
+            let pattern = translate::from_circuit(&c);
+            for seed in 0..4 {
+                let mut rng = StdRng::seed_from_u64(1000 * trial + seed);
+                let got = simulate(&pattern, &mut rng);
+                assert!(
+                    got.approx_eq_up_to_phase(&reference, 1e-9),
+                    "trial {trial} seed {seed} diverged:\n{c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn z_measured_redundant_qubit_is_removed_cleanly() {
+        // Hand-built pattern: a 2-node wire (H gate) with a third qubit
+        // attached to the output and removed by a Z measurement. Removing
+        // a |+> neighbor in the Z basis leaves the wire state intact up to
+        // a heralded Z correction, which the dependency records.
+        use oneq_mbqc::{Basis, Pattern};
+        let mut p = Pattern::new();
+        let a = p.add_node(Basis::Equatorial(0.0)); // input, measured E(0) = H
+        let b = p.add_node(Basis::Output);
+        let r = p.add_node(Basis::Z); // redundant qubit
+        p.add_entangling_edge(a, b).unwrap();
+        p.add_entangling_edge(b, r).unwrap();
+        p.mark_input(a);
+        p.mark_output(b);
+        p.set_flow(a, b).unwrap();
+        p.add_x_dependency(b, a).unwrap();
+        // Z-measuring r at outcome 1 applies Z to its neighbor b.
+        p.set_flow(r, b).unwrap();
+        p.add_z_dependency(b, r).unwrap();
+
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let reference = StateVector::run_circuit(&c);
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let got = simulate(&p, &mut rng);
+            assert!(
+                got.approx_eq_up_to_phase(&reference, 1e-9),
+                "Z-removal must preserve the wire (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn outcomes_are_recorded() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0);
+        let pattern = translate::from_circuit(&c);
+        let mut rng = StdRng::seed_from_u64(0);
+        let run = run(&pattern, &mut rng);
+        let measured = pattern.measured_nodes();
+        for n in pattern.nodes() {
+            assert_eq!(
+                run.outcomes[n.index()].is_some(),
+                measured.contains(&n),
+                "outcome recording mismatch on {n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! Aaronson–Gottesman (CHP) stabilizer simulator.
+//!
+//! Tracks an `n`-qubit stabilizer state as a tableau of `n` destabilizer
+//! and `n` stabilizer generators. Clifford gates are O(n); Z measurements
+//! are O(n²). OneQ uses this to check graph-state stabilizers
+//! (`X_i Z_{N(i)}`, paper §2.2.1) and to verify Clifford benchmarks (BV)
+//! at sizes the dense simulator cannot reach.
+
+use oneq_graph::Graph;
+use rand::Rng;
+
+/// A Hermitian Pauli operator `± P_1 ⊗ ... ⊗ P_n` (no `i` phase).
+///
+/// # Example
+///
+/// ```
+/// use oneq_sim::Pauli;
+///
+/// // X_0 Z_1 with a plus sign.
+/// let mut p = Pauli::identity(2);
+/// p.set_x(0);
+/// p.set_z(1);
+/// assert!(!p.negated());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pauli {
+    xs: Vec<bool>,
+    zs: Vec<bool>,
+    neg: bool,
+}
+
+impl Pauli {
+    /// The identity operator on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        Pauli {
+            xs: vec![false; n],
+            zs: vec![false; n],
+            neg: false,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Puts an X factor on qubit `q` (combined with an existing Z this
+    /// makes a Y).
+    pub fn set_x(&mut self, q: usize) -> &mut Self {
+        self.xs[q] = true;
+        self
+    }
+
+    /// Puts a Z factor on qubit `q`.
+    pub fn set_z(&mut self, q: usize) -> &mut Self {
+        self.zs[q] = true;
+        self
+    }
+
+    /// Puts a Y factor on qubit `q`.
+    pub fn set_y(&mut self, q: usize) -> &mut Self {
+        self.xs[q] = true;
+        self.zs[q] = true;
+        self
+    }
+
+    /// Flips the overall sign.
+    pub fn negate(&mut self) -> &mut Self {
+        self.neg = !self.neg;
+        self
+    }
+
+    /// `true` when the sign is −1.
+    pub fn negated(&self) -> bool {
+        self.neg
+    }
+
+    /// X mask accessor.
+    pub fn x_bits(&self) -> &[bool] {
+        &self.xs
+    }
+
+    /// Z mask accessor.
+    pub fn z_bits(&self) -> &[bool] {
+        &self.zs
+    }
+}
+
+/// A stabilizer state over `n` qubits in CHP tableau form.
+///
+/// # Example
+///
+/// ```
+/// use oneq_sim::{Pauli, Tableau};
+///
+/// // Bell state: Z_0 Z_1 and X_0 X_1 are stabilizers.
+/// let mut t = Tableau::new(2);
+/// t.h(0);
+/// t.cnot(0, 1);
+/// let mut zz = Pauli::identity(2);
+/// zz.set_z(0).set_z(1);
+/// assert_eq!(t.expectation(&zz), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tableau {
+    n: usize,
+    // Rows 0..n are destabilizers, n..2n stabilizers, row 2n is scratch.
+    x: Vec<Vec<bool>>,
+    z: Vec<Vec<bool>>,
+    r: Vec<bool>,
+}
+
+impl Tableau {
+    /// The computational basis state `|0...0>`.
+    pub fn new(n: usize) -> Self {
+        let rows = 2 * n + 1;
+        let mut t = Tableau {
+            n,
+            x: vec![vec![false; n]; rows],
+            z: vec![vec![false; n]; rows],
+            r: vec![false; rows],
+        };
+        for i in 0..n {
+            t.x[i][i] = true; // destabilizer X_i
+            t.z[n + i][i] = true; // stabilizer Z_i
+        }
+        t
+    }
+
+    /// Builds the graph state of `graph`: every qubit in `|+>` entangled by
+    /// CZ along each edge.
+    pub fn graph_state(graph: &Graph) -> Self {
+        let mut t = Tableau::new(graph.node_count());
+        for q in 0..graph.node_count() {
+            t.h(q);
+        }
+        for e in graph.sorted_edges() {
+            t.cz(e.a().index(), e.b().index());
+        }
+        t
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q] & self.z[i][q];
+            let tmp = self.x[i][q];
+            self.x[i][q] = self.z[i][q];
+            self.z[i][q] = tmp;
+        }
+    }
+
+    /// Phase gate S on `q`.
+    pub fn s(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q] & self.z[i][q];
+            self.z[i][q] ^= self.x[i][q];
+        }
+    }
+
+    /// Inverse phase gate S† on `q`.
+    pub fn sdg(&mut self, q: usize) {
+        self.s(q);
+        self.s(q);
+        self.s(q);
+    }
+
+    /// Pauli X on `q`.
+    pub fn x_gate(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.z[i][q];
+        }
+    }
+
+    /// Pauli Z on `q`.
+    pub fn z_gate(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q];
+        }
+    }
+
+    /// CNOT with control `c` and target `t`.
+    pub fn cnot(&mut self, c: usize, t: usize) {
+        assert_ne!(c, t, "CNOT operands must differ");
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][c] & self.z[i][t] & (self.x[i][t] ^ self.z[i][c] ^ true);
+            self.x[i][t] ^= self.x[i][c];
+            self.z[i][c] ^= self.z[i][t];
+        }
+    }
+
+    /// CZ between `a` and `b`.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cnot(a, b);
+        self.h(b);
+    }
+
+    /// Phase exponent contribution of multiplying single-qubit Paulis:
+    /// returns the power of `i` (in −1, 0, 1) accumulated when left-
+    /// multiplying `(x2, z2)` onto `(x1, z1)`.
+    fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+        match (x1, z1) {
+            (false, false) => 0,
+            (true, true) => (z2 as i32) - (x2 as i32),
+            (true, false) => (z2 as i32) * (2 * (x2 as i32) - 1),
+            (false, true) => (x2 as i32) * (1 - 2 * (z2 as i32)),
+        }
+    }
+
+    /// Row `h` := row `h` * row `i` (with phase tracking).
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut phase = 2 * (self.r[h] as i32) + 2 * (self.r[i] as i32);
+        for j in 0..self.n {
+            phase += Self::g(self.x[i][j], self.z[i][j], self.x[h][j], self.z[h][j]);
+        }
+        let phase = phase.rem_euclid(4);
+        debug_assert!(phase == 0 || phase == 2, "tableau rows stay Hermitian");
+        self.r[h] = phase == 2;
+        for j in 0..self.n {
+            self.x[h][j] ^= self.x[i][j];
+            self.z[h][j] ^= self.z[i][j];
+        }
+    }
+
+    /// Measures qubit `q` in the Z basis, collapsing the state. Returns the
+    /// outcome (`true` = 1).
+    pub fn measure_z<R: Rng>(&mut self, q: usize, rng: &mut R) -> bool {
+        let n = self.n;
+        // Random case: some stabilizer has X on q.
+        if let Some(p) = (n..2 * n).find(|&i| self.x[i][q]) {
+            let outcome = rng.gen_bool(0.5);
+            for i in 0..2 * n {
+                if i != p && self.x[i][q] {
+                    self.rowsum(i, p);
+                }
+            }
+            // Destabilizer p-n becomes the old stabilizer row p.
+            self.x[p - n] = self.x[p].clone();
+            self.z[p - n] = self.z[p].clone();
+            self.r[p - n] = self.r[p];
+            // Stabilizer row p becomes ±Z_q.
+            self.x[p] = vec![false; n];
+            self.z[p] = vec![false; n];
+            self.z[p][q] = true;
+            self.r[p] = outcome;
+            outcome
+        } else {
+            // Deterministic: accumulate in the scratch row.
+            let scratch = 2 * n;
+            self.x[scratch] = vec![false; n];
+            self.z[scratch] = vec![false; n];
+            self.r[scratch] = false;
+            for i in 0..n {
+                if self.x[i][q] {
+                    self.rowsum(scratch, i + n);
+                }
+            }
+            self.r[scratch]
+        }
+    }
+
+    /// Measures qubit `q` in the X basis.
+    pub fn measure_x<R: Rng>(&mut self, q: usize, rng: &mut R) -> bool {
+        self.h(q);
+        let m = self.measure_z(q, rng);
+        self.h(q);
+        m
+    }
+
+    /// Measures qubit `q` in the Y basis.
+    pub fn measure_y<R: Rng>(&mut self, q: usize, rng: &mut R) -> bool {
+        self.sdg(q);
+        self.h(q);
+        let m = self.measure_z(q, rng);
+        self.h(q);
+        self.s(q);
+        m
+    }
+
+    /// Expectation of a Pauli operator: `Some(+1)` / `Some(-1)` when the
+    /// state is a ±1 eigenstate of `pauli`, `None` when the expectation is
+    /// 0 (the operator anticommutes with some stabilizer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pauli` has the wrong qubit count.
+    pub fn expectation(&self, pauli: &Pauli) -> Option<i8> {
+        assert_eq!(pauli.n_qubits(), self.n, "pauli width mismatch");
+        let n = self.n;
+        // Anticommutation with any stabilizer => expectation 0.
+        for i in n..2 * n {
+            let mut sym = false;
+            for j in 0..n {
+                sym ^= (self.x[i][j] & pauli.zs[j]) ^ (self.z[i][j] & pauli.xs[j]);
+            }
+            if sym {
+                return None;
+            }
+        }
+        // P is ± a product of stabilizers; the factors are the stabilizers
+        // whose destabilizer partners anticommute with P.
+        let mut work = self.clone();
+        let scratch = 2 * n;
+        work.x[scratch] = vec![false; n];
+        work.z[scratch] = vec![false; n];
+        work.r[scratch] = false;
+        for i in 0..n {
+            let mut sym = false;
+            for j in 0..n {
+                sym ^= (self.x[i][j] & pauli.zs[j]) ^ (self.z[i][j] & pauli.xs[j]);
+            }
+            if sym {
+                work.rowsum(scratch, i + n);
+            }
+        }
+        debug_assert_eq!(work.x[scratch], pauli.xs, "P must lie in the group");
+        debug_assert_eq!(work.z[scratch], pauli.zs, "P must lie in the group");
+        let sign = work.r[scratch] ^ pauli.neg;
+        Some(if sign { -1 } else { 1 })
+    }
+
+    /// Convenience: `true` when `pauli` stabilizes the state (expectation
+    /// exactly +1).
+    pub fn stabilizes(&self, pauli: &Pauli) -> bool {
+        self.expectation(pauli) == Some(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oneq_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_state_is_stabilized_by_z() {
+        let t = Tableau::new(3);
+        for q in 0..3 {
+            let mut p = Pauli::identity(3);
+            p.set_z(q);
+            assert!(t.stabilizes(&p));
+            let mut x = Pauli::identity(3);
+            x.set_x(q);
+            assert_eq!(t.expectation(&x), None);
+        }
+    }
+
+    #[test]
+    fn x_gate_flips_z_expectation() {
+        let mut t = Tableau::new(1);
+        t.x_gate(0);
+        let mut z = Pauli::identity(1);
+        z.set_z(0);
+        assert_eq!(t.expectation(&z), Some(-1));
+    }
+
+    #[test]
+    fn bell_state_stabilizers() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cnot(0, 1);
+        let mut zz = Pauli::identity(2);
+        zz.set_z(0).set_z(1);
+        let mut xx = Pauli::identity(2);
+        xx.set_x(0).set_x(1);
+        assert!(t.stabilizes(&zz));
+        assert!(t.stabilizes(&xx));
+        let mut zi = Pauli::identity(2);
+        zi.set_z(0);
+        assert_eq!(t.expectation(&zi), None);
+    }
+
+    #[test]
+    fn bell_measurements_are_correlated() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let mut t = Tableau::new(2);
+            t.h(0);
+            t.cnot(0, 1);
+            let a = t.measure_z(0, &mut rng);
+            let b = t.measure_z(1, &mut rng);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn graph_state_stabilizers_hold() {
+        // The defining stabilizers X_i Z_{N(i)} must all be +1.
+        for g in [
+            generators::path(6),
+            generators::cycle(5),
+            generators::star(7),
+            generators::grid(3, 4),
+        ] {
+            let t = Tableau::graph_state(&g);
+            for v in g.nodes() {
+                let mut p = Pauli::identity(g.node_count());
+                p.set_x(v.index());
+                for &w in g.neighbors(v) {
+                    p.set_z(w.index());
+                }
+                assert!(t.stabilizes(&p), "stabilizer of {v} violated");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_state_x_measurement_is_random() {
+        let g = generators::path(3);
+        let mut t = Tableau::graph_state(&g);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Any single-qubit Z on a graph state with edges is undetermined.
+        let mut z = Pauli::identity(3);
+        z.set_z(1);
+        assert_eq!(t.expectation(&z), None);
+        let _ = t.measure_z(1, &mut rng);
+        // After measurement, Z_1 is determined.
+        let mut z1 = Pauli::identity(3);
+        z1.set_z(1);
+        assert!(t.expectation(&z1).is_some());
+    }
+
+    #[test]
+    fn ghz_parity_is_deterministic() {
+        let mut t = Tableau::new(3);
+        t.h(0);
+        t.cnot(0, 1);
+        t.cnot(1, 2);
+        let mut xxx = Pauli::identity(3);
+        xxx.set_x(0).set_x(1).set_x(2);
+        assert!(t.stabilizes(&xxx));
+        let mut rng = StdRng::seed_from_u64(1);
+        let m0 = t.measure_z(0, &mut rng);
+        let m1 = t.measure_z(1, &mut rng);
+        let m2 = t.measure_z(2, &mut rng);
+        assert_eq!(m0, m1);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn s_gate_turns_x_into_y() {
+        let mut t = Tableau::new(1);
+        t.h(0); // |+>, stabilized by X
+        t.s(0); // now stabilized by Y
+        let mut y = Pauli::identity(1);
+        y.set_y(0);
+        assert!(t.stabilizes(&y));
+    }
+
+    #[test]
+    fn sdg_is_inverse_of_s() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.s(0);
+        t.sdg(0);
+        let mut x = Pauli::identity(1);
+        x.set_x(0);
+        assert!(t.stabilizes(&x));
+    }
+
+    #[test]
+    fn measure_x_on_plus_state_is_deterministic() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!t.measure_x(0, &mut rng)); // |+> gives outcome 0
+        t.z_gate(0); // |->
+        assert!(t.measure_x(0, &mut rng));
+    }
+
+    #[test]
+    fn measure_y_on_y_eigenstate() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.s(0); // +1 eigenstate of Y
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!t.measure_y(0, &mut rng));
+    }
+
+    #[test]
+    fn repeated_measurement_is_stable() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cnot(0, 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let first = t.measure_z(0, &mut rng);
+        for _ in 0..5 {
+            assert_eq!(t.measure_z(0, &mut rng), first);
+        }
+    }
+
+    #[test]
+    fn negated_pauli_expectation() {
+        let t = Tableau::new(1);
+        let mut mz = Pauli::identity(1);
+        mz.set_z(0).negate();
+        assert_eq!(t.expectation(&mz), Some(-1));
+    }
+
+    #[test]
+    fn large_graph_state_scales() {
+        let g = generators::grid(10, 10);
+        let t = Tableau::graph_state(&g);
+        let mut p = Pauli::identity(100);
+        p.set_x(55);
+        for &w in g.neighbors(oneq_graph::NodeId::new(55)) {
+            p.set_z(w.index());
+        }
+        assert!(t.stabilizes(&p));
+    }
+}

@@ -1,0 +1,488 @@
+//! Dense state-vector simulator.
+//!
+//! Qubit `q` corresponds to bit `q` of the basis-state index (little
+//! endian). Practical up to ~20 qubits; OneQ uses it to verify the
+//! circuit→pattern translation on small programs.
+
+use crate::complex::Complex;
+use oneq_circuit::{Circuit, Gate};
+use rand::Rng;
+use std::f64::consts::FRAC_1_SQRT_2;
+
+/// A pure quantum state over `n` qubits.
+///
+/// # Example
+///
+/// ```
+/// use oneq_circuit::Circuit;
+/// use oneq_sim::StateVector;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cnot(0, 1); // Bell state
+/// let sv = StateVector::run_circuit(&c);
+/// assert!((sv.probability(0b00) - 0.5).abs() < 1e-12);
+/// assert!((sv.probability(0b11) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0...0>`.
+    pub fn zero_state(n: usize) -> Self {
+        assert!(n <= 26, "state-vector simulation is capped at 26 qubits");
+        let mut amps = vec![Complex::ZERO; 1 << n];
+        amps[0] = Complex::ONE;
+        StateVector { n, amps }
+    }
+
+    /// A state with zero qubits (single unit amplitude); qubits are added
+    /// with [`StateVector::add_qubit`].
+    pub fn empty() -> Self {
+        StateVector {
+            n: 0,
+            amps: vec![Complex::ONE],
+        }
+    }
+
+    /// Runs `circuit` on `|0...0>`.
+    pub fn run_circuit(circuit: &Circuit) -> Self {
+        let mut sv = StateVector::zero_state(circuit.n_qubits());
+        for g in circuit.gates() {
+            sv.apply_gate(g);
+        }
+        sv
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The raw amplitudes (little-endian basis index).
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Probability of observing basis state `index` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Appends a new qubit (as the highest index) in `|0>` or `|+>`.
+    pub fn add_qubit(&mut self, plus: bool) {
+        let old = std::mem::take(&mut self.amps);
+        let len = old.len();
+        let mut amps = vec![Complex::ZERO; len * 2];
+        if plus {
+            for (i, a) in old.into_iter().enumerate() {
+                let half = a.scale(FRAC_1_SQRT_2);
+                amps[i] = half;
+                amps[i + len] = half;
+            }
+        } else {
+            amps[..len].copy_from_slice(&old);
+        }
+        self.amps = amps;
+        self.n += 1;
+    }
+
+    /// Applies a 2x2 unitary to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n`.
+    pub fn apply_single(&mut self, q: usize, m: [[Complex; 2]; 2]) {
+        assert!(q < self.n, "qubit {q} out of range");
+        let stride = 1usize << q;
+        let len = self.amps.len();
+        let mut i = 0;
+        while i < len {
+            for off in 0..stride {
+                let i0 = i + off;
+                let i1 = i0 + stride;
+                let a0 = self.amps[i0];
+                let a1 = self.amps[i1];
+                self.amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+            }
+            i += stride * 2;
+        }
+    }
+
+    /// Applies CZ between qubits `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range or they coincide.
+    pub fn apply_cz(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n && a != b, "bad CZ operands");
+        let (ma, mb) = (1usize << a, 1usize << b);
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & ma != 0 && i & mb != 0 {
+                *amp = -*amp;
+            }
+        }
+    }
+
+    /// Applies CNOT with the given control and target.
+    pub fn apply_cnot(&mut self, control: usize, target: usize) {
+        assert!(
+            control < self.n && target < self.n && control != target,
+            "bad CNOT operands"
+        );
+        let (mc, mt) = (1usize << control, 1usize << target);
+        for i in 0..self.amps.len() {
+            if i & mc != 0 && i & mt == 0 {
+                self.amps.swap(i, i | mt);
+            }
+        }
+    }
+
+    /// Applies any IR gate.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        let h = [
+            [Complex::from(FRAC_1_SQRT_2), Complex::from(FRAC_1_SQRT_2)],
+            [Complex::from(FRAC_1_SQRT_2), Complex::from(-FRAC_1_SQRT_2)],
+        ];
+        match *gate {
+            Gate::H(q) => self.apply_single(q.index(), h),
+            Gate::X(q) => self.apply_single(
+                q.index(),
+                [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]],
+            ),
+            Gate::Y(q) => self.apply_single(
+                q.index(),
+                [[Complex::ZERO, -Complex::I], [Complex::I, Complex::ZERO]],
+            ),
+            Gate::Z(q) => self.apply_phase(q.index(), std::f64::consts::PI),
+            Gate::S(q) => self.apply_phase(q.index(), std::f64::consts::FRAC_PI_2),
+            Gate::Sdg(q) => self.apply_phase(q.index(), -std::f64::consts::FRAC_PI_2),
+            Gate::T(q) => self.apply_phase(q.index(), std::f64::consts::FRAC_PI_4),
+            Gate::Tdg(q) => self.apply_phase(q.index(), -std::f64::consts::FRAC_PI_4),
+            Gate::Rz(q, a) => self.apply_phase(q.index(), a),
+            Gate::Rx(q, a) => {
+                let c = Complex::from((a / 2.0).cos());
+                let s = Complex::new(0.0, -(a / 2.0).sin());
+                self.apply_single(q.index(), [[c, s], [s, c]]);
+            }
+            Gate::J(q, a) => {
+                // J(α) = H · diag(1, e^{iα}).
+                let e = Complex::from_polar(FRAC_1_SQRT_2, a);
+                let r = Complex::from(FRAC_1_SQRT_2);
+                self.apply_single(q.index(), [[r, e], [r, -e]]);
+            }
+            Gate::Cz(a, b) => self.apply_cz(a.index(), b.index()),
+            Gate::Cnot { control, target } => self.apply_cnot(control.index(), target.index()),
+            Gate::Swap(a, b) => {
+                self.apply_cnot(a.index(), b.index());
+                self.apply_cnot(b.index(), a.index());
+                self.apply_cnot(a.index(), b.index());
+            }
+            Gate::Cp(a, b, theta) => {
+                let (ma, mb) = (1usize << a.index(), 1usize << b.index());
+                let phase = Complex::from_polar(1.0, theta);
+                for (i, amp) in self.amps.iter_mut().enumerate() {
+                    if i & ma != 0 && i & mb != 0 {
+                        *amp *= phase;
+                    }
+                }
+            }
+            Gate::Ccx { c1, c2, target } => {
+                let (m1, m2, mt) = (
+                    1usize << c1.index(),
+                    1usize << c2.index(),
+                    1usize << target.index(),
+                );
+                for i in 0..self.amps.len() {
+                    if i & m1 != 0 && i & m2 != 0 && i & mt == 0 {
+                        self.amps.swap(i, i | mt);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies `diag(1, e^{iθ})` to qubit `q`.
+    pub fn apply_phase(&mut self, q: usize, theta: f64) {
+        assert!(q < self.n, "qubit {q} out of range");
+        let mask = 1usize << q;
+        let phase = Complex::from_polar(1.0, theta);
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & mask != 0 {
+                *amp *= phase;
+            }
+        }
+    }
+
+    /// Probability that measuring qubit `q` in the Z basis yields 1.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        let mask = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Measures qubit `q` in the Z basis, collapsing the state (the qubit
+    /// remains allocated). Returns the outcome.
+    pub fn measure_qubit<R: Rng>(&mut self, q: usize, rng: &mut R) -> bool {
+        let p1 = self.prob_one(q);
+        let outcome = rng.gen_bool(p1.clamp(0.0, 1.0));
+        self.project_qubit(q, outcome);
+        outcome
+    }
+
+    /// Projects qubit `q` onto `outcome` and renormalizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the projection has (near-)zero probability.
+    pub fn project_qubit(&mut self, q: usize, outcome: bool) {
+        let mask = 1usize << q;
+        let mut norm = 0.0;
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if ((i & mask) != 0) != outcome {
+                *amp = Complex::ZERO;
+            } else {
+                norm += amp.norm_sqr();
+            }
+        }
+        assert!(norm > 1e-12, "projection onto zero-probability branch");
+        let scale = 1.0 / norm.sqrt();
+        for amp in &mut self.amps {
+            *amp = amp.scale(scale);
+        }
+    }
+
+    /// Removes qubit `q`, which must be disentangled (e.g. just projected):
+    /// keeps the branch where `q = outcome` and drops the bit.
+    pub fn drop_qubit(&mut self, q: usize, outcome: bool) {
+        let mask = 1usize << q;
+        let low = mask - 1;
+        let mut amps = Vec::with_capacity(self.amps.len() / 2);
+        for i in 0..self.amps.len() / 2 {
+            let src = (i & low) | ((i & !low) << 1) | if outcome { mask } else { 0 };
+            amps.push(self.amps[src]);
+        }
+        self.amps = amps;
+        self.n -= 1;
+    }
+
+    /// Permutes qubits so that old qubit `perm[k]` becomes qubit `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn permute_qubits(&mut self, perm: &[usize]) {
+        assert_eq!(perm.len(), self.n, "permutation must cover all qubits");
+        let mut check = perm.to_vec();
+        check.sort_unstable();
+        assert!(
+            check.iter().copied().eq(0..self.n),
+            "perm must be a permutation"
+        );
+        let mut amps = vec![Complex::ZERO; self.amps.len()];
+        for (i, &a) in self.amps.iter().enumerate() {
+            let mut j = 0usize;
+            for (new_bit, &old_bit) in perm.iter().enumerate() {
+                if i & (1 << old_bit) != 0 {
+                    j |= 1 << new_bit;
+                }
+            }
+            amps[j] = a;
+        }
+        self.amps = amps;
+    }
+
+    /// Inner product `<self|other>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions differ.
+    pub fn overlap(&self, other: &StateVector) -> Complex {
+        assert_eq!(self.n, other.n, "states must have equal qubit counts");
+        let mut acc = Complex::ZERO;
+        for (a, b) in self.amps.iter().zip(other.amps.iter()) {
+            acc += a.conj() * *b;
+        }
+        acc
+    }
+
+    /// `true` when the states agree up to a global phase: `|<a|b>| ≈ 1`.
+    pub fn approx_eq_up_to_phase(&self, other: &StateVector, tol: f64) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        (self.overlap(other).abs() - 1.0).abs() <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn zero_state_is_deterministic() {
+        let sv = StateVector::zero_state(3);
+        assert_eq!(sv.probability(0), 1.0);
+        assert_eq!(sv.prob_one(0), 0.0);
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let sv = StateVector::run_circuit(&c);
+        assert!((sv.probability(0) - 0.5).abs() < 1e-12);
+        assert!((sv.probability(3) - 0.5).abs() < 1e-12);
+        assert!(sv.probability(1) < 1e-12);
+    }
+
+    #[test]
+    fn hh_is_identity() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        let sv = StateVector::run_circuit(&c);
+        assert!(sv.approx_eq_up_to_phase(&StateVector::zero_state(1), 1e-12));
+    }
+
+    #[test]
+    fn x_flips() {
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let sv = StateVector::run_circuit(&c);
+        assert!((sv.probability(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn j_gate_decomposition_consistency() {
+        // J(α) must equal H followed by the phase diag(1, e^{iα}) applied
+        // first: J(α) = H·P(α).
+        let mut via_j = StateVector::zero_state(1);
+        via_j.apply_single(
+            0,
+            [
+                [Complex::from(FRAC_1_SQRT_2), Complex::from(FRAC_1_SQRT_2)],
+                [Complex::from(FRAC_1_SQRT_2), Complex::from(-FRAC_1_SQRT_2)],
+            ],
+        ); // put into |+>
+        let mut a = via_j.clone();
+        a.apply_gate(&Gate::J(oneq_circuit::Qubit::new(0), 0.7));
+        let mut b = via_j.clone();
+        b.apply_phase(0, 0.7);
+        b.apply_gate(&Gate::H(oneq_circuit::Qubit::new(0)));
+        assert!(a.approx_eq_up_to_phase(&b, 1e-12));
+    }
+
+    #[test]
+    fn swap_exchanges_amplitudes() {
+        let mut c = Circuit::new(2);
+        c.x(0).swap(0, 1);
+        let sv = StateVector::run_circuit(&c);
+        assert!((sv.probability(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cp_matches_cz_at_pi() {
+        let mut c1 = Circuit::new(2);
+        c1.h(0).h(1).cp(0, 1, PI);
+        let mut c2 = Circuit::new(2);
+        c2.h(0).h(1).cz(0, 1);
+        let (a, b) = (StateVector::run_circuit(&c1), StateVector::run_circuit(&c2));
+        assert!(a.approx_eq_up_to_phase(&b, 1e-12));
+    }
+
+    #[test]
+    fn ccx_truth_table() {
+        let mut c = Circuit::new(3);
+        c.x(0).x(1).ccx(0, 1, 2);
+        let sv = StateVector::run_circuit(&c);
+        assert!((sv.probability(0b111) - 1.0).abs() < 1e-12);
+        let mut c = Circuit::new(3);
+        c.x(0).ccx(0, 1, 2);
+        let sv = StateVector::run_circuit(&c);
+        assert!((sv.probability(0b001) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decomposed_circuits_match_originals() {
+        use oneq_circuit::{benchmarks, decompose};
+        let mut rng = StdRng::seed_from_u64(17);
+        for c in [
+            benchmarks::qft(4),
+            benchmarks::rca(6),
+            benchmarks::bv(&[true, false, true]),
+            benchmarks::qaoa_maxcut_random(4, &mut rng),
+        ] {
+            let lowered = decompose::to_jcz(&c);
+            let a = StateVector::run_circuit(&c);
+            let b = StateVector::run_circuit(&lowered);
+            assert!(
+                a.approx_eq_up_to_phase(&b, 1e-9),
+                "lowering changed the unitary action on |0..0>"
+            );
+        }
+    }
+
+    #[test]
+    fn measurement_collapses() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let mut sv = StateVector::run_circuit(&c);
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = sv.measure_qubit(0, &mut rng);
+        // Perfectly correlated: qubit 1 must agree.
+        assert!((sv.prob_one(1) - if outcome { 1.0 } else { 0.0 }).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_and_drop_qubit_roundtrip() {
+        let mut sv = StateVector::empty();
+        sv.add_qubit(false); // |0>
+        sv.add_qubit(true); // |+> as qubit 1
+        assert_eq!(sv.n_qubits(), 2);
+        assert!((sv.probability(0b00) - 0.5).abs() < 1e-12);
+        sv.project_qubit(1, false);
+        sv.drop_qubit(1, false);
+        assert_eq!(sv.n_qubits(), 1);
+        assert!((sv.probability(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permute_qubits_moves_excitation() {
+        let mut c = Circuit::new(3);
+        c.x(2);
+        let mut sv = StateVector::run_circuit(&c);
+        sv.permute_qubits(&[2, 0, 1]); // old qubit 2 -> new qubit 0
+        assert!((sv.probability(0b001) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-probability")]
+    fn impossible_projection_panics() {
+        let mut sv = StateVector::zero_state(1);
+        sv.project_qubit(0, true);
+    }
+
+    #[test]
+    fn overlap_of_orthogonal_states_is_zero() {
+        let a = StateVector::zero_state(1);
+        let mut c = Circuit::new(1);
+        c.x(0);
+        let b = StateVector::run_circuit(&c);
+        assert!(a.overlap(&b).abs() < 1e-12);
+        assert!(!a.approx_eq_up_to_phase(&b, 1e-9));
+    }
+}

@@ -1,0 +1,45 @@
+//! Reproduces the **Figure 11** visualizations: in-layer mappings of the
+//! fusion graphs of an 8-qubit BV with secret `11111111` (a) and a
+//! 3-qubit QFT (b). Complete fusion nodes render as `o`, incomplete ones
+//! as `x`, auxiliary routing states as `+`.
+//!
+//! ```bash
+//! cargo run --release -p oneq --example mapping_viz
+//! ```
+
+use oneq::fusion_graph;
+use oneq::mapping::{map_graph, MappingOptions};
+use oneq::viz;
+use oneq_circuit::benchmarks;
+use oneq_hardware::{LayerGeometry, ResourceKind};
+use oneq_mbqc::translate;
+
+fn show(label: &str, circuit: &oneq_circuit::Circuit, side: usize) {
+    let pattern = translate::from_circuit(circuit);
+    let graph = pattern.graph();
+    let degrees: Vec<usize> = graph.nodes().map(|n| graph.degree(n)).collect();
+    let fg = fusion_graph::generate(graph, &degrees, ResourceKind::LINE3);
+    let result = map_graph(
+        fg.graph(),
+        LayerGeometry::square(side),
+        &MappingOptions::default(),
+    );
+    println!(
+        "{label}: graph state {} nodes -> fusion graph {} nodes, {} fusions",
+        graph.node_count(),
+        fg.node_count(),
+        result.total_fusions()
+    );
+    print!("{}", viz::render_mapping(&result));
+    println!();
+}
+
+fn main() {
+    // Fig. 11(a): 8-qubit BV, secret all ones.
+    let bv = benchmarks::bv(&[true; 8]);
+    show("BV-8 '11111111'", &bv, 12);
+
+    // Fig. 11(b): 3-qubit QFT.
+    let qft = benchmarks::qft(3);
+    show("QFT-3", &qft, 12);
+}

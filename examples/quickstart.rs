@@ -1,0 +1,38 @@
+//! Quickstart: compile a circuit for a photonic one-way machine.
+//!
+//! ```bash
+//! cargo run --release -p oneq --example quickstart
+//! ```
+
+use oneq::{Compiler, CompilerOptions};
+use oneq_circuit::Circuit;
+use oneq_hardware::LayerGeometry;
+
+fn main() {
+    // 1. Write a circuit with the builder API.
+    let mut circuit = Circuit::new(3);
+    circuit.h(0).cnot(0, 1).cnot(1, 2).t(2).h(2);
+
+    // 2. Describe the hardware: an 8x8 array of resource-state generators
+    //    emitting 3-qubit line states every clock cycle.
+    let options = CompilerOptions::new(LayerGeometry::new(8, 8));
+
+    // 3. Compile. The pipeline translates the circuit to a measurement
+    //    pattern, partitions the graph state, synthesizes a fusion graph
+    //    and maps it onto the RSG grid.
+    let program = Compiler::new(options).compile(&circuit);
+
+    println!("circuit: {} gates on {} qubits", circuit.gate_count(), circuit.n_qubits());
+    println!(
+        "graph state: {} nodes, {} edges, {} dependency layers",
+        program.stats.graph_state_nodes,
+        program.stats.graph_state_edges,
+        program.stats.dependency_layers
+    );
+    println!(
+        "compiled: physical depth = {} layers, fusions = {}",
+        program.depth, program.fusions
+    );
+    println!("\nfirst layer layout:");
+    print!("{}", oneq::viz::render_program(&program));
+}

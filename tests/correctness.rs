@@ -1,0 +1,225 @@
+//! Semantic correctness across crates: the measurement patterns the
+//! compiler consumes really implement their circuits, and the graph states
+//! it maps really are the states the translation promises.
+
+use oneq_circuit::{benchmarks, Circuit};
+use oneq_mbqc::{flow, translate};
+use oneq_sim::{pattern_sim, Pauli, StateVector, Tableau};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_pattern_equals_circuit(circuit: &Circuit, seeds: std::ops::Range<u64>) {
+    let reference = StateVector::run_circuit(circuit);
+    let pattern = translate::from_circuit(circuit);
+    for seed in seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let state = pattern_sim::simulate(&pattern, &mut rng);
+        assert!(
+            state.approx_eq_up_to_phase(&reference, 1e-9),
+            "pattern != circuit (seed {seed}) for:\n{circuit}"
+        );
+    }
+}
+
+#[test]
+fn qft4_pattern_implements_qft() {
+    assert_pattern_equals_circuit(&benchmarks::qft(4), 0..5);
+}
+
+#[test]
+fn small_bv_pattern_implements_bv() {
+    assert_pattern_equals_circuit(&benchmarks::bv(&[true, false, true]), 0..5);
+}
+
+#[test]
+fn small_rca_pattern_implements_adder() {
+    assert_pattern_equals_circuit(&benchmarks::rca(4), 0..3);
+}
+
+#[test]
+fn small_qaoa_pattern_implements_qaoa() {
+    let c = benchmarks::qaoa_maxcut(3, &[(0, 1), (1, 2), (0, 2)], 0.37, 1.21);
+    assert_pattern_equals_circuit(&c, 0..5);
+}
+
+#[test]
+fn random_clifford_t_circuits_verify() {
+    let mut gen = StdRng::seed_from_u64(7);
+    for trial in 0..6 {
+        let n = gen.gen_range(2..4usize);
+        let mut c = Circuit::new(n);
+        for _ in 0..gen.gen_range(4..10) {
+            match gen.gen_range(0..5) {
+                0 => {
+                    c.h(gen.gen_range(0..n));
+                }
+                1 => {
+                    c.t(gen.gen_range(0..n));
+                }
+                2 => {
+                    c.rz(gen.gen_range(0..n), gen.gen_range(-3.0..3.0));
+                }
+                3 => {
+                    let a = gen.gen_range(0..n);
+                    let b = (a + 1) % n;
+                    c.cz(a.min(b), a.max(b));
+                }
+                _ => {
+                    let a = gen.gen_range(0..n);
+                    let b = (a + 1) % n;
+                    c.cnot(a, b);
+                }
+            }
+        }
+        assert_pattern_equals_circuit(&c, (trial * 10)..(trial * 10 + 3));
+    }
+}
+
+#[test]
+fn translated_graph_state_stabilizers_hold_at_scale() {
+    // BV-50: far beyond dense simulation, but the graph state's defining
+    // stabilizers X_i Z_{N(i)} are checkable on the tableau simulator.
+    let circuit = benchmarks::bv(&[true; 50]);
+    let pattern = translate::from_circuit(&circuit);
+    let graph = pattern.graph();
+    let tableau = Tableau::graph_state(graph);
+    for v in graph.nodes().step_by(7) {
+        let mut p = Pauli::identity(graph.node_count());
+        p.set_x(v.index());
+        for &w in graph.neighbors(v) {
+            p.set_z(w.index());
+        }
+        assert!(tableau.stabilizes(&p), "stabilizer of {v} violated");
+    }
+}
+
+#[test]
+fn clifford_patterns_have_single_dependency_layer() {
+    // Cross-crate restatement of the paper's §2.2.2 observation.
+    for secret_len in [4, 16, 64] {
+        let circuit = benchmarks::bv(&vec![true; secret_len]);
+        let pattern = translate::from_circuit(&circuit);
+        assert_eq!(
+            flow::dependency_layers(&pattern).len(),
+            1,
+            "BV-{secret_len} should have one dependency layer"
+        );
+    }
+}
+
+#[test]
+fn ghz_circuit_prepares_ghz() {
+    let sv = StateVector::run_circuit(&oneq_circuit::extra::ghz(4));
+    assert!((sv.probability(0b0000) - 0.5).abs() < 1e-12);
+    assert!((sv.probability(0b1111) - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn grover_amplifies_the_marked_item() {
+    // 3 data qubits: textbook success probabilities are 25/32 ≈ 0.781
+    // after one round and ≈ 0.945 after two.
+    for (rounds, expect) in [(1, 0.78125), (2, 0.9453125)] {
+        let c = oneq_circuit::extra::grover(3, rounds);
+        let sv = StateVector::run_circuit(&c);
+        // Marginal over the ancilla (which is uncomputed to |0>).
+        let data_mask = 0b111usize;
+        let p: f64 = (0..1usize << c.n_qubits())
+            .filter(|i| i & data_mask == data_mask)
+            .map(|i| sv.probability(i))
+            .sum();
+        assert!(
+            (p - expect).abs() < 1e-6,
+            "Grover({rounds}) success probability {p:.4}, want {expect:.4}"
+        );
+    }
+}
+
+#[test]
+fn deutsch_jozsa_reads_the_mask() {
+    let mask = [true, false, true];
+    let c = oneq_circuit::extra::deutsch_jozsa(&mask);
+    let sv = StateVector::run_circuit(&c);
+    let want: usize = mask
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| 1usize << i)
+        .sum();
+    let p: f64 = (0..1usize << c.n_qubits())
+        .filter(|i| i & 0b111 == want)
+        .map(|i| sv.probability(i))
+        .sum();
+    assert!((p - 1.0).abs() < 1e-9, "DJ must output the mask, got p={p}");
+}
+
+#[test]
+fn simon_outputs_are_orthogonal_to_the_period() {
+    let s = [true, false, true];
+    let c = oneq_circuit::extra::simon(&s);
+    let sv = StateVector::run_circuit(&c);
+    let s_mask = 0b101usize;
+    for (i, amp) in sv.amplitudes().iter().enumerate() {
+        if amp.norm_sqr() > 1e-12 {
+            let y = i & 0b111; // first register
+            let parity = (y & s_mask).count_ones() % 2;
+            assert_eq!(parity, 0, "outcome y={y:03b} not orthogonal to s");
+        }
+    }
+}
+
+#[test]
+fn phase_estimation_is_sharp_for_exact_phases() {
+    // theta = k / 2^bits is exactly representable: the counting register
+    // collapses to a single deterministic value; theta = 0 reads zero.
+    let c = oneq_circuit::extra::phase_estimation(3, 3.0 / 8.0);
+    let sv = StateVector::run_circuit(&c);
+    let max = sv
+        .amplitudes()
+        .iter()
+        .map(|a| a.norm_sqr())
+        .fold(0.0f64, f64::max);
+    assert!(max > 0.99, "exact phase must be deterministic, got {max:.3}");
+
+    let c0 = oneq_circuit::extra::phase_estimation(3, 0.0);
+    let sv0 = StateVector::run_circuit(&c0);
+    // Counting register zero, eigenstate qubit |1> (bit 3).
+    assert!((sv0.probability(0b1000) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn extra_benchmarks_translate_and_verify_as_patterns() {
+    assert_pattern_equals_circuit(&oneq_circuit::extra::ghz(3), 0..4);
+    assert_pattern_equals_circuit(&oneq_circuit::extra::deutsch_jozsa(&[true, false]), 0..4);
+}
+
+#[test]
+fn extra_benchmarks_compile() {
+    use oneq::{Compiler, CompilerOptions};
+    use oneq_hardware::LayerGeometry;
+    for c in [
+        oneq_circuit::extra::ghz(6),
+        oneq_circuit::extra::grover(3, 1),
+        oneq_circuit::extra::deutsch_jozsa(&[true, true, false, true]),
+        oneq_circuit::extra::simon(&[true, false, true]),
+        oneq_circuit::extra::phase_estimation(4, 0.3),
+    ] {
+        let program =
+            Compiler::new(CompilerOptions::new(LayerGeometry::new(12, 12))).compile(&c);
+        assert!(program.fusions > 0);
+    }
+}
+
+#[test]
+fn dependency_layers_scale_with_t_depth() {
+    let mut shallow = Circuit::new(4);
+    let mut deep = Circuit::new(4);
+    for q in 0..4 {
+        shallow.j(q, 0.3);
+    }
+    for _ in 0..4 {
+        deep.j(0, 0.3);
+    }
+    let l_shallow = flow::dependency_layers(&translate::from_circuit(&shallow)).len();
+    let l_deep = flow::dependency_layers(&translate::from_circuit(&deep)).len();
+    assert!(l_deep > l_shallow);
+}

@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: circuit → pattern → partition → fusion
+//! graph → mapping, end to end through the public APIs.
+
+use oneq::{Compiler, CompilerOptions};
+use oneq_bench::{BenchKind, SEED};
+use oneq_hardware::{LayerGeometry, ResourceKind};
+
+#[test]
+fn all_benchmarks_compile_at_small_sizes() {
+    for kind in BenchKind::ALL {
+        let n = if kind == BenchKind::Rca { 8 } else { 9 };
+        let circuit = kind.circuit(n, SEED);
+        let program =
+            Compiler::new(CompilerOptions::new(LayerGeometry::new(12, 12))).compile(&circuit);
+        assert!(program.depth >= 1, "{}-{n}", kind.name());
+        assert!(
+            program.fusions >= program.stats.graph_state_edges,
+            "{}-{n}: every graph-state edge costs at least one fusion",
+            kind.name()
+        );
+        assert!(
+            program.stats.fusion_graph_nodes >= program.stats.graph_state_nodes,
+            "{}-{n}: synthesis never shrinks the node count",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn compilation_is_deterministic() {
+    let circuit = BenchKind::Qft.circuit(9, SEED);
+    let compile = || {
+        let p = Compiler::new(CompilerOptions::new(LayerGeometry::new(10, 10)))
+            .compile(&circuit);
+        (p.depth, p.fusions, p.stats)
+    };
+    assert_eq!(compile(), compile());
+}
+
+#[test]
+fn oneq_beats_baseline_on_every_benchmark() {
+    for kind in BenchKind::ALL {
+        let cmp = oneq_bench::compare(kind, 16, SEED, ResourceKind::LINE3);
+        assert!(
+            cmp.depth_improvement() > 2.0,
+            "{}: depth improvement only {:.1}",
+            cmp.label,
+            cmp.depth_improvement()
+        );
+        assert!(
+            cmp.fusion_improvement() > 10.0,
+            "{}: fusion improvement only {:.1}",
+            cmp.label,
+            cmp.fusion_improvement()
+        );
+    }
+}
+
+#[test]
+fn bv_is_the_easy_case() {
+    // The paper's headline: BV (acyclic, planar, Clifford) compiles to a
+    // handful of layers and has the largest fusion improvement.
+    let bv = oneq_bench::compare(BenchKind::Bv, 16, SEED, ResourceKind::LINE3);
+    let qft = oneq_bench::compare(BenchKind::Qft, 16, SEED, ResourceKind::LINE3);
+    assert!(bv.depth <= 5, "BV-16 depth {}", bv.depth);
+    assert!(
+        bv.fusion_improvement() > qft.fusion_improvement(),
+        "BV fusion improvement ({:.0}) should exceed QFT's ({:.0})",
+        bv.fusion_improvement(),
+        qft.fusion_improvement()
+    );
+}
+
+#[test]
+fn improvement_grows_or_holds_with_size() {
+    let small = oneq_bench::compare(BenchKind::Qft, 16, SEED, ResourceKind::LINE3);
+    let large = oneq_bench::compare(BenchKind::Qft, 25, SEED, ResourceKind::LINE3);
+    assert!(
+        large.fusion_improvement() >= small.fusion_improvement() * 0.8,
+        "improvement should stay stable or grow with size"
+    );
+}
+
+#[test]
+fn all_resource_kinds_compile_qft16() {
+    for kind in [
+        ResourceKind::LINE3,
+        ResourceKind::LINE4,
+        ResourceKind::STAR4,
+        ResourceKind::RING4,
+    ] {
+        let cmp = oneq_bench::compare(BenchKind::Qft, 16, SEED, kind);
+        assert!(cmp.fusion_improvement() > 5.0, "{kind}");
+    }
+}
+
+#[test]
+fn rectangular_layers_work() {
+    let circuit = BenchKind::Qaoa.circuit(9, SEED);
+    for ratio in [1.0, 1.5, 2.1, 2.6] {
+        let geometry = LayerGeometry::from_area_and_ratio(144, ratio);
+        let program = Compiler::new(CompilerOptions::new(geometry)).compile(&circuit);
+        assert!(program.depth >= 1, "ratio {ratio}");
+    }
+}
+
+#[test]
+fn extended_layers_compile() {
+    let circuit = BenchKind::Qft.circuit(9, SEED);
+    let base = CompilerOptions::new(LayerGeometry::new(6, 6));
+    let flat = Compiler::new(base).compile(&circuit);
+    let extended = Compiler::new(base.with_extension(3)).compile(&circuit);
+    assert!(flat.depth >= 1 && extended.depth >= 1);
+    // Extension merges layers: fewer layouts, each covering 3 cycles.
+    assert!(extended.layouts.len() <= flat.layouts.len());
+}
+
+#[test]
+fn larger_physical_area_reduces_or_holds_depth() {
+    let circuit = BenchKind::Qft.circuit(16, SEED);
+    let small = Compiler::new(CompilerOptions::new(LayerGeometry::new(12, 12)))
+        .compile(&circuit);
+    let large = Compiler::new(CompilerOptions::new(LayerGeometry::new(32, 32)))
+        .compile(&circuit);
+    assert!(
+        large.depth <= small.depth + 2,
+        "area 1024 depth {} should not exceed area 144 depth {}",
+        large.depth,
+        small.depth
+    );
+}

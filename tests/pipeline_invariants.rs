@@ -1,0 +1,145 @@
+//! Structural invariants of the compilation pipeline, checked across the
+//! crate boundaries the stages communicate over.
+
+use oneq::fusion_graph;
+use oneq::mapping::{map_graph, MappingOptions};
+use oneq::partition::{partition, PartitionOptions};
+use oneq_bench::{BenchKind, SEED};
+use oneq_graph::{planarity, NodeId};
+use oneq_hardware::{LayerGeometry, ResourceKind};
+use oneq_mbqc::translate;
+use std::collections::HashSet;
+
+#[test]
+fn partitions_cover_nodes_and_edges_exactly() {
+    for kind in BenchKind::ALL {
+        let pattern = translate::from_circuit(&kind.circuit(9, SEED));
+        let result = partition(&pattern, &PartitionOptions::default());
+        let mut nodes = HashSet::new();
+        let mut edge_total = 0;
+        for p in &result.partitions {
+            for &g in &p.global_nodes {
+                assert!(nodes.insert(g), "{}: duplicated node {g}", kind.name());
+            }
+            edge_total += p.subgraph.edge_count();
+        }
+        assert_eq!(nodes.len(), pattern.node_count(), "{}", kind.name());
+        assert_eq!(
+            edge_total + result.cross_edges.len(),
+            pattern.edge_count(),
+            "{}: edges must be partition-internal or cross",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn partition_subgraphs_are_planar_under_enforcement() {
+    for kind in BenchKind::ALL {
+        let pattern = translate::from_circuit(&kind.circuit(9, SEED));
+        let result = partition(&pattern, &PartitionOptions::default());
+        for (i, p) in result.partitions.iter().enumerate() {
+            assert!(
+                planarity::is_planar(&p.subgraph),
+                "{} partition {i} must be planar",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fusion_graphs_of_planar_partitions_stay_planar() {
+    for kind in BenchKind::ALL {
+        let pattern = translate::from_circuit(&kind.circuit(9, SEED));
+        let result = partition(&pattern, &PartitionOptions::default());
+        for p in &result.partitions {
+            let fg = fusion_graph::generate(&p.subgraph, &p.full_degree, ResourceKind::LINE3);
+            assert!(
+                planarity::is_planar(fg.graph()),
+                "{}: planarity must be preserved by synthesis (paper Fig. 9)",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fusion_nodes_respect_photon_budget() {
+    for kind in BenchKind::ALL {
+        let pattern = translate::from_circuit(&kind.circuit(9, SEED));
+        let result = partition(&pattern, &PartitionOptions::default());
+        for p in &result.partitions {
+            for resource in [ResourceKind::LINE3, ResourceKind::STAR4] {
+                let fg = fusion_graph::generate(&p.subgraph, &p.full_degree, resource);
+                let budget = resource.effective().qubit_count();
+                for n in fg.graph().nodes() {
+                    assert!(
+                        fg.graph().degree(n) <= budget,
+                        "{}: node exceeds {resource} photon budget",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mapping_places_every_fusion_node_once() {
+    let pattern = translate::from_circuit(&BenchKind::Qft.circuit(9, SEED));
+    let result = partition(&pattern, &PartitionOptions::default());
+    for p in &result.partitions {
+        let fg = fusion_graph::generate(&p.subgraph, &p.full_degree, ResourceKind::LINE3);
+        let mapped = map_graph(fg.graph(), LayerGeometry::new(12, 12), &MappingOptions::default());
+        assert_eq!(mapped.placement.len(), fg.node_count());
+        // No two nodes share a cell on the same layer.
+        let mut seen: HashSet<(usize, oneq_hardware::Position)> = HashSet::new();
+        for (_, &slot) in &mapped.placement {
+            assert!(seen.insert(slot), "two nodes share cell {slot:?}");
+        }
+    }
+}
+
+#[test]
+fn mapping_fusion_count_lower_bound() {
+    // Each fusion-graph edge costs at least one fusion; routing/shuffling
+    // only add to that.
+    let pattern = translate::from_circuit(&BenchKind::Qaoa.circuit(9, SEED));
+    let result = partition(&pattern, &PartitionOptions::default());
+    for p in &result.partitions {
+        let fg = fusion_graph::generate(&p.subgraph, &p.full_degree, ResourceKind::LINE3);
+        let mapped = map_graph(fg.graph(), LayerGeometry::new(12, 12), &MappingOptions::default());
+        assert!(mapped.total_fusions() >= fg.fusion_count());
+    }
+}
+
+#[test]
+fn chain_lengths_match_full_degree() {
+    let pattern = translate::from_circuit(&BenchKind::Bv.circuit(16, SEED));
+    let result = partition(&pattern, &PartitionOptions::default());
+    for p in &result.partitions {
+        let fg = fusion_graph::generate(&p.subgraph, &p.full_degree, ResourceKind::LINE3);
+        for (local, &d) in p.full_degree.iter().enumerate() {
+            let expected = ResourceKind::LINE3.chain_nodes(d).max(1);
+            assert!(
+                fg.chain_length(local) >= expected.min(fg.chain_length(local)),
+                "chain at least the paper's count"
+            );
+            if d >= 2 {
+                assert_eq!(fg.chain_length(local), d - 1, "3-qubit law (paper Fig. 8)");
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_edges_reference_real_nodes() {
+    let pattern = translate::from_circuit(&BenchKind::Rca.circuit(8, SEED));
+    let result = partition(&pattern, &PartitionOptions::default());
+    let all: HashSet<NodeId> = pattern.nodes().collect();
+    for &(u, v) in &result.cross_edges {
+        assert!(all.contains(&u) && all.contains(&v));
+        assert!(pattern.graph().has_edge(u, v));
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! invariants DESIGN.md commits to.
+
+use oneq_graph::{biconnected, generators, mps, planarity, traversal, Graph, NodeId};
+use oneq_hardware::{fusion, ExtendedLayer, LayerGeometry, Position, ResourceKind};
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph as (n, edge list).
+fn graph_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_m).prop_map(move |pairs| {
+            let mut g = Graph::with_nodes(n);
+            for (a, b) in pairs {
+                if a != b {
+                    let _ = g.add_edge(NodeId::new(a), NodeId::new(b));
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn planar_embeddings_verify(g in graph_strategy(12, 30)) {
+        if let Some(embedding) = planarity::planar_embedding(&g) {
+            prop_assert!(embedding.verify(&g), "embedding must satisfy Euler");
+        } else {
+            // Non-planar graphs must exceed the forest bound at least.
+            prop_assert!(g.edge_count() > g.node_count().saturating_sub(1));
+        }
+    }
+
+    #[test]
+    fn planarity_is_monotone_under_edge_removal(g in graph_strategy(10, 25)) {
+        if planarity::is_planar(&g) {
+            let mut h = g.clone();
+            if let Some(e) = h.sorted_edges().first().copied() {
+                h.remove_edge(e.a(), e.b());
+                prop_assert!(planarity::is_planar(&h));
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_planar_subgraph_is_planar_and_maximal(g in graph_strategy(9, 30)) {
+        let r = mps::maximal_planar_subgraph(&g);
+        prop_assert!(planarity::is_planar(&r.subgraph));
+        prop_assert_eq!(
+            r.subgraph.edge_count() + r.removed_edges.len(),
+            g.edge_count()
+        );
+        for e in &r.removed_edges {
+            prop_assert!(
+                !mps::edge_addition_keeps_planar(&r.subgraph, e.a(), e.b()),
+                "removed edge could be re-added"
+            );
+        }
+    }
+
+    #[test]
+    fn bridges_disconnect_their_component(g in graph_strategy(10, 20)) {
+        let before = traversal::connected_components(&g).len();
+        for bridge in biconnected::bridges(&g) {
+            let mut h = g.clone();
+            h.remove_edge(bridge.a(), bridge.b());
+            let after = traversal::connected_components(&h).len();
+            prop_assert_eq!(after, before + 1, "removing a bridge splits exactly one component");
+        }
+    }
+
+    #[test]
+    fn non_bridges_preserve_connectivity(g in graph_strategy(10, 20)) {
+        let before = traversal::connected_components(&g).len();
+        let bridges = biconnected::bridges(&g);
+        for e in g.sorted_edges() {
+            if !bridges.contains(&e) {
+                let mut h = g.clone();
+                h.remove_edge(e.a(), e.b());
+                prop_assert_eq!(
+                    traversal::connected_components(&h).len(),
+                    before,
+                    "cycle edges never disconnect"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_reaches_exactly_the_component(g in graph_strategy(12, 24)) {
+        let comps = traversal::connected_components(&g);
+        for comp in comps {
+            let order = traversal::bfs_order(&g, comp[0]);
+            prop_assert_eq!(order.len(), comp.len());
+        }
+    }
+
+    #[test]
+    fn shortest_paths_are_consistent_with_distances(g in graph_strategy(10, 20)) {
+        let dist = traversal::bfs_distances(&g, NodeId::new(0));
+        for v in g.nodes() {
+            match (dist[v.index()], traversal::shortest_path(&g, NodeId::new(0), v)) {
+                (Some(d), Some(p)) => prop_assert_eq!(p.len(), d + 1),
+                (None, None) => {}
+                _ => prop_assert!(false, "distance and path disagree"),
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_size_arithmetic(m in 2usize..50, n in 2usize..50) {
+        // m+n-2: each fusion destroys exactly the two measured photons.
+        let s = fusion::fused_size(m, n);
+        prop_assert_eq!(s, m + n - 2);
+        prop_assert!(s >= m.max(n) || m.min(n) <= 2);
+    }
+
+    #[test]
+    fn chain_capacity_covers_degree(d in 1usize..40) {
+        // The paper's synthesis law: chains host every incident edge.
+        for kind in [ResourceKind::LINE3, ResourceKind::LINE4,
+                     ResourceKind::STAR4, ResourceKind::RING4] {
+            let k = kind.chain_nodes(d);
+            prop_assert!(k >= 1);
+            if kind == ResourceKind::LINE3 && d >= 2 {
+                prop_assert_eq!(k, d - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn extended_layer_roundtrip(rows in 1usize..9, cols in 1usize..9, factor in 1usize..5) {
+        let ext = ExtendedLayer::new(LayerGeometry::new(rows, cols), factor);
+        for p in ext.geometry().positions() {
+            let (sub, phys) = ext.to_physical(p);
+            prop_assert_eq!(ext.from_physical(sub, phys), p);
+        }
+    }
+
+    #[test]
+    fn manhattan_is_a_metric(a in 0usize..30, b in 0usize..30,
+                             c in 0usize..30, d in 0usize..30,
+                             e in 0usize..30, f in 0usize..30) {
+        let (p, q, r) = (Position::new(a, b), Position::new(c, d), Position::new(e, f));
+        prop_assert_eq!(p.manhattan(q), q.manhattan(p));
+        prop_assert!(p.manhattan(r) <= p.manhattan(q) + q.manhattan(r));
+        prop_assert_eq!(p.manhattan(p), 0);
+    }
+
+    #[test]
+    fn grid_subgraphs_are_planar(keep in proptest::collection::vec(any::<bool>(), 40)) {
+        let full = generators::grid(5, 5);
+        let mut g = Graph::with_nodes(25);
+        for (i, e) in full.sorted_edges().iter().enumerate() {
+            if keep.get(i).copied().unwrap_or(false) {
+                g.add_edge(e.a(), e.b()).unwrap();
+            }
+        }
+        prop_assert!(planarity::is_planar(&g));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn mapping_accounts_every_edge(g in graph_strategy(14, 20)) {
+        use oneq::mapping::{map_graph, MappingOptions};
+        let r = map_graph(&g, LayerGeometry::new(8, 8), &MappingOptions::default());
+        prop_assert!(r.total_fusions() >= g.edge_count());
+        prop_assert_eq!(r.placement.len(), g.node_count());
+    }
+
+    #[test]
+    fn fusion_graph_connection_edges_match(g in graph_strategy(12, 16)) {
+        use oneq::fusion_graph::generate;
+        let degrees: Vec<usize> = g.nodes().map(|n| g.degree(n)).collect();
+        let fg = generate(&g, &degrees, ResourceKind::LINE3);
+        prop_assert_eq!(fg.connection_fusions(), g.edge_count());
+        prop_assert_eq!(
+            fg.fusion_count(),
+            fg.intra_node_fusions() + fg.connection_fusions()
+        );
+    }
+}
