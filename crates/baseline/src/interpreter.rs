@@ -115,11 +115,7 @@ pub fn evaluate_with(
             other => panic!("unexpected gate {other} after lowering"),
         };
         let qs = gate.qubits();
-        let start = qs
-            .iter()
-            .map(|q| frontier[q.index()])
-            .max()
-            .unwrap_or(0);
+        let start = qs.iter().map(|q| frontier[q.index()]).max().unwrap_or(0);
         let end = start + cols;
         for q in qs {
             frontier[q.index()] = end;

@@ -40,11 +40,8 @@ pub fn route_on_grid(circuit: &Circuit, side: usize) -> RoutedCircuit {
 
     let mut pos = initial_placement(circuit, side);
     // occupancy: position index -> logical qubit.
-    let mut occupant: HashMap<Position, usize> = pos
-        .iter()
-        .enumerate()
-        .map(|(q, &p)| (p, q))
-        .collect();
+    let mut occupant: HashMap<Position, usize> =
+        pos.iter().enumerate().map(|(q, &p)| (p, q)).collect();
 
     let mut out = Circuit::new(n);
     let mut swaps = 0usize;
@@ -121,7 +118,10 @@ fn initial_placement(circuit: &Circuit, side: usize) -> Vec<Position> {
     for g in circuit.gates() {
         let qs = g.qubits();
         if qs.len() == 2 {
-            let (a, b) = (qs[0].index().min(qs[1].index()), qs[0].index().max(qs[1].index()));
+            let (a, b) = (
+                qs[0].index().min(qs[1].index()),
+                qs[0].index().max(qs[1].index()),
+            );
             *weight.entry((a, b)).or_default() += 1;
             degree[a.min(b)] += 1;
             degree[a.max(b)] += 1;
@@ -151,7 +151,13 @@ fn initial_placement(circuit: &Circuit, side: usize) -> Vec<Position> {
         // the heaviest interaction.
         let mut best: Option<(usize, Position)> = None; // (weight, cell)
         for &((a, b), w) in &weight_list {
-            let partner = if a == q { b } else if b == q { a } else { continue };
+            let partner = if a == q {
+                b
+            } else if b == q {
+                a
+            } else {
+                continue;
+            };
             if let Some(pp) = pos[partner] {
                 for (ci, &cell) in cells.iter().enumerate() {
                     if !used[ci] && cell.manhattan(pp) == 1 {
@@ -175,7 +181,9 @@ fn initial_placement(circuit: &Circuit, side: usize) -> Vec<Position> {
         used[ci] = true;
         pos[q] = Some(cell);
     }
-    pos.into_iter().map(|p| p.expect("all qubits placed")).collect()
+    pos.into_iter()
+        .map(|p| p.expect("all qubits placed"))
+        .collect()
 }
 
 #[cfg(test)]

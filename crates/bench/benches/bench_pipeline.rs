@@ -15,9 +15,7 @@ fn bench_pipeline(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("oneq", format!("{}-16", kind.name())),
             &circuit,
-            |b, circuit| {
-                b.iter(|| Compiler::new(options).compile(std::hint::black_box(circuit)))
-            },
+            |b, circuit| b.iter(|| Compiler::new(options).compile(std::hint::black_box(circuit))),
         );
     }
     group.finish();

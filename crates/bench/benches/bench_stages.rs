@@ -19,11 +19,7 @@ fn bench_stages(c: &mut Criterion) {
         .max_by_key(|p| p.global_nodes.len())
         .expect("QFT has partitions")
         .clone();
-    let fg = fusion_graph::generate(
-        &biggest.subgraph,
-        &biggest.full_degree,
-        ResourceKind::LINE3,
-    );
+    let fg = fusion_graph::generate(&biggest.subgraph, &biggest.full_degree, ResourceKind::LINE3);
     let geometry = LayerGeometry::square(16);
 
     let mut group = c.benchmark_group("stages-qft16");

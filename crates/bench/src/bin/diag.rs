@@ -16,8 +16,8 @@ fn main() {
     let side: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(43);
 
     let circuit = bench.circuit(n, SEED);
-    let program = Compiler::new(CompilerOptions::new(LayerGeometry::square(side)))
-        .compile(&circuit);
+    let program =
+        Compiler::new(CompilerOptions::new(LayerGeometry::square(side))).compile(&circuit);
     println!("{}-{n} on {side}x{side}:", bench.name());
     println!("  depth {}  fusions {}", program.depth, program.fusions);
     println!("  stats: {:#?}", program.stats);

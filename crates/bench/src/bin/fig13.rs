@@ -23,9 +23,8 @@ fn main() {
             depths.push(program.depth as f64);
             fusions.push(program.fusions as f64);
         }
-        let norm = |v: &[f64]| -> Vec<String> {
-            v.iter().map(|x| format!("{:.2}", x / v[0])).collect()
-        };
+        let norm =
+            |v: &[f64]| -> Vec<String> { v.iter().map(|x| format!("{:.2}", x / v[0])).collect() };
         let mut dr = vec![bench.name().to_string()];
         dr.extend(norm(&depths));
         depth_rows.push(dr);

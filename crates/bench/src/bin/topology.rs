@@ -35,7 +35,5 @@ fn main() {
         "{}",
         format_table(&["bench", "topology", "depth", "#fusions"], &rows)
     );
-    println!(
-        "expectation: triangular (6 couplings/site) <= orthogonal <= hexagonal (3/site)"
-    );
+    println!("expectation: triangular (6 couplings/site) <= orthogonal <= hexagonal (3/site)");
 }

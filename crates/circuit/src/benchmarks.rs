@@ -170,9 +170,7 @@ pub fn bv(secret: &[bool]) -> Circuit {
 pub fn bv_random<R: Rng>(len: usize, rng: &mut R) -> Circuit {
     let mut secret = vec![false; len];
     let ones = len / 2;
-    for i in 0..ones {
-        secret[i] = true;
-    }
+    secret[..ones].fill(true);
     // Fisher-Yates shuffle of the fixed-weight string.
     for i in (1..len).rev() {
         let j = rng.gen_range(0..=i);

@@ -160,7 +160,7 @@ fn cancel_adjacent_hh(circuit: &Circuit) -> Circuit {
     let mut pending: Vec<Option<usize>> = vec![None; circuit.n_qubits()];
     for &gate in circuit.gates() {
         match gate {
-            Gate::J(q, a) if a == 0.0 => {
+            Gate::J(q, 0.0) => {
                 if let Some(pos) = pending[q.index()].take() {
                     kept[pos] = None; // cancel the pair
                 } else {
@@ -249,7 +249,10 @@ mod tests {
         // leaving J(0); J(pi/4).
         assert_eq!(
             l.gates(),
-            &[Gate::J(Qubit::new(0), 0.0), Gate::J(Qubit::new(0), PI / 4.0)]
+            &[
+                Gate::J(Qubit::new(0), 0.0),
+                Gate::J(Qubit::new(0), PI / 4.0)
+            ]
         );
     }
 

@@ -184,7 +184,8 @@ fn inverse_qft(n: usize) -> Circuit {
 
 fn remap_and_append(c: &mut Circuit, sub: &mut Circuit) {
     for gate in sub.gates() {
-        c.push(*gate).expect("sub-circuit acts on a prefix of the wires");
+        c.push(*gate)
+            .expect("sub-circuit acts on a prefix of the wires");
     }
 }
 

@@ -136,8 +136,8 @@ pub fn generate(subgraph: &Graph, full_degree: &[usize], kind: ResourceKind) -> 
     let mut chain_len = Vec::with_capacity(n);
 
     // 1. Build a chain of resource states per graph-state node.
-    for v in 0..n {
-        let d = full_degree[v].max(subgraph.degree(NodeId::new(v)));
+    for (v, &degree_in_full) in full_degree.iter().enumerate().take(n) {
+        let d = degree_in_full.max(subgraph.degree(NodeId::new(v)));
         let k = feasible_chain_len(kind, d);
         let mut prev: Option<NodeId> = None;
         for i in 0..k {
@@ -316,7 +316,11 @@ mod tests {
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
         for _ in 0..5 {
             let g = generators::random_tree(30, &mut rng);
-            for kind in [ResourceKind::LINE3, ResourceKind::STAR4, ResourceKind::LINE4] {
+            for kind in [
+                ResourceKind::LINE3,
+                ResourceKind::STAR4,
+                ResourceKind::LINE4,
+            ] {
                 let fg = generate(&g, &degrees(&g), kind);
                 let budget = kind.effective().qubit_count();
                 for fnode in fg.graph().nodes() {

@@ -316,8 +316,7 @@ impl<'g> Mapper<'g> {
             self.mapped_edges.insert(edge);
         }
 
-        let (shuffle_layers, shuffle_fusions) =
-            plan_shuffles(&shuffled, self.geometry);
+        let (shuffle_layers, shuffle_fusions) = plan_shuffles(&shuffled, self.geometry);
 
         MappingResult {
             layouts: self.layouts,
@@ -471,13 +470,7 @@ impl<'g> Mapper<'g> {
     }
 
     /// Routes a fusion path between two positions on layer `layer`.
-    fn connect_on_layer(
-        &mut self,
-        layer: usize,
-        pa: Position,
-        pb: Position,
-        edge: Edge,
-    ) -> bool {
+    fn connect_on_layer(&mut self, layer: usize, pa: Position, pb: Position, edge: Edge) -> bool {
         if pa.manhattan(pb) == 1 {
             self.direct_fusions += 1;
             return true;
@@ -492,7 +485,9 @@ impl<'g> Mapper<'g> {
         match path {
             Some(cells) => {
                 for &cell in &cells {
-                    self.layouts[layer].cells.insert(cell, CellUse::Routing(edge));
+                    self.layouts[layer]
+                        .cells
+                        .insert(cell, CellUse::Routing(edge));
                 }
                 self.routed_fusions += cells.len() + 1;
                 true
@@ -617,9 +612,7 @@ impl<'g> Mapper<'g> {
             return;
         }
         self.layouts.push(LayerLayout::new(self.geometry));
-        let seed = self
-            .pick_seed_cell()
-            .expect("fresh layer always has room");
+        let seed = self.pick_seed_cell().expect("fresh layer always has room");
         self.place_node(n, seed);
     }
 }
@@ -732,8 +725,8 @@ fn route_path(
             continue;
         }
         for q in layout.free_neighbors(p) {
-            if !prev.contains_key(&q) {
-                prev.insert(q, p);
+            if let std::collections::hash_map::Entry::Vacant(e) = prev.entry(q) {
+                e.insert(p);
                 queue.push_back((q, depth + 1));
             }
         }
@@ -745,8 +738,7 @@ fn route_path(
 /// shuffle layer hosts disjoint routing paths; a new layer is allocated
 /// when paths would overlap (paper §6). Returns `(layers, fusions)`.
 fn plan_shuffles(edges: &[ShuffleEdge], geometry: LayerGeometry) -> (usize, usize) {
-    let pairs: Vec<(Position, Position)> =
-        edges.iter().map(|s| (s.from.1, s.to.1)).collect();
+    let pairs: Vec<(Position, Position)> = edges.iter().map(|s| (s.from.1, s.to.1)).collect();
     plan_position_shuffles(&pairs, geometry)
 }
 
@@ -859,24 +851,9 @@ mod tests {
             generators::complete(4),
         ] {
             let r = map_graph(&g, LayerGeometry::new(10, 10), &opts());
-            let realized = r.direct_fusions
-                + r.shuffled.len()
-                + r
-                    .layouts
-                    .iter()
-                    .map(|l| {
-                        l.cells()
-                            .values()
-                            .filter(|c| matches!(c, CellUse::Routing(_)))
-                            .count()
-                    })
-                    .sum::<usize>()
-                    .min(usize::MAX);
-            // Simpler invariant: fusions >= edge count (each edge costs at
-            // least one fusion) and every node is placed.
+            // Each edge costs at least one fusion, and every node is placed.
             assert!(r.total_fusions() >= g.edge_count());
             assert_eq!(r.placement.len(), g.node_count());
-            let _ = realized;
         }
     }
 
@@ -1020,8 +997,10 @@ mod tests {
     #[test]
     fn disabled_routing_defers_instead() {
         let g = generators::star(10);
-        let mut opts = MappingOptions::default();
-        opts.allow_routing = false;
+        let opts = MappingOptions {
+            allow_routing: false,
+            ..Default::default()
+        };
         let r = map_graph(&g, LayerGeometry::new(10, 10), &opts);
         assert_eq!(r.routed_fusions, 0);
         assert_eq!(r.placement.len(), 10);

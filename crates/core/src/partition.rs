@@ -134,11 +134,7 @@ pub fn partition(pattern: &Pattern, options: &PartitionOptions) -> PartitionResu
             if let Some(cap) = options.capacity_hint {
                 let cost: usize = nodes
                     .iter()
-                    .map(|&n| {
-                        options
-                            .resource_kind
-                            .chain_nodes(full_graph.degree(n))
-                    })
+                    .map(|&n| options.resource_kind.chain_nodes(full_graph.degree(n)))
                     .sum();
                 if cost > cap {
                     return false;
@@ -177,10 +173,7 @@ pub fn partition(pattern: &Pattern, options: &PartitionOptions) -> PartitionResu
         std::collections::HashSet::new();
     for p in &partitions {
         for e in p.subgraph.sorted_edges() {
-            let (a, b) = (
-                p.global_nodes[e.a().index()],
-                p.global_nodes[e.b().index()],
-            );
+            let (a, b) = (p.global_nodes[e.a().index()], p.global_nodes[e.b().index()]);
             let key = if a <= b {
                 (a.index(), b.index())
             } else {
@@ -212,10 +205,7 @@ fn build_partition(pattern: &Pattern, nodes: &[NodeId], enforce_planarity: bool)
         let reduced = mps::maximal_planar_subgraph(&subgraph);
         subgraph = reduced.subgraph;
     }
-    let full_degree = global_nodes
-        .iter()
-        .map(|&g| full_graph.degree(g))
-        .collect();
+    let full_degree = global_nodes.iter().map(|&g| full_graph.degree(g)).collect();
     Partition {
         global_nodes,
         subgraph,
@@ -318,8 +308,7 @@ mod tests {
     fn planarity_enforced_partitions_are_planar() {
         use oneq_graph::planarity::is_planar;
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
-        let pattern =
-            translate::from_circuit(&benchmarks::qaoa_maxcut_random(8, &mut rng));
+        let pattern = translate::from_circuit(&benchmarks::qaoa_maxcut_random(8, &mut rng));
         let result = partition(&pattern, &PartitionOptions::default());
         for p in &result.partitions {
             assert!(is_planar(&p.subgraph));

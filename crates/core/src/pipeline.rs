@@ -211,11 +211,7 @@ impl Compiler {
 
         // Stages 2 & 3 per partition.
         for part in &parts.partitions {
-            let fg = fusion_graph::generate(
-                &part.subgraph,
-                &part.full_degree,
-                opt.resource_kind,
-            );
+            let fg = fusion_graph::generate(&part.subgraph, &part.full_degree, opt.resource_kind);
             stats.fusion_graph_nodes += fg.node_count();
 
             let map = mapping::map_graph(fg.graph(), ext_geometry, &opt.mapping);
@@ -228,13 +224,11 @@ impl Compiler {
             for (local, &global) in part.global_nodes.iter().enumerate() {
                 let rep = fg.representative(local);
                 if let Some(&(layer_idx, pos)) = map.placement.get(&rep) {
-                    global_place
-                        .insert(global, (global_layer_base + layer_idx, pos));
+                    global_place.insert(global, (global_layer_base + layer_idx, pos));
                 }
             }
 
-            let partition_layers =
-                map.layouts.len() * opt.extension_factor + map.shuffle_layers;
+            let partition_layers = map.layouts.len() * opt.extension_factor + map.shuffle_layers;
             depth += partition_layers;
             global_layer_base += map.layouts.len();
             layouts.extend(map.layouts);
@@ -246,12 +240,12 @@ impl Compiler {
             let pairs: Vec<(Position, Position)> = parts
                 .cross_edges
                 .iter()
-                .filter_map(|&(u, v)| {
-                    match (global_place.get(&u), global_place.get(&v)) {
+                .filter_map(
+                    |&(u, v)| match (global_place.get(&u), global_place.get(&v)) {
                         (Some(&(_, pu)), Some(&(_, pv))) => Some((pu, pv)),
                         _ => None,
-                    }
-                })
+                    },
+                )
                 .collect();
             let (extra_layers, extra_fusions) =
                 mapping::plan_position_shuffles(&pairs, ext_geometry);

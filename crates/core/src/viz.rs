@@ -81,11 +81,7 @@ pub fn render_program(program: &CompiledProgram) -> String {
         let _ = writeln!(out, "layer {i}:");
         out.push_str(&render_layout(layout, &HashSet::new()));
     }
-    let _ = writeln!(
-        out,
-        "depth={} fusions={}",
-        program.depth, program.fusions
-    );
+    let _ = writeln!(out, "depth={} fusions={}", program.depth, program.fusions);
     out
 }
 

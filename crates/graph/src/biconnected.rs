@@ -188,7 +188,9 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
         let b = analyze(&g);
         assert_eq!(b.bridges.len(), 1);
-        assert!(b.bridges.contains(&Edge::new(NodeId::new(2), NodeId::new(3))));
+        assert!(b
+            .bridges
+            .contains(&Edge::new(NodeId::new(2), NodeId::new(3))));
         assert_eq!(b.articulation_points.len(), 1);
         assert!(b.articulation_points.contains(&NodeId::new(2)));
         assert_eq!(b.components.len(), 2);

@@ -361,12 +361,7 @@ impl Graph {
 
 impl fmt::Display for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Graph(n={}, m={})",
-            self.node_count(),
-            self.edge_count()
-        )
+        write!(f, "Graph(n={}, m={})", self.node_count(), self.edge_count())
     }
 }
 

@@ -92,8 +92,7 @@ mod tests {
     #[test]
     fn node_pairing_uses_metric() {
         let nodes: Vec<NodeId> = (0..4).map(NodeId::new).collect();
-        let (pairs, rest) =
-            pair_nodes(&nodes, |a, b| a.index().abs_diff(b.index()));
+        let (pairs, rest) = pair_nodes(&nodes, |a, b| a.index().abs_diff(b.index()));
         assert_eq!(pairs.len(), 2);
         assert!(rest.is_empty());
     }

@@ -113,8 +113,7 @@ pub fn check_planarity(graph: &Graph) -> PlanarityResult {
             Some(local_rot) => {
                 for (local_idx, rot) in local_rot.into_iter().enumerate() {
                     let global = nodes[local_idx];
-                    rotation[global.index()]
-                        .extend(rot.into_iter().map(|ln| nodes[ln.index()]));
+                    rotation[global.index()].extend(rot.into_iter().map(|ln| nodes[ln.index()]));
                 }
             }
             None => return PlanarityResult::NonPlanar,
@@ -187,8 +186,7 @@ fn demoucron(g: &Graph) -> Option<Vec<Vec<NodeId>>> {
                 }
             }
         }
-        let (fi, face_idx) =
-            choice.or(fallback).expect("at least one fragment exists");
+        let (fi, face_idx) = choice.or(fallback).expect("at least one fragment exists");
         let frag = &fragments[fi];
 
         // An alpha-path through the fragment between two attachments.
@@ -610,10 +608,9 @@ mod tests {
                 }
             }
             match check_planarity(&g) {
-                PlanarityResult::Planar(emb) => assert!(
-                    emb.verify(&g),
-                    "trial {trial}: embedding must verify"
-                ),
+                PlanarityResult::Planar(emb) => {
+                    assert!(emb.verify(&g), "trial {trial}: embedding must verify")
+                }
                 PlanarityResult::NonPlanar => {
                     panic!("trial {trial}: grid subgraph must be planar")
                 }

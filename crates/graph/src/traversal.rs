@@ -184,7 +184,10 @@ mod tests {
         // Preorder with adjacency order: 0, 1, 3, 4, 2.
         assert_eq!(
             order,
-            vec![0, 1, 3, 4, 2].into_iter().map(NodeId::new).collect::<Vec<_>>()
+            vec![0, 1, 3, 4, 2]
+                .into_iter()
+                .map(NodeId::new)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -204,10 +207,7 @@ mod tests {
     fn distances_grow_along_a_path() {
         let g = generators::path(5);
         let dist = bfs_distances(&g, NodeId::new(0));
-        assert_eq!(
-            dist,
-            vec![Some(0), Some(1), Some(2), Some(3), Some(4)]
-        );
+        assert_eq!(dist, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
     }
 
     #[test]

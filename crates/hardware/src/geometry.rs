@@ -193,8 +193,8 @@ impl LayerGeometry {
                 return path;
             }
             for q in self.neighbors(p) {
-                if !prev.contains_key(&q) {
-                    prev.insert(q, p);
+                if let std::collections::hash_map::Entry::Vacant(e) = prev.entry(q) {
+                    e.insert(p);
                     queue.push_back(q);
                 }
             }
@@ -422,13 +422,21 @@ mod tests {
             assert!(g.neighbors(p).len() <= 3, "{p}");
         }
         // Interior parity: (1,1) even sum -> couples N; (1,2) odd -> S.
-        assert!(g.neighbors(Position::new(1, 1)).contains(&Position::new(0, 1)));
-        assert!(g.neighbors(Position::new(1, 2)).contains(&Position::new(2, 2)));
+        assert!(g
+            .neighbors(Position::new(1, 1))
+            .contains(&Position::new(0, 1)));
+        assert!(g
+            .neighbors(Position::new(1, 2))
+            .contains(&Position::new(2, 2)));
     }
 
     #[test]
     fn neighbors_are_symmetric_in_every_topology() {
-        for topo in [Topology::Orthogonal, Topology::Triangular, Topology::Hexagonal] {
+        for topo in [
+            Topology::Orthogonal,
+            Topology::Triangular,
+            Topology::Hexagonal,
+        ] {
             let g = LayerGeometry::new(5, 6).with_topology(topo);
             for p in g.positions() {
                 for q in g.neighbors(p) {
@@ -443,7 +451,11 @@ mod tests {
 
     #[test]
     fn path_between_follows_the_topology() {
-        for topo in [Topology::Orthogonal, Topology::Triangular, Topology::Hexagonal] {
+        for topo in [
+            Topology::Orthogonal,
+            Topology::Triangular,
+            Topology::Hexagonal,
+        ] {
             let g = LayerGeometry::new(6, 6).with_topology(topo);
             let path = g.path_between(Position::new(0, 0), Position::new(5, 5));
             assert_eq!(path[0], Position::new(0, 0));
@@ -470,7 +482,11 @@ mod tests {
     #[test]
     fn path_between_same_cell_is_singleton() {
         let g = LayerGeometry::new(3, 3);
-        assert_eq!(g.path_between(Position::new(1, 1), Position::new(1, 1)).len(), 1);
+        assert_eq!(
+            g.path_between(Position::new(1, 1), Position::new(1, 1))
+                .len(),
+            1
+        );
     }
 
     #[test]

@@ -239,7 +239,9 @@ impl Pattern {
 
     /// Number of adaptive (non-Pauli equatorial) measurements.
     pub fn adaptive_count(&self) -> usize {
-        self.nodes().filter(|&n| self.basis(n).is_adaptive()).count()
+        self.nodes()
+            .filter(|&n| self.basis(n).is_adaptive())
+            .count()
     }
 
     /// Maximum node degree of the graph state — the quantity that forces

@@ -49,9 +49,7 @@ pub fn from_jcz_circuit(circuit: &Circuit) -> Pattern {
     let mut pattern = Pattern::new();
 
     // One input node per wire; basis fixed when the wire advances.
-    let mut current: Vec<NodeId> = (0..n)
-        .map(|_| pattern.add_node(Basis::Output))
-        .collect();
+    let mut current: Vec<NodeId> = (0..n).map(|_| pattern.add_node(Basis::Output)).collect();
     for &input in &current {
         pattern.mark_input(input);
     }

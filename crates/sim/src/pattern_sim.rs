@@ -13,8 +13,8 @@
 //! translation implements the original circuit.
 
 use crate::statevector::StateVector;
-use oneq_mbqc::{Basis, Pattern};
 use oneq_graph::NodeId;
+use oneq_mbqc::{Basis, Pattern};
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
 
@@ -63,9 +63,9 @@ pub fn run<R: Rng>(pattern: &Pattern, rng: &mut R) -> PatternRun {
     let mut outcomes: Vec<Option<bool>> = vec![None; pattern.node_count()];
 
     let activate = |sv: &mut StateVector,
-                        slot: &mut HashMap<NodeId, usize>,
-                        applied: &mut HashSet<(NodeId, NodeId)>,
-                        node: NodeId| {
+                    slot: &mut HashMap<NodeId, usize>,
+                    applied: &mut HashSet<(NodeId, NodeId)>,
+                    node: NodeId| {
         if slot.contains_key(&node) {
             return;
         }

@@ -149,9 +149,7 @@ impl Tableau {
     pub fn h(&mut self, q: usize) {
         for i in 0..2 * self.n {
             self.r[i] ^= self.x[i][q] & self.z[i][q];
-            let tmp = self.x[i][q];
-            self.x[i][q] = self.z[i][q];
-            self.z[i][q] = tmp;
+            std::mem::swap(&mut self.x[i][q], &mut self.z[i][q]);
         }
     }
 

@@ -13,11 +13,7 @@ use oneq_hardware::{ExtendedLayer, LayerGeometry, Position};
 fn main() {
     let base = LayerGeometry::new(13, 13);
     let ext = ExtendedLayer::new(base, 3);
-    println!(
-        "extended physical layer: {} (grid {})",
-        ext,
-        ext.geometry()
-    );
+    println!("extended physical layer: {} (grid {})", ext, ext.geometry());
 
     let circuit = benchmarks::qft(16);
     let options = CompilerOptions::new(base).with_extension(3);

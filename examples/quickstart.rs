@@ -22,7 +22,11 @@ fn main() {
     //    and maps it onto the RSG grid.
     let program = Compiler::new(options).compile(&circuit);
 
-    println!("circuit: {} gates on {} qubits", circuit.gate_count(), circuit.n_qubits());
+    println!(
+        "circuit: {} gates on {} qubits",
+        circuit.gate_count(),
+        circuit.n_qubits()
+    );
     println!(
         "graph state: {} nodes, {} edges, {} dependency layers",
         program.stats.graph_state_nodes,

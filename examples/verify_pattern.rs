@@ -43,9 +43,10 @@ fn main() {
             agree += 1;
         }
     }
-    println!(
-        "{agree}/{trials} random measurement branches reproduced the circuit state"
+    println!("{agree}/{trials} random measurement branches reproduced the circuit state");
+    assert_eq!(
+        agree, trials,
+        "pattern must equal the circuit on every branch"
     );
-    assert_eq!(agree, trials, "pattern must equal the circuit on every branch");
     println!("translation verified: measurement pattern == circuit unitary");
 }

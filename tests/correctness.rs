@@ -178,7 +178,10 @@ fn phase_estimation_is_sharp_for_exact_phases() {
         .iter()
         .map(|a| a.norm_sqr())
         .fold(0.0f64, f64::max);
-    assert!(max > 0.99, "exact phase must be deterministic, got {max:.3}");
+    assert!(
+        max > 0.99,
+        "exact phase must be deterministic, got {max:.3}"
+    );
 
     let c0 = oneq_circuit::extra::phase_estimation(3, 0.0);
     let sv0 = StateVector::run_circuit(&c0);
@@ -203,8 +206,7 @@ fn extra_benchmarks_compile() {
         oneq_circuit::extra::simon(&[true, false, true]),
         oneq_circuit::extra::phase_estimation(4, 0.3),
     ] {
-        let program =
-            Compiler::new(CompilerOptions::new(LayerGeometry::new(12, 12))).compile(&c);
+        let program = Compiler::new(CompilerOptions::new(LayerGeometry::new(12, 12))).compile(&c);
         assert!(program.fusions > 0);
     }
 }

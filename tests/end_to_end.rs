@@ -30,8 +30,7 @@ fn all_benchmarks_compile_at_small_sizes() {
 fn compilation_is_deterministic() {
     let circuit = BenchKind::Qft.circuit(9, SEED);
     let compile = || {
-        let p = Compiler::new(CompilerOptions::new(LayerGeometry::new(10, 10)))
-            .compile(&circuit);
+        let p = Compiler::new(CompilerOptions::new(LayerGeometry::new(10, 10))).compile(&circuit);
         (p.depth, p.fusions, p.stats)
     };
     assert_eq!(compile(), compile());
@@ -118,10 +117,8 @@ fn extended_layers_compile() {
 #[test]
 fn larger_physical_area_reduces_or_holds_depth() {
     let circuit = BenchKind::Qft.circuit(16, SEED);
-    let small = Compiler::new(CompilerOptions::new(LayerGeometry::new(12, 12)))
-        .compile(&circuit);
-    let large = Compiler::new(CompilerOptions::new(LayerGeometry::new(32, 32)))
-        .compile(&circuit);
+    let small = Compiler::new(CompilerOptions::new(LayerGeometry::new(12, 12))).compile(&circuit);
+    let large = Compiler::new(CompilerOptions::new(LayerGeometry::new(32, 32))).compile(&circuit);
     assert!(
         large.depth <= small.depth + 2,
         "area 1024 depth {} should not exceed area 144 depth {}",

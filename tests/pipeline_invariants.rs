@@ -91,11 +91,15 @@ fn mapping_places_every_fusion_node_once() {
     let result = partition(&pattern, &PartitionOptions::default());
     for p in &result.partitions {
         let fg = fusion_graph::generate(&p.subgraph, &p.full_degree, ResourceKind::LINE3);
-        let mapped = map_graph(fg.graph(), LayerGeometry::new(12, 12), &MappingOptions::default());
+        let mapped = map_graph(
+            fg.graph(),
+            LayerGeometry::new(12, 12),
+            &MappingOptions::default(),
+        );
         assert_eq!(mapped.placement.len(), fg.node_count());
         // No two nodes share a cell on the same layer.
         let mut seen: HashSet<(usize, oneq_hardware::Position)> = HashSet::new();
-        for (_, &slot) in &mapped.placement {
+        for &slot in mapped.placement.values() {
             assert!(seen.insert(slot), "two nodes share cell {slot:?}");
         }
     }
@@ -109,7 +113,11 @@ fn mapping_fusion_count_lower_bound() {
     let result = partition(&pattern, &PartitionOptions::default());
     for p in &result.partitions {
         let fg = fusion_graph::generate(&p.subgraph, &p.full_degree, ResourceKind::LINE3);
-        let mapped = map_graph(fg.graph(), LayerGeometry::new(12, 12), &MappingOptions::default());
+        let mapped = map_graph(
+            fg.graph(),
+            LayerGeometry::new(12, 12),
+            &MappingOptions::default(),
+        );
         assert!(mapped.total_fusions() >= fg.fusion_count());
     }
 }

@@ -1,0 +1,41 @@
+//! Workspace-level smoke test: the public `Compiler`/`CompiledProgram` API
+//! compiles a small benchmark circuit end to end and reports non-trivial
+//! per-stage statistics. This is the minimum bar every PR must keep green.
+
+use oneq::{Compiler, CompilerOptions};
+use oneq_circuit::benchmarks;
+use oneq_hardware::LayerGeometry;
+
+#[test]
+fn public_api_compiles_a_benchmark_circuit_with_nontrivial_stats() {
+    let circuit = benchmarks::qft(6);
+    let options = CompilerOptions::new(LayerGeometry::new(8, 8));
+    let program = Compiler::new(options).compile(&circuit);
+
+    // The paper's two headline metrics must be populated.
+    assert!(
+        program.depth >= 1,
+        "physical depth must be at least one layer"
+    );
+    assert!(program.fusions > 0, "a QFT-6 compile performs fusions");
+
+    // Every stage must have done real work.
+    let stats = &program.stats;
+    assert!(
+        stats.graph_state_nodes > 0,
+        "translation produced no graph-state nodes"
+    );
+    assert!(
+        stats.dependency_layers > 0,
+        "causal-flow analysis produced no layers"
+    );
+    assert!(stats.partitions > 0, "partitioning produced no partitions");
+    assert!(
+        stats.fusion_graph_nodes > 0,
+        "fusion-graph generation produced no nodes"
+    );
+    assert!(
+        stats.direct_fusions + stats.routed_fusions + stats.shuffle_fusions > 0,
+        "mapping produced no fusions at all"
+    );
+}
