@@ -8,8 +8,8 @@
 //! paths.
 
 use oneq_circuit::{Circuit, Gate, Qubit};
-use oneq_hardware::Position;
-use std::collections::HashMap;
+use oneq_hardware::{CellGrid, LayerGeometry, Position};
+use std::collections::BTreeMap;
 
 /// A routed circuit: every multi-qubit gate acts on grid neighbours.
 #[derive(Debug, Clone)]
@@ -39,9 +39,11 @@ pub fn route_on_grid(circuit: &Circuit, side: usize) -> RoutedCircuit {
     assert!(side * side >= n, "grid too small for {n} qubits");
 
     let mut pos = initial_placement(circuit, side);
-    // occupancy: position index -> logical qubit.
-    let mut occupant: HashMap<Position, usize> =
-        pos.iter().enumerate().map(|(q, &p)| (p, q)).collect();
+    // Occupancy on a dense grid: position -> logical qubit.
+    let mut occupant: CellGrid<usize> = CellGrid::new(LayerGeometry::square(side));
+    for (q, &p) in pos.iter().enumerate() {
+        occupant.set(p, q);
+    }
 
     let mut out = Circuit::new(n);
     let mut swaps = 0usize;
@@ -53,17 +55,17 @@ pub fn route_on_grid(circuit: &Circuit, side: usize) -> RoutedCircuit {
             // Walk qubit a toward b one grid step at a time.
             while pos[a].manhattan(pos[b]) > 1 {
                 let next = step_toward(pos[a], pos[b]);
-                if let Some(&other) = occupant.get(&next) {
+                if let Some(&other) = occupant.get(next) {
                     out.push(Gate::Swap(Qubit::new(a), Qubit::new(other)))
                         .expect("swap operands valid");
                     swaps += 1;
-                    occupant.insert(pos[a], other);
-                    occupant.insert(next, a);
+                    occupant.set(pos[a], other);
+                    occupant.set(next, a);
                     pos.swap(a, other);
                 } else {
                     // Free cell: the qubit just moves (its strip bends).
-                    occupant.remove(&pos[a]);
-                    occupant.insert(next, a);
+                    occupant.remove(pos[a]);
+                    occupant.set(next, a);
                     pos[a] = next;
                 }
             }
@@ -112,8 +114,10 @@ fn step_toward(from: Position, to: Position) -> Position {
 /// Interaction-aware initial placement.
 fn initial_placement(circuit: &Circuit, side: usize) -> Vec<Position> {
     let n = circuit.n_qubits();
-    // Interaction counts.
-    let mut weight: HashMap<(usize, usize), usize> = HashMap::new();
+    // Interaction counts, keyed by the ordered qubit pair. A BTreeMap
+    // iterates in sorted key order by construction, so placements are
+    // deterministic without a separate sort pass.
+    let mut weight: BTreeMap<(usize, usize), usize> = BTreeMap::new();
     let mut degree = vec![0usize; n];
     for g in circuit.gates() {
         let qs = g.qubits();
@@ -141,16 +145,12 @@ fn initial_placement(circuit: &Circuit, side: usize) -> Vec<Position> {
 
     let mut pos: Vec<Option<Position>> = vec![None; n];
     let mut used = vec![false; cells.len()];
-    // Deterministic iteration order for reproducible placements.
-    let mut weight_list: Vec<((usize, usize), usize)> =
-        weight.iter().map(|(&k, &v)| (k, v)).collect();
-    weight_list.sort();
 
     for &q in &order {
         // Prefer a free cell adjacent to the already-placed partner with
         // the heaviest interaction.
-        let mut best: Option<(usize, Position)> = None; // (weight, cell)
-        for &((a, b), w) in &weight_list {
+        let mut best: Option<(usize, usize)> = None; // (weight, cell index)
+        for (&(a, b), &w) in &weight {
             let partner = if a == q {
                 b
             } else if b == q {
@@ -162,24 +162,22 @@ fn initial_placement(circuit: &Circuit, side: usize) -> Vec<Position> {
                 for (ci, &cell) in cells.iter().enumerate() {
                     if !used[ci] && cell.manhattan(pp) == 1 {
                         if best.map_or(true, |(bw, _)| w > bw) {
-                            best = Some((w, cell));
+                            best = Some((w, ci));
                         }
                         break;
                     }
                 }
             }
         }
-        let cell = match best {
-            Some((_, cell)) => cell,
-            None => cells
+        let ci = match best {
+            Some((_, ci)) => ci,
+            None => used
                 .iter()
-                .copied()
-                .find(|c| !used[cells.iter().position(|x| x == c).expect("cell exists")])
-                .expect("grid has room"),
+                .position(|&u| !u)
+                .expect("grid has room for every qubit"),
         };
-        let ci = cells.iter().position(|&c| c == cell).expect("cell exists");
         used[ci] = true;
-        pos[q] = Some(cell);
+        pos[q] = Some(cells[ci]);
     }
     pos.into_iter()
         .map(|p| p.expect("all qubits placed"))

@@ -25,7 +25,7 @@ fn main() {
     for (i, l) in program.layouts.iter().enumerate().take(8) {
         println!(
             "    layout {i}: {} nodes, {} routing cells, bbox {}",
-            l.placed().len(),
+            l.placed_count(),
             l.routing_cells(),
             l.occupied_area()
         );

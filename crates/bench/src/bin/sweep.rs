@@ -1,0 +1,214 @@
+//! `sweep`: the perf-trajectory harness.
+//!
+//! Compiles the full paper benchmark suite (Table 2 sizes) across layer
+//! geometries and extension factors and writes a machine-readable
+//! `BENCH_pipeline.json` with per-stage wall time plus the paper's two
+//! metrics (physical depth, #fusions) for every configuration. CI uploads
+//! the file as an artifact, so the repo accumulates a measured perf
+//! trajectory from PR 2 onward.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin sweep [-- [--quick] [--out PATH]]
+//! ```
+//!
+//! `--quick` restricts the sweep to the smallest size per benchmark with
+//! no geometry variants (the CI smoke configuration); `--out` overrides
+//! the output path (default `BENCH_pipeline.json` in the working
+//! directory).
+
+use oneq::{Compiler, CompilerOptions};
+use oneq_bench::{BenchKind, SEED};
+use oneq_hardware::{LayerGeometry, ResourceKind};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One compile configuration of the sweep.
+struct RunConfig {
+    kind: BenchKind,
+    qubits: usize,
+    geometry: LayerGeometry,
+    geometry_label: &'static str,
+    extension_factor: usize,
+}
+
+/// One measured compile.
+struct RunRecord {
+    config: RunConfig,
+    depth: usize,
+    fusions: usize,
+    partitions: usize,
+    fusion_graph_nodes: usize,
+    translate_ns: u128,
+    partition_ns: u128,
+    fusion_graph_ns: u128,
+    mapping_ns: u128,
+    shuffle_ns: u128,
+    wall_ns: u128,
+}
+
+fn configs(quick: bool) -> Vec<RunConfig> {
+    let mut out = Vec::new();
+    for kind in BenchKind::ALL {
+        let sizes: &[usize] = if quick {
+            &kind.paper_sizes()[..1]
+        } else {
+            kind.paper_sizes()
+        };
+        for &n in sizes {
+            let side = oneq_baseline::physical_side(n, ResourceKind::LINE3);
+            let square = LayerGeometry::square(side);
+            // The paper's square array, plus (full mode) the 1.5-ratio
+            // rectangle of Fig. 13 and the x2 extended layer of Fig. 14.
+            out.push(RunConfig {
+                kind,
+                qubits: n,
+                geometry: square,
+                geometry_label: "square",
+                extension_factor: 1,
+            });
+            if !quick {
+                out.push(RunConfig {
+                    kind,
+                    qubits: n,
+                    geometry: LayerGeometry::from_area_and_ratio(side * side, 1.5),
+                    geometry_label: "ratio1.5",
+                    extension_factor: 1,
+                });
+                out.push(RunConfig {
+                    kind,
+                    qubits: n,
+                    geometry: square,
+                    geometry_label: "square",
+                    extension_factor: 2,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn run_one(config: RunConfig) -> RunRecord {
+    let circuit = config.kind.circuit(config.qubits, SEED);
+    let options = CompilerOptions::new(config.geometry).with_extension(config.extension_factor);
+    let t0 = Instant::now();
+    let program = Compiler::new(options).compile(&circuit);
+    let wall_ns = t0.elapsed().as_nanos();
+    RunRecord {
+        config,
+        depth: program.depth,
+        fusions: program.fusions,
+        partitions: program.stats.partitions,
+        fusion_graph_nodes: program.stats.fusion_graph_nodes,
+        translate_ns: program.timings.translate_ns,
+        partition_ns: program.timings.partition_ns,
+        fusion_graph_ns: program.timings.fusion_graph_ns,
+        mapping_ns: program.timings.mapping_ns,
+        shuffle_ns: program.timings.shuffle_ns,
+        wall_ns,
+    }
+}
+
+/// Renders the records as JSON (hand-rolled: every value is a number or a
+/// plain ASCII label, so no escaping is needed).
+fn to_json(records: &[RunRecord], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"oneq-bench-pipeline/v1\",");
+    let _ = writeln!(out, "  \"seed\": {SEED},");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let c = &r.config;
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"bench\": \"{}\", \"qubits\": {}, \"rows\": {}, \"cols\": {}, \
+             \"geometry\": \"{}\", \"extension_factor\": {}, \
+             \"depth\": {}, \"fusions\": {}, \"partitions\": {}, \
+             \"fusion_graph_nodes\": {}, \
+             \"timings_ns\": {{\"translate\": {}, \"partition\": {}, \
+             \"fusion_graph\": {}, \"mapping\": {}, \"shuffle\": {}, \
+             \"wall\": {}}}",
+            c.kind.name(),
+            c.qubits,
+            c.geometry.rows(),
+            c.geometry.cols(),
+            c.geometry_label,
+            c.extension_factor,
+            r.depth,
+            r.fusions,
+            r.partitions,
+            r.fusion_graph_nodes,
+            r.translate_ns,
+            r.partition_ns,
+            r.fusion_graph_ns,
+            r.mapping_ns,
+            r.shuffle_ns,
+            r.wall_ns,
+        );
+        out.push('}');
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+    let total_wall: u128 = records.iter().map(|r| r.wall_ns).sum();
+    let total_mapping: u128 = records.iter().map(|r| r.mapping_ns).sum();
+    let _ = writeln!(
+        out,
+        "  \"totals\": {{\"wall_ns\": {total_wall}, \"mapping_ns\": {total_mapping}}}"
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    let configs = configs(quick);
+    println!(
+        "sweep: {} configurations ({})",
+        configs.len(),
+        if quick { "quick" } else { "full" }
+    );
+
+    let mut records = Vec::with_capacity(configs.len());
+    for config in configs {
+        let record = run_one(config);
+        println!(
+            "  {}-{} {}x{} ext{}: depth {}, fusions {}, mapping {:.2} ms, wall {:.2} ms",
+            record.config.kind.name(),
+            record.config.qubits,
+            record.config.geometry.rows(),
+            record.config.geometry.cols(),
+            record.config.extension_factor,
+            record.depth,
+            record.fusions,
+            record.mapping_ns as f64 / 1e6,
+            record.wall_ns as f64 / 1e6,
+        );
+        records.push(record);
+    }
+
+    let total_mapping: u128 = records.iter().map(|r| r.mapping_ns).sum();
+    let total_wall: u128 = records.iter().map(|r| r.wall_ns).sum();
+    println!(
+        "total: mapping {:.2} ms, wall {:.2} ms",
+        total_mapping as f64 / 1e6,
+        total_wall as f64 / 1e6
+    );
+
+    let json = to_json(&records, quick);
+    std::fs::write(&out_path, json).expect("write BENCH_pipeline.json");
+    println!("wrote {out_path}");
+}

@@ -16,9 +16,21 @@
 //! edges become *incomplete nodes*, later connected by **inter-layer
 //! shuffling** on dedicated layers between the 2-D layouts (paper
 //! Fig. 10).
+//!
+//! # Determinism
+//!
+//! The entire placement path runs on dense, row-major grids
+//! ([`oneq_hardware::CellGrid`]) — no hashed-map iteration anywhere, so
+//! compiling the same circuit twice always yields bit-identical layouts,
+//! depth, and fusion counts. The only hashed containers left are
+//! lookup-only sets (`mapped_edges`) whose iteration order is never
+//! observed. Tie-breaks are fixed and documented: candidate cells are
+//! scored in coupling-neighbourhood order, BFS frontiers expand in that
+//! same order, and nearest-free-cell searches scan Manhattan rings in
+//! row-major order (see [`Mapper::pick_seed_cell`]).
 
 use oneq_graph::{biconnected, Edge, Graph, NodeId};
-use oneq_hardware::{LayerGeometry, Position};
+use oneq_hardware::{BfsScratch, CellGrid, LayerGeometry, Position};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// What occupies a grid cell in a layer layout.
@@ -60,83 +72,108 @@ impl Default for MappingOptions {
     }
 }
 
-/// The layout of one (possibly extended) physical layer.
+/// The layout of one (possibly extended) physical layer, backed by a
+/// dense row-major [`CellGrid`].
 #[derive(Debug, Clone)]
 pub struct LayerLayout {
-    geometry: LayerGeometry,
-    cells: HashMap<Position, CellUse>,
-    placed: HashMap<NodeId, Position>,
+    grid: CellGrid<CellUse>,
+    /// Placements in placement order — the deterministic iteration the
+    /// scoring loop uses.
+    placed: Vec<(NodeId, Position)>,
+    /// O(1) node -> position lookup (indexed by `NodeId::index`).
+    node_pos: Vec<Option<Position>>,
+    /// Auxiliary routing cells consumed (tracked incrementally).
+    routing: usize,
 }
 
 impl LayerLayout {
-    fn new(geometry: LayerGeometry) -> Self {
+    fn new(geometry: LayerGeometry, node_count: usize) -> Self {
         LayerLayout {
-            geometry,
-            cells: HashMap::new(),
-            placed: HashMap::new(),
+            grid: CellGrid::new(geometry),
+            placed: Vec::new(),
+            node_pos: vec![None; node_count],
+            routing: 0,
         }
     }
 
     /// Grid geometry of this layout.
     pub fn geometry(&self) -> LayerGeometry {
-        self.geometry
+        self.grid.geometry()
     }
 
-    /// Cell occupancy.
-    pub fn cells(&self) -> &HashMap<Position, CellUse> {
-        &self.cells
+    /// The dense occupancy grid.
+    pub fn grid(&self) -> &CellGrid<CellUse> {
+        &self.grid
     }
 
-    /// Placement of fusion-graph nodes.
-    pub fn placed(&self) -> &HashMap<NodeId, Position> {
+    /// Occupant of `p` (`None` when free or outside the layer).
+    pub fn cell(&self, p: Position) -> Option<CellUse> {
+        self.grid.get(p).copied()
+    }
+
+    /// Placements in placement order.
+    pub fn placed_nodes(&self) -> &[(NodeId, Position)] {
         &self.placed
+    }
+
+    /// Number of fusion-graph nodes placed on this layer.
+    pub fn placed_count(&self) -> usize {
+        self.placed.len()
     }
 
     /// Position of `n` if it lives on this layer.
     pub fn position_of(&self, n: NodeId) -> Option<Position> {
-        self.placed.get(&n).copied()
+        self.node_pos.get(n.index()).copied().flatten()
     }
 
     fn is_free(&self, p: Position) -> bool {
-        self.geometry.contains(p) && !self.cells.contains_key(&p)
+        self.grid.is_free(p)
     }
 
-    fn free_neighbors(&self, p: Position) -> Vec<Position> {
-        self.geometry
-            .neighbors(p)
-            .into_iter()
-            .filter(|&q| self.is_free(q))
-            .collect()
+    /// Free cells of `p`'s coupling neighbourhood, in neighbourhood order.
+    fn free_neighbors_array(
+        &self,
+        p: Position,
+    ) -> ([Position; oneq_hardware::MAX_NEIGHBORS], usize) {
+        let (nbuf, nn) = self.geometry().neighbors_array(p);
+        let mut out = [Position::new(0, 0); oneq_hardware::MAX_NEIGHBORS];
+        let mut k = 0;
+        for &q in &nbuf[..nn] {
+            if self.is_free(q) {
+                out[k] = q;
+                k += 1;
+            }
+        }
+        (out, k)
+    }
+
+    fn count_free_neighbors(&self, p: Position) -> usize {
+        let (nbuf, nn) = self.geometry().neighbors_array(p);
+        nbuf[..nn].iter().filter(|&&q| self.is_free(q)).count()
     }
 
     fn place(&mut self, n: NodeId, p: Position) {
         debug_assert!(self.is_free(p), "cell {p} already used");
-        self.cells.insert(p, CellUse::Node(n));
-        self.placed.insert(n, p);
+        self.grid.set(p, CellUse::Node(n));
+        self.placed.push((n, p));
+        self.node_pos[n.index()] = Some(p);
+    }
+
+    fn add_routing(&mut self, p: Position, edge: Edge) {
+        debug_assert!(self.is_free(p), "cell {p} already used");
+        self.grid.set(p, CellUse::Routing(edge));
+        self.routing += 1;
     }
 
     /// Number of auxiliary routing cells consumed.
     pub fn routing_cells(&self) -> usize {
-        self.cells
-            .values()
-            .filter(|c| matches!(c, CellUse::Routing(_)))
-            .count()
+        self.routing
     }
 
     /// Bounding-box area of everything mapped so far (the cost function's
-    /// `occupied_area`).
+    /// `occupied_area`); O(1) via the grid's incremental bounding box.
     pub fn occupied_area(&self) -> usize {
-        if self.cells.is_empty() {
-            return 0;
-        }
-        let (mut rmin, mut rmax, mut cmin, mut cmax) = (usize::MAX, 0, usize::MAX, 0);
-        for p in self.cells.keys() {
-            rmin = rmin.min(p.row);
-            rmax = rmax.max(p.row);
-            cmin = cmin.min(p.col);
-            cmax = cmax.max(p.col);
-        }
-        (rmax - rmin + 1) * (cmax - cmin + 1)
+        self.grid.bounding_box_area()
     }
 }
 
@@ -169,6 +206,10 @@ pub struct MappingResult {
     pub shuffle_fusions: usize,
     /// Node placements: fusion node -> (layout index, position).
     pub placement: HashMap<NodeId, (usize, Position)>,
+    /// Every input edge the mapper realized, in realization order: first
+    /// the directly mapped / in-layer routed edges, then the shuffled
+    /// ones. Contains each input edge exactly once.
+    pub realized_edges: Vec<Edge>,
 }
 
 impl MappingResult {
@@ -213,26 +254,35 @@ struct Mapper<'g> {
     /// Remaining unmapped edge count per node (the `r` of the blocking
     /// definition).
     remaining: Vec<usize>,
+    /// Lookup-only membership set; never iterated (determinism).
     mapped_edges: HashSet<Edge>,
+    /// Realized edges in realization order.
+    realized: Vec<Edge>,
     layouts: Vec<LayerLayout>,
-    placement: HashMap<NodeId, (usize, Position)>,
+    /// Node -> (layout index, position), indexed by `NodeId::index`.
+    node_place: Vec<Option<(usize, Position)>>,
     direct_fusions: usize,
     routed_fusions: usize,
+    /// Reusable BFS buffers for the in-layer router.
+    scratch: BfsScratch,
 }
 
 impl<'g> Mapper<'g> {
     fn new(graph: &'g Graph, geometry: LayerGeometry, options: MappingOptions) -> Self {
         let remaining = graph.nodes().map(|n| graph.degree(n)).collect();
+        let n = graph.node_count();
         Mapper {
             graph,
             geometry,
             options,
             remaining,
             mapped_edges: HashSet::new(),
-            layouts: vec![LayerLayout::new(geometry)],
-            placement: HashMap::new(),
+            realized: Vec::with_capacity(graph.edge_count()),
+            layouts: vec![LayerLayout::new(geometry, n)],
+            node_place: vec![None; n],
             direct_fusions: 0,
             routed_fusions: 0,
+            scratch: BfsScratch::new(),
         }
     }
 
@@ -254,7 +304,7 @@ impl<'g> Mapper<'g> {
         // possible; whatever remains becomes shuffle work.
         let mut pending = deferred;
         while !pending.is_empty() {
-            self.layouts.push(LayerLayout::new(self.geometry));
+            self.push_layer();
             let mut next = Vec::new();
             let before = self.mapped_edges.len();
             for edge in pending {
@@ -277,17 +327,17 @@ impl<'g> Mapper<'g> {
         let unplaced: Vec<NodeId> = self
             .graph
             .nodes()
-            .filter(|n| !self.placement.contains_key(n))
+            .filter(|n| self.node_place[n.index()].is_none())
             .collect();
         for n in unplaced {
-            if self.placement.contains_key(&n) {
+            if self.node_place[n.index()].is_some() {
                 continue; // placed as a neighbor hint target meanwhile
             }
             let hint = self
                 .graph
                 .neighbors(n)
                 .iter()
-                .find_map(|nb| self.placement.get(nb).map(|&(_, p)| p));
+                .find_map(|nb| self.node_place[nb.index()].map(|(_, p)| p));
             self.force_place(n, hint);
         }
 
@@ -296,27 +346,33 @@ impl<'g> Mapper<'g> {
         // grid position so the shuffle path stays short.
         let mut shuffled = Vec::new();
         for edge in pending {
-            let hint = self
-                .placement
-                .get(&edge.a())
-                .or_else(|| self.placement.get(&edge.b()))
-                .map(|&(_, p)| p);
+            let hint = self.node_place[edge.a().index()]
+                .or(self.node_place[edge.b().index()])
+                .map(|(_, p)| p);
             for n in [edge.a(), edge.b()] {
-                if !self.placement.contains_key(&n) {
+                if self.node_place[n.index()].is_none() {
                     self.force_place(n, hint);
                 }
             }
-            let (la, pa) = self.placement[&edge.a()];
-            let (lb, pb) = self.placement[&edge.b()];
+            let (la, pa) = self.node_place[edge.a().index()].expect("endpoint placed");
+            let (lb, pb) = self.node_place[edge.b().index()].expect("endpoint placed");
             shuffled.push(ShuffleEdge {
                 edge,
                 from: (la, pa),
                 to: (lb, pb),
             });
             self.mapped_edges.insert(edge);
+            self.realized.push(edge);
         }
 
         let (shuffle_layers, shuffle_fusions) = plan_shuffles(&shuffled, self.geometry);
+
+        let placement: HashMap<NodeId, (usize, Position)> = self
+            .node_place
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &slot)| slot.map(|lp| (NodeId::new(i), lp)))
+            .collect();
 
         MappingResult {
             layouts: self.layouts,
@@ -325,7 +381,8 @@ impl<'g> Mapper<'g> {
             direct_fusions: self.direct_fusions,
             routed_fusions: self.routed_fusions,
             shuffle_fusions,
-            placement: self.placement,
+            placement,
+            realized_edges: self.realized,
         }
     }
 
@@ -334,13 +391,18 @@ impl<'g> Mapper<'g> {
         self.layouts.len() - 1
     }
 
+    fn push_layer(&mut self) {
+        self.layouts
+            .push(LayerLayout::new(self.geometry, self.graph.node_count()));
+    }
+
     fn try_map_edge(&mut self, edge: Edge) -> bool {
         if self.mapped_edges.contains(&edge) {
             return true;
         }
         let (u, v) = (edge.a(), edge.b());
-        let pu = self.placement.get(&u).copied();
-        let pv = self.placement.get(&v).copied();
+        let pu = self.node_place[u.index()];
+        let pv = self.node_place[v.index()];
         let cur = self.cur();
 
         let ok = match (pu, pv) {
@@ -387,29 +449,23 @@ impl<'g> Mapper<'g> {
 
     fn mark_mapped(&mut self, edge: Edge) {
         self.mapped_edges.insert(edge);
+        self.realized.push(edge);
         self.remaining[edge.a().index()] -= 1;
         self.remaining[edge.b().index()] -= 1;
     }
 
-    /// Seed position for a fresh component: near the grid center first,
-    /// then anywhere free.
+    /// Seed position for a fresh component: the nearest free cell to the
+    /// grid center, found by a deterministic Manhattan ring scan
+    /// (see [`nearest_free_cell`] for the tie-break rule).
     fn pick_seed_cell(&self) -> Option<Position> {
-        let layout = &self.layouts[self.cur()];
         let center = Position::new(self.geometry.rows() / 2, self.geometry.cols() / 2);
-        if layout.is_free(center) {
-            return Some(center);
-        }
-        // Nearest free cell to the center (BFS ring scan).
-        self.geometry
-            .positions()
-            .filter(|&p| layout.is_free(p))
-            .min_by_key(|&p| p.manhattan(center))
+        nearest_free_cell(&self.layouts[self.cur()], center)
     }
 
     fn place_node(&mut self, n: NodeId, p: Position) {
         let cur = self.cur();
         self.layouts[cur].place(n, p);
-        self.placement.insert(n, (cur, p));
+        self.node_place[n.index()] = Some((cur, p));
     }
 
     /// Places `node` connected to the already-placed `anchor`, directly
@@ -417,12 +473,15 @@ impl<'g> Mapper<'g> {
     /// cells are scored with the paper's cost function.
     fn attach_new_node(&mut self, node: NodeId, anchor: NodeId, edge: Edge) -> bool {
         let cur = self.cur();
-        let (al, ap) = self.placement[&anchor];
+        let (al, ap) = self.node_place[anchor.index()].expect("anchor placed");
         if al != cur {
             return false;
         }
-        // Direct candidates: free neighbors of the anchor.
-        let direct: Vec<Position> = self.layouts[cur].free_neighbors(ap);
+        // Direct candidates: free neighbors of the anchor, scored in
+        // neighbourhood order with strict improvement — ties keep the
+        // earliest candidate.
+        let (nbuf, nn) = self.layouts[cur].free_neighbors_array(ap);
+        let direct = &nbuf[..nn];
         let mut best: Option<(f64, Position, Option<Vec<Position>>)> = None;
         for &cand in direct.iter().take(self.options.candidate_limit) {
             let cost = self.score_placement(node, cand, &[]);
@@ -435,7 +494,15 @@ impl<'g> Mapper<'g> {
         // placement is impossible or the node still has many edges.
         let need_room = self.remaining[node.index()] > direct.len();
         if self.options.allow_routing && (direct.is_empty() || need_room) {
-            if let Some((path, dest)) = self.route_to_open_area(ap, node) {
+            let needed = self.remaining[node.index()].saturating_sub(1);
+            let routed = route_to_open_area(
+                &self.layouts[cur],
+                ap,
+                needed,
+                self.options.max_route_len,
+                &mut self.scratch,
+            );
+            if let Some((path, dest)) = routed {
                 let cost = self.score_placement(node, dest, &path);
                 if best.as_ref().map_or(true, |(b, _, _)| cost < *b) {
                     best = Some((cost, dest, Some(path)));
@@ -447,7 +514,7 @@ impl<'g> Mapper<'g> {
                 if let Some(path) = maybe_path {
                     let cur = self.cur();
                     for &cell in &path {
-                        self.layouts[cur].cells.insert(cell, CellUse::Routing(edge));
+                        self.layouts[cur].add_routing(cell, edge);
                     }
                     self.routed_fusions += path.len() + 1;
                 } else {
@@ -478,16 +545,17 @@ impl<'g> Mapper<'g> {
         if !self.options.allow_routing {
             return false;
         }
-        let path = {
-            let layout = &self.layouts[layer];
-            route_path(layout, pa, pb, self.options.max_route_len)
-        };
+        let path = route_path(
+            &self.layouts[layer],
+            pa,
+            pb,
+            self.options.max_route_len,
+            &mut self.scratch,
+        );
         match path {
             Some(cells) => {
                 for &cell in &cells {
-                    self.layouts[layer]
-                        .cells
-                        .insert(cell, CellUse::Routing(edge));
+                    self.layouts[layer].add_routing(cell, edge);
                 }
                 self.routed_fusions += cells.len() + 1;
                 true
@@ -496,98 +564,53 @@ impl<'g> Mapper<'g> {
         }
     }
 
-    /// BFS through free cells from `from`'s neighborhood to any free cell
-    /// with enough free neighbors for `node`'s remaining edges.
-    fn route_to_open_area(
-        &self,
-        from: Position,
-        node: NodeId,
-    ) -> Option<(Vec<Position>, Position)> {
-        let layout = &self.layouts[self.cur()];
-        let needed = self.remaining[node.index()].saturating_sub(1);
-        let mut prev: HashMap<Position, Position> = HashMap::new();
-        let mut queue = VecDeque::new();
-        for q in layout.free_neighbors(from) {
-            prev.insert(q, from);
-            queue.push_back((q, 1usize));
-        }
-        while let Some((p, depth)) = queue.pop_front() {
-            // Destination test: the paper requires routed paths of length
-            // >= 2 (at least one auxiliary state between the endpoints).
-            if depth >= 2 && layout.free_neighbors(p).len() >= needed.min(3) {
-                // Reconstruct: cells strictly between `from` and `p`.
-                let mut path = Vec::new();
-                let mut cur = prev[&p];
-                while cur != from {
-                    path.push(cur);
-                    cur = prev[&cur];
-                }
-                path.reverse();
-                return Some((path, p));
-            }
-            if depth >= self.options.max_route_len {
-                continue;
-            }
-            for q in layout.free_neighbors(p) {
-                if !prev.contains_key(&q) && q != from {
-                    prev.insert(q, p);
-                    queue.push_back((q, depth + 1));
-                }
-            }
-        }
-        None
-    }
-
     /// The paper's heuristic cost of a tentative placement.
+    ///
+    /// All terms run on the dense grid: the area term extends the grid's
+    /// incremental bounding box with the tentative cells (O(path)), and
+    /// the blocking terms iterate placements in placement order with O(1)
+    /// free-cell queries — no per-candidate set construction.
     fn score_placement(&self, node: NodeId, cand: Position, path: &[Position]) -> f64 {
         let layout = &self.layouts[self.cur()];
         // Occupied-area term with the tentative cells added.
-        let (mut rmin, mut rmax, mut cmin, mut cmax) = (usize::MAX, 0usize, usize::MAX, 0usize);
+        let (mut rmin, mut rmax, mut cmin, mut cmax) = layout
+            .grid()
+            .bounding_box()
+            .unwrap_or((cand.row, cand.row, cand.col, cand.col));
         let mut consider = |p: Position| {
             rmin = rmin.min(p.row);
             rmax = rmax.max(p.row);
             cmin = cmin.min(p.col);
             cmax = cmax.max(p.col);
         };
-        for p in layout.cells.keys() {
-            consider(*p);
-        }
         consider(cand);
         for &p in path {
             consider(p);
         }
         let area = (rmax - rmin + 1) * (cmax - cmin + 1);
 
-        // Blocking terms over placed nodes, with the tentative occupancy.
-        let occupied: HashSet<Position> = layout
-            .cells
-            .keys()
-            .copied()
-            .chain(std::iter::once(cand))
-            .chain(path.iter().copied())
-            .collect();
+        // Blocking terms over placed nodes, with the tentative occupancy
+        // (the candidate cell plus the routed path, if any).
+        let tentatively_free = |q: Position| layout.is_free(q) && q != cand && !path.contains(&q);
+        let geometry = self.geometry;
         let mut partially = 0usize;
         let mut totally = 0usize;
-        let mut assess = |_n: NodeId, p: Position, r: usize| {
+        let mut assess = |p: Position, r: usize| {
             if r == 0 {
                 return;
             }
-            let free = self
-                .geometry
-                .neighbors(p)
-                .into_iter()
-                .filter(|q| !occupied.contains(q))
-                .count();
+            let (nbuf, nn) = geometry.neighbors_array(p);
+            let free = nbuf[..nn].iter().filter(|&&q| tentatively_free(q)).count();
             if free == 0 {
                 totally += 1;
             } else if r > free {
                 partially += 1;
             }
         };
-        for (&n, &p) in &layout.placed {
-            assess(n, p, self.remaining[n.index()]);
+        for &(n, p) in layout.placed_nodes() {
+            assess(p, self.remaining[n.index()]);
         }
-        assess(node, cand, self.remaining[node.index()].saturating_sub(1));
+        assess(cand, self.remaining[node.index()].saturating_sub(1));
 
         area as f64 + partially as f64 + self.options.alpha * totally as f64
     }
@@ -600,21 +623,51 @@ impl<'g> Mapper<'g> {
             self.geometry.rows() / 2,
             self.geometry.cols() / 2,
         ));
-        let found = {
-            let layout = &self.layouts[self.cur()];
-            self.geometry
-                .positions()
-                .filter(|&p| layout.is_free(p))
-                .min_by_key(|&p| p.manhattan(target))
-        };
-        if let Some(p) = found {
+        if let Some(p) = nearest_free_cell(&self.layouts[self.cur()], target) {
             self.place_node(n, p);
             return;
         }
-        self.layouts.push(LayerLayout::new(self.geometry));
+        self.push_layer();
         let seed = self.pick_seed_cell().expect("fresh layer always has room");
         self.place_node(n, seed);
     }
+}
+
+/// The free cell nearest to `target` by Manhattan distance, or `None` when
+/// the layer is full.
+///
+/// Scans Manhattan rings of increasing radius around `target`; within a
+/// ring, cells are visited in row-major order. The tie-break rule is
+/// therefore: **smallest distance first, then smallest row, then smallest
+/// column** — fixed by construction, independent of any container's
+/// iteration order, and O(cells visited) instead of a full-area scan.
+fn nearest_free_cell(layout: &LayerLayout, target: Position) -> Option<Position> {
+    let geom = layout.geometry();
+    // Any in-grid cell is within rows+cols of any in-grid target.
+    let max_d = geom.rows() + geom.cols();
+    for d in 0..=max_d {
+        let rlo = target.row.saturating_sub(d);
+        let rhi = (target.row + d).min(geom.rows() - 1);
+        for r in rlo..=rhi {
+            let k = d - target.row.abs_diff(r);
+            if let Some(c) = target.col.checked_sub(k) {
+                let p = Position::new(r, c);
+                if layout.is_free(p) {
+                    return Some(p);
+                }
+            }
+            if k > 0 {
+                let c = target.col + k;
+                if c < geom.cols() {
+                    let p = Position::new(r, c);
+                    if layout.is_free(p) {
+                        return Some(p);
+                    }
+                }
+            }
+        }
+    }
+    None
 }
 
 /// Cycle-prioritized breadth-first edge order (paper §6): starting from a
@@ -695,39 +748,111 @@ pub fn plain_bfs_edge_order(graph: &Graph) -> Vec<Edge> {
     order
 }
 
+/// Row-major position of a flat cell index.
+fn pos_at(geometry: LayerGeometry, idx: usize) -> Position {
+    Position::new(idx / geometry.cols(), idx % geometry.cols())
+}
+
 /// BFS a free-cell path between `a` and `b` (exclusive); `None` when no
 /// path of length `<= max_len` exists. Paths have at least one cell
-/// (length >= 2 edges), matching the hardware constraint.
+/// (length >= 2 edges), matching the hardware constraint. Runs entirely on
+/// the dense grid with the reusable [`BfsScratch`] — no per-call maps.
 fn route_path(
     layout: &LayerLayout,
     a: Position,
     b: Position,
     max_len: usize,
+    bfs: &mut BfsScratch,
 ) -> Option<Vec<Position>> {
-    let mut prev: HashMap<Position, Position> = HashMap::new();
-    let mut queue = VecDeque::new();
-    for q in layout.free_neighbors(a) {
-        prev.insert(q, a);
-        queue.push_back((q, 1usize));
+    let geom = layout.geometry();
+    bfs.begin(geom.area());
+    let a_idx = geom.index_of(a);
+    bfs.try_visit(a_idx, a_idx);
+    let (nbuf, nn) = geom.neighbors_array(a);
+    for &q in &nbuf[..nn] {
+        if layout.is_free(q) {
+            let qi = geom.index_of(q);
+            bfs.try_visit(qi, a_idx);
+            bfs.queue.push_back((qi as u32, 1));
+        }
     }
-    while let Some((p, depth)) = queue.pop_front() {
+    while let Some((pi, depth)) = bfs.queue.pop_front() {
+        let pi = pi as usize;
+        let p = pos_at(geom, pi);
         if p.manhattan(b) == 1 {
             let mut path = vec![p];
-            let mut cur = p;
-            while prev[&cur] != a {
-                cur = prev[&cur];
-                path.push(cur);
+            let mut cur = pi;
+            while bfs.prev(cur) != a_idx {
+                cur = bfs.prev(cur);
+                path.push(pos_at(geom, cur));
             }
             path.reverse();
             return Some(path);
         }
-        if depth >= max_len {
+        if depth as usize >= max_len {
             continue;
         }
-        for q in layout.free_neighbors(p) {
-            if let std::collections::hash_map::Entry::Vacant(e) = prev.entry(q) {
-                e.insert(p);
-                queue.push_back((q, depth + 1));
+        let (nbuf, nn) = geom.neighbors_array(p);
+        for &q in &nbuf[..nn] {
+            if layout.is_free(q) {
+                let qi = geom.index_of(q);
+                if bfs.try_visit(qi, pi) {
+                    bfs.queue.push_back((qi as u32, depth + 1));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// BFS through free cells from `from`'s neighborhood to any free cell
+/// with at least `needed.min(3)` free neighbors. Returns the cells
+/// strictly between `from` and the destination, plus the destination.
+fn route_to_open_area(
+    layout: &LayerLayout,
+    from: Position,
+    needed: usize,
+    max_len: usize,
+    bfs: &mut BfsScratch,
+) -> Option<(Vec<Position>, Position)> {
+    let geom = layout.geometry();
+    bfs.begin(geom.area());
+    let from_idx = geom.index_of(from);
+    bfs.try_visit(from_idx, from_idx);
+    let (nbuf, nn) = geom.neighbors_array(from);
+    for &q in &nbuf[..nn] {
+        if layout.is_free(q) {
+            let qi = geom.index_of(q);
+            bfs.try_visit(qi, from_idx);
+            bfs.queue.push_back((qi as u32, 1));
+        }
+    }
+    while let Some((pi, depth)) = bfs.queue.pop_front() {
+        let pi = pi as usize;
+        let p = pos_at(geom, pi);
+        // Destination test: the paper requires routed paths of length
+        // >= 2 (at least one auxiliary state between the endpoints).
+        if depth >= 2 && layout.count_free_neighbors(p) >= needed.min(3) {
+            // Reconstruct: cells strictly between `from` and `p`.
+            let mut path = Vec::new();
+            let mut cur = bfs.prev(pi);
+            while cur != from_idx {
+                path.push(pos_at(geom, cur));
+                cur = bfs.prev(cur);
+            }
+            path.reverse();
+            return Some((path, p));
+        }
+        if depth as usize >= max_len {
+            continue;
+        }
+        let (nbuf, nn) = geom.neighbors_array(p);
+        for &q in &nbuf[..nn] {
+            if layout.is_free(q) {
+                let qi = geom.index_of(q);
+                if bfs.try_visit(qi, pi) {
+                    bfs.queue.push_back((qi as u32, depth + 1));
+                }
             }
         }
     }
@@ -746,11 +871,12 @@ fn plan_shuffles(edges: &[ShuffleEdge], geometry: LayerGeometry) -> (usize, usiz
 /// leftovers and for cross-partition edges (paper §4, dynamic allocation
 /// of additional physical layers between partitions).
 ///
-/// Pairs are connected by L-shaped paths in ascending distance order; a
-/// fresh layer is allocated whenever a path would overlap cells already
-/// used on the current shuffle layer. Returns `(layers, fusions)` where
-/// each path costs `cells + 1` fusions (the spatial chain plus the two
-/// temporal hops into and out of the shuffle layer).
+/// Pairs are connected by shortest coupled paths in ascending distance
+/// order (stable sort: equal-distance pairs stay in input order); a fresh
+/// layer is allocated whenever a path would overlap cells already used on
+/// the current shuffle layer. Returns `(layers, fusions)` where each path
+/// costs `cells + 1` fusions (the spatial chain plus the two temporal
+/// hops into and out of the shuffle layer).
 pub fn plan_position_shuffles(
     pairs: &[(Position, Position)],
     geometry: LayerGeometry,
@@ -765,26 +891,28 @@ pub fn plan_position_shuffles(
     // must be disjoint per layer; the endpoint cells may be shared (each
     // deferred edge spends a different photon of the endpoint's chain on
     // its temporal hop).
-    let mut layers: Vec<HashSet<Position>> = vec![HashSet::new()];
+    let mut layers: Vec<CellGrid<()>> = vec![CellGrid::new(geometry)];
     let mut fusions = 0usize;
     for (pa, pb) in sorted {
         let cells = geometry.path_between(*pa, *pb);
-        let interior: Vec<Position> = if cells.len() > 2 {
-            cells[1..cells.len() - 1].to_vec()
+        let interior: &[Position] = if cells.len() > 2 {
+            &cells[1..cells.len() - 1]
         } else {
-            Vec::new()
+            &[]
         };
         let slot = layers
             .iter()
-            .position(|used| interior.iter().all(|c| !used.contains(c)));
+            .position(|used| interior.iter().all(|&c| used.is_free(c)));
         let slot = match slot {
             Some(s) => s,
             None => {
-                layers.push(HashSet::new());
+                layers.push(CellGrid::new(geometry));
                 layers.len() - 1
             }
         };
-        layers[slot].extend(interior);
+        for &c in interior {
+            layers[slot].set(c, ());
+        }
         // Fusions: temporal hop in, spatial along the path, temporal out.
         fusions += cells.len() + 1;
     }
@@ -854,6 +982,12 @@ mod tests {
             // Each edge costs at least one fusion, and every node is placed.
             assert!(r.total_fusions() >= g.edge_count());
             assert_eq!(r.placement.len(), g.node_count());
+            // The realized-edge ledger covers the input edge set exactly.
+            let mut realized = r.realized_edges.clone();
+            realized.sort();
+            let mut input = g.sorted_edges();
+            input.sort();
+            assert_eq!(realized, input);
         }
     }
 
@@ -926,7 +1060,7 @@ mod tests {
 
     #[test]
     fn occupied_area_tracks_bounding_box() {
-        let mut layout = LayerLayout::new(LayerGeometry::new(8, 8));
+        let mut layout = LayerLayout::new(LayerGeometry::new(8, 8), 2);
         assert_eq!(layout.occupied_area(), 0);
         layout.place(NodeId::new(0), Position::new(2, 2));
         assert_eq!(layout.occupied_area(), 1);
@@ -1012,5 +1146,84 @@ mod tests {
         let r = map_graph(&g, LayerGeometry::new(4, 4), &opts());
         assert_eq!(r.total_fusions(), 0);
         assert_eq!(r.depth(), 1); // one (empty) layer allocated
+    }
+
+    #[test]
+    fn nearest_free_cell_breaks_ties_row_major() {
+        // All four distance-1 neighbours of the target free: smallest row
+        // wins; with the north cell occupied, west (same row as target,
+        // smaller column) wins over east and south.
+        let mut layout = LayerLayout::new(LayerGeometry::new(5, 5), 4);
+        let target = Position::new(2, 2);
+        layout.place(NodeId::new(0), target);
+        assert_eq!(
+            nearest_free_cell(&layout, target),
+            Some(Position::new(1, 2)),
+            "smallest row first"
+        );
+        layout.place(NodeId::new(1), Position::new(1, 2));
+        assert_eq!(
+            nearest_free_cell(&layout, target),
+            Some(Position::new(2, 1)),
+            "then smallest column"
+        );
+    }
+
+    #[test]
+    fn nearest_free_cell_on_full_layer_is_none() {
+        let geom = LayerGeometry::new(2, 2);
+        let mut layout = LayerLayout::new(geom, 4);
+        for (i, p) in geom.positions().enumerate() {
+            layout.place(NodeId::new(i), p);
+        }
+        assert_eq!(nearest_free_cell(&layout, Position::new(0, 0)), None);
+    }
+
+    #[test]
+    fn nearest_free_cell_clips_rings_at_the_border() {
+        // Target in a corner: rings extend off-grid and must be clipped.
+        let mut layout = LayerLayout::new(LayerGeometry::new(3, 3), 1);
+        layout.place(NodeId::new(0), Position::new(0, 0));
+        assert_eq!(
+            nearest_free_cell(&layout, Position::new(0, 0)),
+            Some(Position::new(0, 1))
+        );
+    }
+
+    #[test]
+    fn mapping_twice_is_bit_identical() {
+        for g in [
+            generators::grid(5, 5),
+            generators::star(12),
+            generators::complete(5),
+        ] {
+            let a = map_graph(&g, LayerGeometry::new(7, 7), &opts());
+            let b = map_graph(&g, LayerGeometry::new(7, 7), &opts());
+            assert_eq!(a.placement, b.placement);
+            assert_eq!(a.realized_edges, b.realized_edges);
+            assert_eq!(a.total_fusions(), b.total_fusions());
+            assert_eq!(a.depth(), b.depth());
+            assert_eq!(a.layouts.len(), b.layouts.len());
+            for (la, lb) in a.layouts.iter().zip(&b.layouts) {
+                assert_eq!(la.placed_nodes(), lb.placed_nodes());
+                let cells_a: Vec<(Position, CellUse)> =
+                    la.grid().iter().map(|(p, &c)| (p, c)).collect();
+                let cells_b: Vec<(Position, CellUse)> =
+                    lb.grid().iter().map(|(p, &c)| (p, c)).collect();
+                assert_eq!(cells_a, cells_b);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_occupancy_equals_nodes_plus_routing() {
+        let g = generators::star(12);
+        let r = map_graph(&g, LayerGeometry::new(10, 10), &opts());
+        for layout in &r.layouts {
+            assert_eq!(
+                layout.grid().occupied_cells(),
+                layout.placed_count() + layout.routing_cells()
+            );
+        }
     }
 }

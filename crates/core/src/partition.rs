@@ -167,10 +167,12 @@ pub fn partition(pattern: &Pattern, options: &PartitionOptions) -> PartitionResu
     }
     flush(&mut current, &mut partitions);
 
-    // Cross edges: every full-graph edge not inside some partition.
+    // Cross edges: every full-graph edge not inside some partition. The
+    // in-partition edge set is a sorted vector probed by binary search —
+    // deterministic by construction (no hashed containers on this path)
+    // and cache-friendly.
     let mut cross_edges = Vec::new();
-    let mut in_partition_edges: std::collections::HashSet<(usize, usize)> =
-        std::collections::HashSet::new();
+    let mut in_partition_edges: Vec<(usize, usize)> = Vec::new();
     for p in &partitions {
         for e in p.subgraph.sorted_edges() {
             let (a, b) = (p.global_nodes[e.a().index()], p.global_nodes[e.b().index()]);
@@ -179,12 +181,13 @@ pub fn partition(pattern: &Pattern, options: &PartitionOptions) -> PartitionResu
             } else {
                 (b.index(), a.index())
             };
-            in_partition_edges.insert(key);
+            in_partition_edges.push(key);
         }
     }
+    in_partition_edges.sort_unstable();
     for e in full_graph.sorted_edges() {
         let key = (e.a().index(), e.b().index());
-        if !in_partition_edges.contains(&key) {
+        if in_partition_edges.binary_search(&key).is_err() {
             cross_edges.push((e.a(), e.b()));
         }
     }

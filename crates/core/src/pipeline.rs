@@ -9,6 +9,7 @@ use oneq_hardware::{ExtendedLayer, LayerGeometry, Position, ResourceKind};
 use oneq_mbqc::{translate, Pattern};
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 
 /// Compiler configuration.
 #[derive(Debug, Clone, Copy)]
@@ -86,6 +87,37 @@ pub struct StageStats {
     pub shuffle_fusions: usize,
 }
 
+/// Wall-clock time spent in each pipeline stage, in nanoseconds.
+///
+/// Timings are measurement artifacts, deliberately kept *outside*
+/// [`StageStats`]: two compiles of the same circuit must produce identical
+/// `StageStats` (the determinism guarantee) while their timings naturally
+/// differ.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Circuit → measurement-pattern translation.
+    pub translate_ns: u128,
+    /// Dependency-layer grouping & scheduling (paper §4).
+    pub partition_ns: u128,
+    /// Fusion-graph generation across all partitions (paper §5).
+    pub fusion_graph_ns: u128,
+    /// In-layer mapping & routing across all partitions (paper §6).
+    pub mapping_ns: u128,
+    /// Cross-partition shuffle planning.
+    pub shuffle_ns: u128,
+}
+
+impl StageTimings {
+    /// Sum of all stage timings.
+    pub fn total_ns(&self) -> u128 {
+        self.translate_ns
+            + self.partition_ns
+            + self.fusion_graph_ns
+            + self.mapping_ns
+            + self.shuffle_ns
+    }
+}
+
 /// The compiled program: the paper's two metrics plus the layouts.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
@@ -97,6 +129,8 @@ pub struct CompiledProgram {
     pub stats: StageStats,
     /// In-layer layouts (extended layers), for inspection/visualization.
     pub layouts: Vec<LayerLayout>,
+    /// Per-stage wall-clock timings of this compilation.
+    pub timings: StageTimings,
 }
 
 impl CompiledProgram {
@@ -162,8 +196,12 @@ impl Compiler {
     /// Compiles a circuit end to end (translation → partition → fusion
     /// graph → mapping & routing).
     pub fn compile(&self, circuit: &Circuit) -> CompiledProgram {
+        let t0 = Instant::now();
         let pattern = translate::from_circuit(circuit);
-        self.compile_pattern(&pattern)
+        let translate_ns = t0.elapsed().as_nanos();
+        let mut program = self.compile_pattern(&pattern);
+        program.timings.translate_ns = translate_ns;
+        program
     }
 
     /// Compiles an already-translated measurement pattern.
@@ -182,6 +220,8 @@ impl Compiler {
             .saturating_mul(8)
             / 100;
 
+        let mut timings = StageTimings::default();
+
         // Stage 1: partition & schedule.
         let part_opts = PartitionOptions {
             max_dependency_layers: opt.max_dependency_layers,
@@ -189,8 +229,10 @@ impl Compiler {
             enforce_planarity: opt.enforce_planarity,
             resource_kind: opt.resource_kind,
         };
+        let t_part = Instant::now();
         let parts = partition::partition(pattern, &part_opts);
         let dep_layers = oneq_mbqc::flow::dependency_layers(pattern).len();
+        timings.partition_ns = t_part.elapsed().as_nanos();
 
         let mut stats = StageStats {
             graph_state_nodes: pattern.node_count(),
@@ -211,10 +253,14 @@ impl Compiler {
 
         // Stages 2 & 3 per partition.
         for part in &parts.partitions {
+            let t_fg = Instant::now();
             let fg = fusion_graph::generate(&part.subgraph, &part.full_degree, opt.resource_kind);
+            timings.fusion_graph_ns += t_fg.elapsed().as_nanos();
             stats.fusion_graph_nodes += fg.node_count();
 
+            let t_map = Instant::now();
             let map = mapping::map_graph(fg.graph(), ext_geometry, &opt.mapping);
+            timings.mapping_ns += t_map.elapsed().as_nanos();
             stats.direct_fusions += map.direct_fusions;
             stats.routed_fusions += map.routed_fusions;
             stats.shuffle_fusions += map.shuffle_fusions;
@@ -237,6 +283,7 @@ impl Compiler {
         // Cross-partition edges: inter-layer shuffling between the
         // partitions' layouts (paper §4/§6).
         if !parts.cross_edges.is_empty() {
+            let t_shuffle = Instant::now();
             let pairs: Vec<(Position, Position)> = parts
                 .cross_edges
                 .iter()
@@ -252,6 +299,7 @@ impl Compiler {
             depth += extra_layers;
             fusions += extra_fusions;
             stats.shuffle_fusions += extra_fusions;
+            timings.shuffle_ns = t_shuffle.elapsed().as_nanos();
         }
 
         CompiledProgram {
@@ -259,6 +307,7 @@ impl Compiler {
             fusions,
             stats,
             layouts,
+            timings,
         }
     }
 }

@@ -33,9 +33,9 @@ pub fn render_layout(layout: &LayerLayout, incomplete: &HashSet<NodeId>) -> Stri
     let mut out = String::with_capacity((geom.cols() + 1) * geom.rows());
     for r in 0..geom.rows() {
         for c in 0..geom.cols() {
-            let ch = match layout.cells().get(&Position::new(r, c)) {
+            let ch = match layout.cell(Position::new(r, c)) {
                 Some(CellUse::Node(n)) => {
-                    if incomplete.contains(n) {
+                    if incomplete.contains(&n) {
                         'x'
                     } else {
                         'o'

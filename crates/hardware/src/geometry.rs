@@ -2,6 +2,9 @@
 
 use std::fmt;
 
+/// Largest neighbourhood size across all topologies (triangular: 6).
+pub const MAX_NEIGHBORS: usize = 6;
+
 /// A grid coordinate inside a physical layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Position {
@@ -130,10 +133,20 @@ impl LayerGeometry {
     /// The fusion-coupled neighbourhood of `p` (topology-dependent),
     /// clipped to the layer.
     pub fn neighbors(&self, p: Position) -> Vec<Position> {
-        let mut out = Vec::with_capacity(6);
+        let (buf, n) = self.neighbors_array(p);
+        buf[..n].to_vec()
+    }
+
+    /// Allocation-free variant of [`LayerGeometry::neighbors`] for hot
+    /// loops: returns a fixed buffer plus the valid count. Order matches
+    /// `neighbors` exactly (routers rely on it for stable tie-breaking).
+    pub fn neighbors_array(&self, p: Position) -> ([Position; MAX_NEIGHBORS], usize) {
+        let mut out = [Position::new(0, 0); MAX_NEIGHBORS];
+        let mut n = 0usize;
         let mut push = |r: isize, c: isize| {
             if r >= 0 && c >= 0 && (r as usize) < self.rows && (c as usize) < self.cols {
-                out.push(Position::new(r as usize, c as usize));
+                out[n] = Position::new(r as usize, c as usize);
+                n += 1;
             }
         };
         let (r, c) = (p.row as isize, p.col as isize);
@@ -162,7 +175,7 @@ impl LayerGeometry {
                 }
             }
         }
-        out
+        (out, n)
     }
 
     /// A shortest coupled path from `a` to `b`, inclusive of both

@@ -32,9 +32,11 @@
 mod coupling;
 pub mod fusion;
 mod geometry;
+mod grid;
 mod resource;
 
 pub use coupling::{CouplingGraph, SiteId};
 pub use fusion::{ErrorModel, FusionKind, FusionTally};
-pub use geometry::{ExtendedLayer, LayerGeometry, Position, Topology};
+pub use geometry::{ExtendedLayer, LayerGeometry, Position, Topology, MAX_NEIGHBORS};
+pub use grid::{BfsScratch, CellGrid};
 pub use resource::{respects_degree_budget, ResourceKind};

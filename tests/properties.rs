@@ -20,6 +20,30 @@ fn graph_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
     })
 }
 
+/// Strategy: a random *connected* simple graph — a random spanning tree
+/// (each node attaches to a random earlier node) plus extra random edges.
+fn connected_graph_strategy(max_n: usize, max_extra: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        (
+            proptest::collection::vec(0..usize::MAX, n - 1),
+            proptest::collection::vec((0..n, 0..n), 0..max_extra),
+        )
+            .prop_map(move |(parents, extra)| {
+                let mut g = Graph::with_nodes(n);
+                for (i, &r) in parents.iter().enumerate() {
+                    let child = i + 1;
+                    let _ = g.add_edge(NodeId::new(child), NodeId::new(r % child));
+                }
+                for (a, b) in extra {
+                    if a != b {
+                        let _ = g.add_edge(NodeId::new(a), NodeId::new(b));
+                    }
+                }
+                g
+            })
+    })
+}
+
 proptest! {
     #[test]
     fn planar_embeddings_verify(g in graph_strategy(12, 30)) {
@@ -181,5 +205,53 @@ proptest! {
             fg.fusion_count(),
             fg.intra_node_fusions() + fg.connection_fusions()
         );
+    }
+
+    #[test]
+    fn mapping_realizes_every_connected_edge(g in connected_graph_strategy(16, 14)) {
+        use oneq::mapping::{map_graph, MappingOptions};
+        let r = map_graph(&g, LayerGeometry::new(8, 8), &MappingOptions::default());
+        // Every input edge is realized exactly once — as a direct fusion,
+        // an in-layer routed path, or a planned shuffle.
+        let mut realized = r.realized_edges.clone();
+        realized.sort();
+        prop_assert_eq!(realized, g.sorted_edges());
+        // Shuffled edges are a subset of the realized set, and each
+        // contributes to the shuffle fusion tally.
+        for s in &r.shuffled {
+            prop_assert!(r.realized_edges.contains(&s.edge));
+        }
+        prop_assert!(r.shuffled.is_empty() || r.shuffle_fusions > 0);
+        // Every node lands somewhere, exactly once across layers.
+        let placed_total: usize = r.layouts.iter().map(|l| l.placed_count()).sum();
+        prop_assert_eq!(placed_total, g.node_count());
+        prop_assert_eq!(r.placement.len(), g.node_count());
+    }
+
+    #[test]
+    fn mapping_grid_occupancy_is_conserved(g in connected_graph_strategy(14, 10)) {
+        use oneq::mapping::{map_graph, MappingOptions};
+        let r = map_graph(&g, LayerGeometry::new(7, 7), &MappingOptions::default());
+        // Dense-grid bookkeeping: per layer, occupied cells = placed
+        // fusion nodes + auxiliary routing cells. Nothing leaks, nothing
+        // is double-counted.
+        for layout in &r.layouts {
+            prop_assert_eq!(
+                layout.grid().occupied_cells(),
+                layout.placed_count() + layout.routing_cells()
+            );
+            // The incremental bounding box matches a full recount.
+            let area = layout.occupied_area();
+            let cells: Vec<_> = layout.grid().iter().map(|(p, _)| p).collect();
+            if cells.is_empty() {
+                prop_assert_eq!(area, 0);
+            } else {
+                let rmin = cells.iter().map(|p| p.row).min().unwrap();
+                let rmax = cells.iter().map(|p| p.row).max().unwrap();
+                let cmin = cells.iter().map(|p| p.col).min().unwrap();
+                let cmax = cells.iter().map(|p| p.col).max().unwrap();
+                prop_assert_eq!(area, (rmax - rmin + 1) * (cmax - cmin + 1));
+            }
+        }
     }
 }
