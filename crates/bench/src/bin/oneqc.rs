@@ -1,0 +1,366 @@
+//! `oneqc`: the batch compiler driver.
+//!
+//! Compiles one `.qasm` file — or every `.qasm` file under a directory —
+//! through the full OneQ pipeline and emits one JSON object per circuit
+//! (JSON lines). Files are distributed over a std-thread worker pool, but
+//! the output order is always the sorted input order, and with timings
+//! disabled (the default) the output is byte-for-byte deterministic across
+//! runs — CI compiles the fixture corpus twice and diffs.
+//!
+//! Usage:
+//!
+//! ```text
+//! oneqc [OPTIONS] PATH...
+//!
+//!   PATH                 a .qasm file, or a directory scanned recursively
+//!   --side N             square layer side (default: auto per circuit from
+//!                        the baseline's physical-area protocol)
+//!   --rows R --cols C    explicit rectangular layer (overrides --side)
+//!   --extension N        extended-layer factor (default 1)
+//!   --resource KIND      line3|line4|star4|ring4 (default line3)
+//!   --jobs N             worker threads (default: available parallelism)
+//!   --out PATH           write JSONL to a file instead of stdout
+//!   --timings            include per-stage wall-clock timings (breaks
+//!                        run-to-run byte determinism)
+//! ```
+//!
+//! Exit code: 0 when every file compiled, 1 when any file failed (failed
+//! files still get a `"status":"error"` record), 2 on usage errors.
+//!
+//! JSONL schema (`oneqc/v1`): every record carries `file` and `status`.
+//! `ok` records add `qubits`, `gates`, `two_qubit_gates`, `rows`, `cols`,
+//! `extension_factor`, `resource`, `depth`, `fusions`, `partitions`,
+//! `fusion_graph_nodes`, `graph_state_nodes`, and (with `--timings`)
+//! `timings_ns{parse,translate,partition,fusion_graph,mapping,shuffle,wall}`.
+//! `error` records add `error` (a `file:line:col: message` one-liner).
+
+use oneq::{Compiler, CompilerOptions};
+use oneq_hardware::{LayerGeometry, ResourceKind};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+#[derive(Clone, Copy)]
+enum GeometryChoice {
+    /// Square layer sized per circuit by the baseline's physical-area
+    /// protocol (the Table 2 / determinism-gate geometry).
+    Auto,
+    Square(usize),
+    Rect(usize, usize),
+}
+
+#[derive(Clone)]
+struct Options {
+    geometry: GeometryChoice,
+    extension: usize,
+    resource: ResourceKind,
+    resource_label: String,
+    jobs: usize,
+    out: Option<PathBuf>,
+    timings: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: oneqc [--side N | --rows R --cols C] [--extension N] \
+         [--resource line3|line4|star4|ring4] [--jobs N] [--out PATH] [--timings] PATH..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut side = None;
+    let mut rows = None;
+    let mut cols = None;
+    let mut extension = 1usize;
+    let mut resource_label = "line3".to_string();
+    let mut jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = None;
+    let mut timings = false;
+    let mut paths = Vec::new();
+
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("oneqc: {flag} needs a value");
+            usage();
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--side" => side = Some(parse_num(&value(&mut i, "--side"), "--side")),
+            "--rows" => rows = Some(parse_num(&value(&mut i, "--rows"), "--rows")),
+            "--cols" => cols = Some(parse_num(&value(&mut i, "--cols"), "--cols")),
+            "--extension" => extension = parse_num(&value(&mut i, "--extension"), "--extension"),
+            "--resource" => resource_label = value(&mut i, "--resource"),
+            "--jobs" => jobs = parse_num(&value(&mut i, "--jobs"), "--jobs"),
+            "--out" => out = Some(PathBuf::from(value(&mut i, "--out"))),
+            "--timings" => timings = true,
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("oneqc: unknown flag {flag}");
+                usage();
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+    if paths.is_empty() {
+        eprintln!("oneqc: no input paths");
+        usage();
+    }
+    let geometry = match (side, rows, cols) {
+        (None, None, None) => GeometryChoice::Auto,
+        (Some(s), None, None) => GeometryChoice::Square(s),
+        (None, Some(r), Some(c)) => GeometryChoice::Rect(r, c),
+        _ => {
+            eprintln!("oneqc: use either --side or both --rows and --cols");
+            usage();
+        }
+    };
+    // Reject zero dimensions here (usage error, exit 2) rather than letting
+    // LayerGeometry's assert panic inside a worker thread.
+    if matches!(
+        geometry,
+        GeometryChoice::Square(0) | GeometryChoice::Rect(0, _) | GeometryChoice::Rect(_, 0)
+    ) {
+        eprintln!("oneqc: layer dimensions must be >= 1");
+        usage();
+    }
+    let resource = match resource_label.as_str() {
+        "line3" => ResourceKind::LINE3,
+        "line4" => ResourceKind::LINE4,
+        "star4" => ResourceKind::STAR4,
+        "ring4" => ResourceKind::RING4,
+        other => {
+            eprintln!("oneqc: unknown resource kind `{other}`");
+            usage();
+        }
+    };
+    if extension == 0 {
+        eprintln!("oneqc: --extension must be >= 1");
+        usage();
+    }
+    Options {
+        geometry,
+        extension,
+        resource,
+        resource_label,
+        jobs: jobs.max(1),
+        out,
+        timings,
+        paths,
+    }
+}
+
+fn parse_num(s: &str, flag: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("oneqc: {flag} expects a number, got `{s}`");
+        usage();
+    })
+}
+
+/// Expands the input paths into a sorted, deduplicated `.qasm` file list.
+fn collect_files(paths: &[PathBuf]) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            walk(path, &mut files);
+        } else if path.exists() {
+            files.push(path.clone());
+        } else {
+            eprintln!("oneqc: no such file or directory: {}", path.display());
+            std::process::exit(2);
+        }
+    }
+    files.sort();
+    files.dedup();
+    files
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        eprintln!("oneqc: cannot read directory {}", dir.display());
+        std::process::exit(2);
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        // `entry.file_type()` does not follow symlinks, so a symlink loop
+        // cannot recurse; symlinked .qasm *files* are still accepted below.
+        let is_real_dir = entry.file_type().is_ok_and(|t| t.is_dir());
+        if is_real_dir {
+            walk(&path, files);
+        } else if path.extension().is_some_and(|e| e == "qasm") && path.is_file() {
+            files.push(path);
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Compiles one file into its JSONL record. Never panics on bad input:
+/// parse errors become `"status":"error"` records.
+fn run_one(path: &Path, opt: &Options) -> (String, bool) {
+    let display = path.display().to_string();
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            return (
+                format!(
+                    "{{\"file\": \"{}\", \"status\": \"error\", \"error\": \"{}\"}}",
+                    json_escape(&display),
+                    json_escape(&format!("read failed: {e}"))
+                ),
+                false,
+            );
+        }
+    };
+    let t0 = Instant::now();
+    let circuit = match oneq_frontend::parse_circuit(&source) {
+        Ok(c) => c,
+        Err(e) => {
+            let e = e.with_file(&display);
+            return (
+                format!(
+                    "{{\"file\": \"{}\", \"status\": \"error\", \"error\": \"{}\"}}",
+                    json_escape(&display),
+                    json_escape(&e.to_line())
+                ),
+                false,
+            );
+        }
+    };
+    let parse_ns = t0.elapsed().as_nanos();
+
+    let geometry = match opt.geometry {
+        GeometryChoice::Auto => LayerGeometry::square(oneq_baseline::physical_side(
+            circuit.n_qubits(),
+            opt.resource,
+        )),
+        GeometryChoice::Square(s) => LayerGeometry::square(s),
+        GeometryChoice::Rect(r, c) => LayerGeometry::new(r, c),
+    };
+    let options = CompilerOptions::new(geometry)
+        .with_resource_kind(opt.resource)
+        .with_extension(opt.extension);
+    let t1 = Instant::now();
+    let program = Compiler::new(options).compile(&circuit);
+    let wall_ns = parse_ns + t1.elapsed().as_nanos();
+
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"file\": \"{}\", \"status\": \"ok\", \"qubits\": {}, \"gates\": {}, \
+         \"two_qubit_gates\": {}, \"rows\": {}, \"cols\": {}, \"extension_factor\": {}, \
+         \"resource\": \"{}\", \"depth\": {}, \"fusions\": {}, \"partitions\": {}, \
+         \"fusion_graph_nodes\": {}, \"graph_state_nodes\": {}",
+        json_escape(&display),
+        circuit.n_qubits(),
+        circuit.gate_count(),
+        circuit.two_qubit_count(),
+        geometry.rows(),
+        geometry.cols(),
+        opt.extension,
+        opt.resource_label,
+        program.depth,
+        program.fusions,
+        program.stats.partitions,
+        program.stats.fusion_graph_nodes,
+        program.stats.graph_state_nodes,
+    );
+    if opt.timings {
+        let t = &program.timings;
+        let _ = write!(
+            line,
+            ", \"timings_ns\": {{\"parse\": {parse_ns}, \"translate\": {}, \
+             \"partition\": {}, \"fusion_graph\": {}, \"mapping\": {}, \"shuffle\": {}, \
+             \"wall\": {wall_ns}}}",
+            t.translate_ns, t.partition_ns, t.fusion_graph_ns, t.mapping_ns, t.shuffle_ns,
+        );
+    }
+    line.push('}');
+    (line, true)
+}
+
+fn main() {
+    let opt = parse_args();
+    let files = collect_files(&opt.paths);
+    if files.is_empty() {
+        eprintln!("oneqc: no .qasm files found");
+        std::process::exit(2);
+    }
+
+    // Worker pool: a shared cursor hands out file indices; each record
+    // lands in its slot, so the output order is the sorted input order no
+    // matter which thread finishes first.
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<(String, bool)>>> = Mutex::new(vec![None; files.len()]);
+    let workers = opt.jobs.min(files.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= files.len() {
+                    break;
+                }
+                let record = run_one(&files[i], &opt);
+                slots.lock().expect("result mutex poisoned")[i] = Some(record);
+            });
+        }
+    });
+
+    let records = slots.into_inner().expect("result mutex poisoned");
+    let mut output = String::new();
+    let mut failures = 0usize;
+    for record in records {
+        let (line, ok) = record.expect("every slot filled by the pool");
+        output.push_str(&line);
+        output.push('\n');
+        if !ok {
+            failures += 1;
+        }
+    }
+    match &opt.out {
+        Some(path) => {
+            std::fs::write(path, &output).unwrap_or_else(|e| {
+                eprintln!("oneqc: cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            eprintln!(
+                "oneqc: {} file(s) compiled, {failures} failed -> {}",
+                records_len(&output),
+                path.display()
+            );
+        }
+        None => print!("{output}"),
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn records_len(output: &str) -> usize {
+    output.lines().count()
+}

@@ -16,6 +16,11 @@
 //! (Figs. 11 and 14 are layout visualizations; see `examples/mapping_viz`
 //! and `examples/extended_layer`.)
 //!
+//! Beyond the paper artifacts, `oneqc` batch-compiles arbitrary OpenQASM
+//! 2.0 files (via `oneq-frontend`) to JSONL metrics, `sweep` records the
+//! perf trajectory, and `gen_qasm_fixtures` keeps the `.qasm` fixture
+//! corpus under `tests/fixtures/qasm/` in sync with the constructors.
+//!
 //! Criterion benches under `benches/` measure compiler performance per
 //! stage and end to end.
 
@@ -161,6 +166,39 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 
 /// Default RNG seed used by all experiment binaries (reproducibility).
 pub const SEED: u64 = 2023;
+
+/// The `.qasm` fixture corpus: file stem and the built-in constructor it
+/// was exported from. The `gen_qasm_fixtures` bin writes these under
+/// [`qasm_fixture_dir`]; the `frontend_fixtures` integration test asserts
+/// the files on disk match these constructors bit for bit, so the corpus
+/// can never drift from the code.
+pub fn qasm_fixtures() -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("bv-16", BenchKind::Bv.circuit(16, SEED)),
+        ("bv-25", BenchKind::Bv.circuit(25, SEED)),
+        ("bv-100", BenchKind::Bv.circuit(100, SEED)),
+        ("qaoa-16", BenchKind::Qaoa.circuit(16, SEED)),
+        ("qft-16", benchmarks::qft(16)),
+        ("qft_no_swaps-16", benchmarks::qft_no_swaps(16)),
+        ("rca-16", BenchKind::Rca.circuit(16, SEED)),
+    ]
+}
+
+/// Where the `.qasm` fixtures live: `tests/fixtures/qasm/` at the
+/// workspace root.
+pub fn qasm_fixture_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/qasm")
+}
+
+/// Renders one fixture file: a provenance header plus the QASM export.
+pub fn render_qasm_fixture(name: &str, circuit: &Circuit) -> String {
+    format!(
+        "// {name}: exported from the built-in paper-benchmark constructor (seed {SEED}).\n\
+         // Generated by `cargo run -p oneq-bench --bin gen_qasm_fixtures` -- do not edit.\n\
+         {}",
+        circuit.to_qasm()
+    )
+}
 
 #[cfg(test)]
 mod tests {

@@ -11,7 +11,9 @@
 //!   circuit→MBQC translation (paper §2.2.1) in [`decompose`],
 //! * the paper's benchmark programs (paper §7.1) in [`benchmarks`]:
 //!   Quantum Fourier Transform, QAOA for maxcut on random graphs, the
-//!   Cuccaro ripple-carry adder, and Bernstein–Vazirani.
+//!   Cuccaro ripple-carry adder, and Bernstein–Vazirani,
+//! * a round-trip-exact OpenQASM 2.0 exporter ([`Circuit::to_qasm`]),
+//!   the counterpart to the `oneq-frontend` parser.
 //!
 //! # Example
 //!
@@ -28,6 +30,7 @@ mod circuit;
 pub mod decompose;
 pub mod extra;
 mod gate;
+mod qasm;
 
 pub use circuit::{Circuit, CircuitError};
 pub use gate::{is_clifford_angle, normalize_angle, Angle, Gate, Qubit};

@@ -1,0 +1,281 @@
+//! OpenQASM 2.0 export.
+//!
+//! [`Circuit::to_qasm`] renders a circuit as an OpenQASM 2.0 program over
+//! a single `qreg q[n]`, using the qelib1 gate names the `oneq-frontend`
+//! crate maps straight back onto the IR. The export is **round-trip
+//! exact**: every angle is printed either as a `p*pi/q` expression that
+//! re-evaluates to the identical `f64` bit pattern, or as Rust's
+//! shortest-round-trip decimal — so `parse(to_qasm(c))` reproduces the
+//! gate list bit for bit.
+//!
+//! The one structural exception is [`Gate::J`], which OpenQASM has no name
+//! for: it exports as its definition `rz(α); h` (`J(α) = H·P(α)`), so a
+//! circuit containing J gates round-trips to an *equivalent* but not
+//! gate-identical program.
+
+use crate::circuit::Circuit;
+use crate::gate::{Angle, Gate};
+use std::f64::consts::PI;
+use std::fmt::Write as _;
+
+impl Circuit {
+    /// Renders the circuit as an OpenQASM 2.0 program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any gate angle is non-finite.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use oneq_circuit::Circuit;
+    ///
+    /// let mut c = Circuit::new(2);
+    /// c.h(0).cnot(0, 1).cp(0, 1, std::f64::consts::PI / 4.0);
+    /// let qasm = c.to_qasm();
+    /// assert!(qasm.contains("OPENQASM 2.0;"));
+    /// assert!(qasm.contains("cu1(pi/4) q[0], q[1];"));
+    /// ```
+    pub fn to_qasm(&self) -> String {
+        let mut out = String::new();
+        out.push_str("OPENQASM 2.0;\n");
+        out.push_str("include \"qelib1.inc\";\n");
+        if self.n_qubits() > 0 {
+            let _ = writeln!(out, "qreg q[{}];", self.n_qubits());
+        }
+        for gate in self.gates() {
+            match *gate {
+                Gate::H(q) => {
+                    let _ = writeln!(out, "h q[{}];", q.index());
+                }
+                Gate::X(q) => {
+                    let _ = writeln!(out, "x q[{}];", q.index());
+                }
+                Gate::Y(q) => {
+                    let _ = writeln!(out, "y q[{}];", q.index());
+                }
+                Gate::Z(q) => {
+                    let _ = writeln!(out, "z q[{}];", q.index());
+                }
+                Gate::S(q) => {
+                    let _ = writeln!(out, "s q[{}];", q.index());
+                }
+                Gate::Sdg(q) => {
+                    let _ = writeln!(out, "sdg q[{}];", q.index());
+                }
+                Gate::T(q) => {
+                    let _ = writeln!(out, "t q[{}];", q.index());
+                }
+                Gate::Tdg(q) => {
+                    let _ = writeln!(out, "tdg q[{}];", q.index());
+                }
+                Gate::Rz(q, a) => {
+                    let _ = writeln!(out, "rz({}) q[{}];", format_angle(a), q.index());
+                }
+                Gate::Rx(q, a) => {
+                    let _ = writeln!(out, "rx({}) q[{}];", format_angle(a), q.index());
+                }
+                Gate::J(q, a) => {
+                    // J(α) = H · P(α): phase first in program order.
+                    let _ = writeln!(out, "rz({}) q[{}];", format_angle(a), q.index());
+                    let _ = writeln!(out, "h q[{}];", q.index());
+                }
+                Gate::Cz(a, b) => {
+                    let _ = writeln!(out, "cz q[{}], q[{}];", a.index(), b.index());
+                }
+                Gate::Cnot { control, target } => {
+                    let _ = writeln!(out, "cx q[{}], q[{}];", control.index(), target.index());
+                }
+                Gate::Swap(a, b) => {
+                    let _ = writeln!(out, "swap q[{}], q[{}];", a.index(), b.index());
+                }
+                Gate::Cp(a, b, t) => {
+                    let _ = writeln!(
+                        out,
+                        "cu1({}) q[{}], q[{}];",
+                        format_angle(t),
+                        a.index(),
+                        b.index()
+                    );
+                }
+                Gate::Ccx { c1, c2, target } => {
+                    let _ = writeln!(
+                        out,
+                        "ccx q[{}], q[{}], q[{}];",
+                        c1.index(),
+                        c2.index(),
+                        target.index()
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Formats an angle so the frontend's expression evaluator reproduces the
+/// exact `f64`: a `p*pi/q` form when one re-evaluates bit-identically,
+/// otherwise the shortest decimal that round-trips through `str::parse`.
+fn format_angle(a: Angle) -> String {
+    assert!(a.is_finite(), "QASM export requires finite angles, got {a}");
+    if a == 0.0 {
+        return "0".to_string();
+    }
+    for q in [1u32, 2, 3, 4, 6, 8, 12, 16, 32, 64] {
+        let scaled = a * f64::from(q) / PI;
+        let p = scaled.round();
+        if p == 0.0 || p.abs() > 4096.0 || (scaled - p).abs() > 1e-9 {
+            continue;
+        }
+        let (text, value) = pi_fraction(p as i64, q);
+        if value.to_bits() == a.to_bits() {
+            return text;
+        }
+    }
+    // Rust's f64 Display prints the shortest decimal that parses back to
+    // the identical bits, and the frontend parses real literals with
+    // `str::parse::<f64>` (negation is an exact sign flip).
+    format!("{a}")
+}
+
+/// Renders `p*pi/q` the way the frontend would print it, and evaluates the
+/// candidate exactly as the frontend's parser/evaluator would (unary minus
+/// outermost on the leading literal, left-to-right `*` then `/`).
+fn pi_fraction(p: i64, q: u32) -> (String, f64) {
+    let abs = p.unsigned_abs();
+    let numerator = if abs == 1 {
+        PI
+    } else {
+        // `p*pi` parses as Mul(Int(p), Pi).
+        abs as f64 * PI
+    };
+    let signed = if p < 0 { -numerator } else { numerator };
+    let value = if q == 1 {
+        signed
+    } else {
+        signed / f64::from(q)
+    };
+    let mut text = String::new();
+    if p < 0 {
+        text.push('-');
+    }
+    if abs != 1 {
+        let _ = write!(text, "{abs}*");
+    }
+    text.push_str("pi");
+    if q != 1 {
+        let _ = write!(text, "/{q}");
+    }
+    (text, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_register() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        let q = c.to_qasm();
+        assert!(q.starts_with("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\n"));
+        assert!(q.contains("h q[0];"));
+    }
+
+    #[test]
+    fn empty_circuit_has_no_register() {
+        let q = Circuit::new(0).to_qasm();
+        assert!(!q.contains("qreg"));
+    }
+
+    #[test]
+    fn every_gate_kind_renders() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .x(0)
+            .y(1)
+            .z(2)
+            .s(0)
+            .sdg(1)
+            .t(2)
+            .tdg(0)
+            .rz(0, PI)
+            .rx(1, 0.25)
+            .j(2, PI / 2.0)
+            .cz(0, 1)
+            .cnot(1, 2)
+            .swap(0, 2)
+            .cp(0, 1, PI / 8.0)
+            .ccx(0, 1, 2);
+        let q = c.to_qasm();
+        for needle in [
+            "x q[0];",
+            "y q[1];",
+            "z q[2];",
+            "s q[0];",
+            "sdg q[1];",
+            "t q[2];",
+            "tdg q[0];",
+            "rz(pi) q[0];",
+            "rx(0.25) q[1];",
+            // J(pi/2) = rz(pi/2); h.
+            "rz(pi/2) q[2];\nh q[2];",
+            "cz q[0], q[1];",
+            "cx q[1], q[2];",
+            "swap q[0], q[2];",
+            "cu1(pi/8) q[0], q[1];",
+            "ccx q[0], q[1], q[2];",
+        ] {
+            assert!(q.contains(needle), "missing {needle:?} in:\n{q}");
+        }
+    }
+
+    #[test]
+    fn pi_fractions_reevaluate_bit_identically() {
+        for (angle, expected) in [
+            (PI, "pi"),
+            (-PI, "-pi"),
+            (PI / 2.0, "pi/2"),
+            (-(PI / 2.0), "-pi/2"),
+            (PI / 4.0, "pi/4"),
+            (PI / 8.0, "pi/8"),
+            (3.0 * PI, "3*pi"),
+            ((3.0 * PI) / 4.0, "3*pi/4"),
+            (-((3.0 * PI) / 4.0), "-3*pi/4"),
+        ] {
+            assert_eq!(format_angle(angle), expected);
+        }
+    }
+
+    #[test]
+    fn qft_cp_angles_render_as_pi_fractions() {
+        let c = crate::benchmarks::qft_no_swaps(5);
+        let q = c.to_qasm();
+        assert!(q.contains("cu1(pi/2)"));
+        assert!(q.contains("cu1(pi/4)"));
+        assert!(q.contains("cu1(pi/8)"));
+        assert!(q.contains("cu1(pi/16)"));
+    }
+
+    #[test]
+    fn decimal_fallback_round_trips_via_parse() {
+        for a in [0.3, -1.234567890123456, 2.5e-7, 123.456] {
+            let s = format_angle(a);
+            let back: f64 = s.trim_start_matches('-').parse().unwrap();
+            let back = if s.starts_with('-') { -back } else { back };
+            assert_eq!(back.to_bits(), a.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn zero_angle_is_plain_zero() {
+        assert_eq!(format_angle(0.0), "0");
+        assert_eq!(format_angle(-0.0), "0");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_angle_panics() {
+        format_angle(f64::NAN);
+    }
+}

@@ -1,0 +1,282 @@
+//! Abstract syntax tree for the supported OpenQASM 2.0 subset, plus
+//! parameter-expression evaluation.
+
+use crate::error::Span;
+use std::collections::HashMap;
+use std::f64::consts::PI;
+use std::fmt;
+
+/// A binary operator in a parameter expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `^` (right-associative power)
+    Pow,
+}
+
+/// A unary function usable in parameter expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    /// `sin`
+    Sin,
+    /// `cos`
+    Cos,
+    /// `tan`
+    Tan,
+    /// `exp`
+    Exp,
+    /// `ln`
+    Ln,
+    /// `sqrt`
+    Sqrt,
+}
+
+impl Func {
+    /// Looks a function name up.
+    pub fn from_name(name: &str) -> Option<Func> {
+        Some(match name {
+            "sin" => Func::Sin,
+            "cos" => Func::Cos,
+            "tan" => Func::Tan,
+            "exp" => Func::Exp,
+            "ln" => Func::Ln,
+            "sqrt" => Func::Sqrt,
+            _ => return None,
+        })
+    }
+
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Func::Sin => x.sin(),
+            Func::Cos => x.cos(),
+            Func::Tan => x.tan(),
+            Func::Exp => x.exp(),
+            Func::Ln => x.ln(),
+            Func::Sqrt => x.sqrt(),
+        }
+    }
+}
+
+/// A parameter expression (gate angles).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Real literal.
+    Real(f64),
+    /// Integer literal (promoted to `f64` on evaluation).
+    Int(u64),
+    /// The constant `pi`.
+    Pi,
+    /// A formal gate parameter, resolved at expansion time.
+    Param(String, Span),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Function application.
+    Call(Func, Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluates the expression with the given parameter bindings.
+    ///
+    /// # Errors
+    ///
+    /// Returns the span and name of the first unbound [`Expr::Param`].
+    pub fn eval(&self, params: &HashMap<String, f64>) -> Result<f64, (Span, String)> {
+        Ok(match self {
+            Expr::Real(v) => *v,
+            Expr::Int(v) => *v as f64,
+            Expr::Pi => PI,
+            Expr::Param(name, span) => match params.get(name) {
+                Some(&v) => v,
+                None => return Err((*span, name.clone())),
+            },
+            Expr::Neg(e) => -e.eval(params)?,
+            Expr::Binary(op, a, b) => {
+                let a = a.eval(params)?;
+                let b = b.eval(params)?;
+                match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Pow => a.powf(b),
+                }
+            }
+            Expr::Call(f, e) => f.apply(e.eval(params)?),
+        })
+    }
+}
+
+/// A qubit (or classical-bit) argument at statement level: a whole register
+/// or one indexed element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Argument {
+    /// Register name.
+    pub reg: String,
+    /// `Some(i)` for `reg[i]`, `None` for the whole register.
+    pub index: Option<usize>,
+    /// Where the argument starts.
+    pub span: Span,
+}
+
+impl fmt::Display for Argument {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            Some(i) => write!(f, "{}[{i}]", self.reg),
+            None => write!(f, "{}", self.reg),
+        }
+    }
+}
+
+/// One operation inside a `gate` body. Arguments are the definition's
+/// formal qubit names (OpenQASM 2.0 forbids indexing inside bodies).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOp {
+    /// Gate name being applied (or `barrier`, kept as a no-op).
+    pub name: String,
+    /// Parameter expressions (may reference the formal parameters).
+    pub params: Vec<Expr>,
+    /// Formal qubit argument names.
+    pub args: Vec<String>,
+    /// Where the operation starts.
+    pub span: Span,
+}
+
+/// A user `gate` definition (a macro over its body).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateDef {
+    /// Gate name.
+    pub name: String,
+    /// Formal parameter names.
+    pub params: Vec<String>,
+    /// Formal qubit argument names.
+    pub qargs: Vec<String>,
+    /// Body operations in program order.
+    pub body: Vec<GateOp>,
+    /// Where the definition starts.
+    pub span: Span,
+}
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `qreg name[n];`
+    QReg {
+        /// Register name.
+        name: String,
+        /// Number of qubits.
+        size: usize,
+        /// Statement span.
+        span: Span,
+    },
+    /// `creg name[n];`
+    CReg {
+        /// Register name.
+        name: String,
+        /// Number of bits.
+        size: usize,
+        /// Statement span.
+        span: Span,
+    },
+    /// `gate name(params) qargs { ... }`
+    Gate(GateDef),
+    /// `name(params) args;` — a gate application.
+    Apply {
+        /// Gate name.
+        name: String,
+        /// Parameter expressions (fully constant at top level).
+        params: Vec<Expr>,
+        /// Qubit arguments (registers broadcast).
+        args: Vec<Argument>,
+        /// Statement span.
+        span: Span,
+    },
+    /// `barrier args;` — validated, no IR effect.
+    Barrier {
+        /// Qubit arguments.
+        args: Vec<Argument>,
+        /// Statement span.
+        span: Span,
+    },
+    /// `measure src -> dst;` — validated, no IR effect (the OneQ pipeline
+    /// measures every photon as part of the pattern).
+    Measure {
+        /// Quantum source.
+        src: Argument,
+        /// Classical destination.
+        dst: Argument,
+        /// Statement span.
+        span: Span,
+    },
+}
+
+/// A parsed program: the statement list plus whether `qelib1.inc` was
+/// included (which unlocks the standard gate names).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Top-level statements in source order.
+    pub stmts: Vec<Stmt>,
+    /// `true` once `include "qelib1.inc";` was seen.
+    pub includes_qelib1: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_constant_folds() {
+        let e = Expr::Binary(BinOp::Div, Box::new(Expr::Pi), Box::new(Expr::Int(4)));
+        assert_eq!(e.eval(&HashMap::new()).unwrap(), PI / 4.0);
+    }
+
+    #[test]
+    fn eval_resolves_params() {
+        let mut params = HashMap::new();
+        params.insert("theta".to_string(), 0.5);
+        let e = Expr::Neg(Box::new(Expr::Param("theta".into(), Span::new(1, 1))));
+        assert_eq!(e.eval(&params).unwrap(), -0.5);
+    }
+
+    #[test]
+    fn eval_unbound_param_reports_span() {
+        let e = Expr::Param("phi".into(), Span::new(3, 7));
+        let (span, name) = e.eval(&HashMap::new()).unwrap_err();
+        assert_eq!(span, Span::new(3, 7));
+        assert_eq!(name, "phi");
+    }
+
+    #[test]
+    fn eval_pow_and_funcs() {
+        let e = Expr::Binary(BinOp::Pow, Box::new(Expr::Int(2)), Box::new(Expr::Int(10)));
+        assert_eq!(e.eval(&HashMap::new()).unwrap(), 1024.0);
+        let s = Expr::Call(Func::Sqrt, Box::new(Expr::Int(9)));
+        assert_eq!(s.eval(&HashMap::new()).unwrap(), 3.0);
+        assert_eq!(Func::from_name("cos"), Some(Func::Cos));
+        assert_eq!(Func::from_name("nope"), None);
+    }
+
+    #[test]
+    fn argument_display() {
+        let a = Argument {
+            reg: "q".into(),
+            index: Some(2),
+            span: Span::new(1, 1),
+        };
+        assert_eq!(a.to_string(), "q[2]");
+        let whole = Argument {
+            reg: "q".into(),
+            index: None,
+            span: Span::new(1, 1),
+        };
+        assert_eq!(whole.to_string(), "q");
+    }
+}

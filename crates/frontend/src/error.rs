@@ -1,0 +1,158 @@
+//! Source-span error reporting.
+//!
+//! Every failure mode of the frontend — lexing, parsing, semantic analysis,
+//! lowering — is reported as a [`ParseError`] carrying the 1-based
+//! line/column of the offending token plus the source line itself, so the
+//! [`std::fmt::Display`] impl can render a compiler-style caret snippet:
+//!
+//! ```text
+//! error: expected ';' after statement
+//!   --> adder.qasm:3:10
+//!    |
+//!  3 | qreg q[4]
+//!    |          ^
+//! ```
+
+use std::fmt;
+
+/// A location in the source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(line: usize, col: usize) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A frontend error: what went wrong, where, and the source line it
+/// happened on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    span: Span,
+    line_text: String,
+    file: Option<String>,
+}
+
+impl ParseError {
+    /// Creates an error at `span`; `line_text` is the full source line the
+    /// span points into (used for the caret snippet).
+    pub fn new(message: impl Into<String>, span: Span, line_text: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+            line_text: line_text.into(),
+            file: None,
+        }
+    }
+
+    /// Attaches a file name, shown in the rendered snippet.
+    #[must_use]
+    pub fn with_file(mut self, file: impl Into<String>) -> Self {
+        self.file = Some(file.into());
+        self
+    }
+
+    /// The error message (no location).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// 1-based line of the error.
+    pub fn line(&self) -> usize {
+        self.span.line
+    }
+
+    /// 1-based column of the error.
+    pub fn col(&self) -> usize {
+        self.span.col
+    }
+
+    /// The source location.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The file name, if one was attached.
+    pub fn file(&self) -> Option<&str> {
+        self.file.as_deref()
+    }
+
+    /// One-line rendering: `file:line:col: message` (no snippet). Useful
+    /// for logs and machine-readable output.
+    pub fn to_line(&self) -> String {
+        match &self.file {
+            Some(f) => format!("{f}:{}: {}", self.span, self.message),
+            None => format!("{}: {}", self.span, self.message),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error: {}", self.message)?;
+        let file = self.file.as_deref().unwrap_or("<qasm>");
+        writeln!(f, "  --> {file}:{}", self.span)?;
+        // Gutter width follows the line number so the pipes align.
+        let num = self.span.line.to_string();
+        let pad = " ".repeat(num.len());
+        writeln!(f, " {pad} |")?;
+        writeln!(f, " {num} | {}", self.line_text)?;
+        // The caret lands under column `col` (1-based). Tabs in the source
+        // line are echoed into the pad so the caret stays aligned.
+        let mut caret_pad = String::new();
+        for ch in self.line_text.chars().take(self.span.col.saturating_sub(1)) {
+            caret_pad.push(if ch == '\t' { '\t' } else { ' ' });
+        }
+        write!(f, " {pad} | {caret_pad}^")
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_caret_under_column() {
+        let e = ParseError::new("expected ';'", Span::new(3, 10), "qreg q[4]");
+        let s = e.to_string();
+        assert!(s.contains("error: expected ';'"));
+        assert!(s.contains("--> <qasm>:3:10"));
+        assert!(s.contains(" 3 | qreg q[4]"));
+        let caret_line = s.lines().last().unwrap();
+        // " " + 1-char gutter pad + " | " + 9 pad columns + caret.
+        assert_eq!(caret_line, "   |          ^");
+    }
+
+    #[test]
+    fn with_file_shows_in_both_renderings() {
+        let e = ParseError::new("boom", Span::new(1, 1), "x").with_file("f.qasm");
+        assert!(e.to_string().contains("--> f.qasm:1:1"));
+        assert_eq!(e.to_line(), "f.qasm:1:1: boom");
+        assert_eq!(e.file(), Some("f.qasm"));
+    }
+
+    #[test]
+    fn accessors_expose_span() {
+        let e = ParseError::new("m", Span::new(7, 2), "line");
+        assert_eq!((e.line(), e.col()), (7, 2));
+        assert_eq!(e.span(), Span::new(7, 2));
+        assert_eq!(e.message(), "m");
+        assert_eq!(e.to_line(), "7:2: m");
+    }
+}

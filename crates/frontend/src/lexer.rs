@@ -1,0 +1,448 @@
+//! Hand-written OpenQASM 2.0 lexer.
+//!
+//! Produces a flat token stream with 1-based line/column spans. The lexer
+//! keeps a copy of every source line so downstream errors can render caret
+//! snippets without re-reading the file.
+
+use crate::error::{ParseError, Span};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`qreg`, `h`, `my_gate`, `U`, `CX`, ...).
+    Ident(String),
+    /// Unsigned integer literal.
+    Int(u64),
+    /// Real literal (decimal point and/or exponent).
+    Real(f64),
+    /// String literal (the text between the quotes).
+    Str(String),
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `->`
+    Arrow,
+    /// `==`
+    EqEq,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Real(v) => write!(f, "real `{v}`"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Caret => write!(f, "`^`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it starts (1-based).
+    pub span: Span,
+}
+
+/// The token stream plus the source lines (for error snippets).
+#[derive(Debug, Clone)]
+pub struct TokenStream {
+    /// Tokens in source order; the last is always [`TokenKind::Eof`].
+    pub tokens: Vec<Token>,
+    /// Source split into lines, without terminators.
+    pub lines: Vec<String>,
+}
+
+impl TokenStream {
+    /// The source line a span points into (empty if out of range).
+    pub fn line_text(&self, span: Span) -> &str {
+        self.lines
+            .get(span.line.saturating_sub(1))
+            .map_or("", |s| s.as_str())
+    }
+
+    /// Builds a [`ParseError`] at `span` with the matching source line.
+    pub fn error_at(&self, span: Span, message: impl Into<String>) -> ParseError {
+        ParseError::new(message, span, self.line_text(span))
+    }
+}
+
+/// Lexes `source` into a token stream.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unterminated strings, malformed numbers,
+/// stray characters, or a lone `=`/`-` that does not form `==`/`->`.
+pub fn lex(source: &str) -> Result<TokenStream, ParseError> {
+    let lines: Vec<String> = source.lines().map(str::to_string).collect();
+    let mut lx = Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        lines,
+        tokens: Vec::new(),
+    };
+    lx.run()?;
+    Ok(TokenStream {
+        tokens: lx.tokens,
+        lines: lx.lines,
+    })
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    lines: Vec<String>,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, span: Span, message: impl Into<String>) -> ParseError {
+        let text = self
+            .lines
+            .get(span.line.saturating_sub(1))
+            .map_or("", |s| s.as_str());
+        ParseError::new(message, span, text)
+    }
+
+    fn push(&mut self, kind: TokenKind, span: Span) {
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn run(&mut self) -> Result<(), ParseError> {
+        while let Some(c) = self.peek() {
+            let span = Span::new(self.line, self.col);
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '/' if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                ';' => self.single(TokenKind::Semicolon, span),
+                ',' => self.single(TokenKind::Comma, span),
+                '(' => self.single(TokenKind::LParen, span),
+                ')' => self.single(TokenKind::RParen, span),
+                '[' => self.single(TokenKind::LBracket, span),
+                ']' => self.single(TokenKind::RBracket, span),
+                '{' => self.single(TokenKind::LBrace, span),
+                '}' => self.single(TokenKind::RBrace, span),
+                '+' => self.single(TokenKind::Plus, span),
+                '*' => self.single(TokenKind::Star, span),
+                '/' => self.single(TokenKind::Slash, span),
+                '^' => self.single(TokenKind::Caret, span),
+                '-' => {
+                    self.bump();
+                    if self.peek() == Some('>') {
+                        self.bump();
+                        self.push(TokenKind::Arrow, span);
+                    } else {
+                        self.push(TokenKind::Minus, span);
+                    }
+                }
+                '=' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(TokenKind::EqEq, span);
+                    } else {
+                        return Err(self.error(span, "stray `=`; did you mean `==`?"));
+                    }
+                }
+                '"' => self.string(span)?,
+                c if c.is_ascii_digit() || c == '.' => self.number(span)?,
+                c if c.is_ascii_alphabetic() || c == '_' => self.ident(span),
+                c => {
+                    return Err(self.error(span, format!("unexpected character `{c}`")));
+                }
+            }
+        }
+        let span = Span::new(self.line, self.col);
+        self.push(TokenKind::Eof, span);
+        Ok(())
+    }
+
+    fn single(&mut self, kind: TokenKind, span: Span) {
+        self.bump();
+        self.push(kind, span);
+    }
+
+    fn string(&mut self, span: Span) -> Result<(), ParseError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                Some('"') => {
+                    self.bump();
+                    self.push(TokenKind::Str(s), span);
+                    return Ok(());
+                }
+                Some('\n') | None => {
+                    return Err(self.error(span, "unterminated string literal"));
+                }
+                Some(c) => {
+                    s.push(c);
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn ident(&mut self, span: Span) {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident(s), span);
+    }
+
+    fn number(&mut self, span: Span) -> Result<(), ParseError> {
+        let mut s = String::new();
+        let mut is_real = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else if c == '.' && !is_real {
+                is_real = true;
+                s.push(c);
+                self.bump();
+            } else if (c == 'e' || c == 'E') && !s.is_empty() {
+                // Exponent: consumed only if followed by digits (with an
+                // optional sign); otherwise it starts an identifier.
+                let mut look = self.pos + 1;
+                if matches!(self.chars.get(look), Some('+') | Some('-')) {
+                    look += 1;
+                }
+                if !matches!(self.chars.get(look), Some(d) if d.is_ascii_digit()) {
+                    break;
+                }
+                is_real = true;
+                s.push(c);
+                self.bump();
+                if matches!(self.peek(), Some('+') | Some('-')) {
+                    s.push(self.bump().expect("peeked sign"));
+                }
+                while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                    s.push(self.bump().expect("peeked digit"));
+                }
+            } else {
+                break;
+            }
+        }
+        if s == "." {
+            return Err(self.error(span, "expected digits around `.`"));
+        }
+        if is_real {
+            let v: f64 = s
+                .parse()
+                .map_err(|_| self.error(span, format!("malformed real literal `{s}`")))?;
+            self.push(TokenKind::Real(v), span);
+        } else {
+            let v: u64 = s
+                .parse()
+                .map_err(|_| self.error(span, format!("integer literal `{s}` overflows")))?;
+            self.push(TokenKind::Int(v), span);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .unwrap()
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_header_line() {
+        assert_eq!(
+            kinds("OPENQASM 2.0;"),
+            vec![
+                TokenKind::Ident("OPENQASM".into()),
+                TokenKind::Real(2.0),
+                TokenKind::Semicolon,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_one_based() {
+        let ts = lex("qreg q[4];\nh q[0];").unwrap();
+        assert_eq!(ts.tokens[0].span, Span::new(1, 1));
+        let h = ts
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("h".into()))
+            .unwrap();
+        assert_eq!(h.span, Span::new(2, 1));
+        assert_eq!(ts.line_text(h.span), "h q[0];");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("// header\nh q; // trailing"),
+            vec![
+                TokenKind::Ident("h".into()),
+                TokenKind::Ident("q".into()),
+                TokenKind::Semicolon,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_and_eqeq() {
+        assert_eq!(
+            kinds("-> == -"),
+            vec![
+                TokenKind::Arrow,
+                TokenKind::EqEq,
+                TokenKind::Minus,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_reals_and_exponents() {
+        assert_eq!(
+            kinds("3 0.25 2e3 1.5e-2"),
+            vec![
+                TokenKind::Int(3),
+                TokenKind::Real(0.25),
+                TokenKind::Real(2000.0),
+                TokenKind::Real(0.015),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn exponent_without_digits_is_identifier_boundary() {
+        // `2e` is the integer 2 followed by identifier `e`.
+        assert_eq!(
+            kinds("2e"),
+            vec![
+                TokenKind::Int(2),
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_lex_and_unterminated_fails() {
+        assert_eq!(
+            kinds("include \"qelib1.inc\";"),
+            vec![
+                TokenKind::Ident("include".into()),
+                TokenKind::Str("qelib1.inc".into()),
+                TokenKind::Semicolon,
+                TokenKind::Eof
+            ]
+        );
+        let err = lex("\"oops").unwrap_err();
+        assert!(err.message().contains("unterminated"));
+        assert_eq!((err.line(), err.col()), (1, 1));
+    }
+
+    #[test]
+    fn stray_characters_error_with_position() {
+        let err = lex("h q;\n  @").unwrap_err();
+        assert!(err.message().contains('@'));
+        assert_eq!((err.line(), err.col()), (2, 3));
+    }
+
+    #[test]
+    fn stray_equals_is_rejected() {
+        let err = lex("a = b").unwrap_err();
+        assert!(err.message().contains("=="));
+    }
+}

@@ -1,0 +1,107 @@
+//! # oneq-frontend
+//!
+//! OpenQASM 2.0 frontend for the OneQ compiler (ISCA'23 reproduction):
+//! a hand-written [`lexer`], a recursive-descent [`parser`], and a
+//! semantic-analysis + lowering pass ([`lower`]) that turns `.qasm`
+//! programs into the [`oneq_circuit::Circuit`] IR the pipeline compiles.
+//!
+//! Supported subset: `OPENQASM 2.0;`, `include "qelib1.inc";`,
+//! `qreg`/`creg`, user `gate` definitions (macros with parameter
+//! expressions over `pi`), gate applications with whole-register
+//! broadcasting, `barrier` and `measure` (validated, no IR effect).
+//! `opaque`, `if` and `reset` are rejected with targeted messages.
+//! Every error is a [`ParseError`] carrying a 1-based line/column span and
+//! rendering a compiler-style caret snippet via `Display`.
+//!
+//! # Example
+//!
+//! ```
+//! let circuit = oneq_frontend::parse_circuit(
+//!     r#"OPENQASM 2.0;
+//!        include "qelib1.inc";
+//!        qreg q[2];
+//!        h q[0];
+//!        cx q[0], q[1];"#,
+//! )
+//! .unwrap();
+//! assert_eq!(circuit.n_qubits(), 2);
+//! assert_eq!(circuit.gate_count(), 2);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use error::{ParseError, Span};
+pub use lower::Lowered;
+
+use oneq_circuit::Circuit;
+
+/// Parses and lowers an OpenQASM 2.0 program into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error with its
+/// source span.
+pub fn parse_circuit(source: &str) -> Result<Circuit, ParseError> {
+    parse_lowered(source).map(|l| l.circuit)
+}
+
+/// Like [`parse_circuit`], but keeps the register tables alongside the
+/// circuit.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error with its
+/// source span.
+pub fn parse_lowered(source: &str) -> Result<Lowered, ParseError> {
+    let program = parser::parse_program(source)?;
+    lower::lower(&program, source)
+}
+
+/// Like [`parse_circuit`], attaching `file` to any error (shown in the
+/// rendered snippet and in [`ParseError::to_line`]).
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error with its
+/// source span and the file name attached.
+pub fn parse_circuit_named(source: &str, file: &str) -> Result<Circuit, ParseError> {
+    parse_circuit(source).map_err(|e| e.with_file(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_parse_and_lower() {
+        let c = parse_circuit(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q;\nccx q[0], q[1], q[2];",
+        )
+        .unwrap();
+        assert_eq!(c.n_qubits(), 3);
+        assert_eq!(c.gate_count(), 4);
+    }
+
+    #[test]
+    fn named_errors_carry_the_file() {
+        let err =
+            parse_circuit_named("OPENQASM 2.0;\nqreg q[1];\nh q[0];", "bad.qasm").unwrap_err();
+        assert_eq!(err.file(), Some("bad.qasm"));
+        assert!(err.to_line().starts_with("bad.qasm:3:1: "));
+        assert!(err.to_string().contains("--> bad.qasm:3:1"));
+    }
+
+    #[test]
+    fn lowered_circuit_feeds_the_decomposer() {
+        let c = parse_circuit(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0], q[1];\nt q[1];",
+        )
+        .unwrap();
+        let j = oneq_circuit::decompose::to_jcz(&c);
+        assert!(j.gates().iter().all(oneq_circuit::Gate::is_j_or_cz));
+    }
+}

@@ -1,0 +1,620 @@
+//! Recursive-descent parser for the supported OpenQASM 2.0 subset.
+//!
+//! Grammar (after the mandatory `OPENQASM 2.0;` header):
+//!
+//! ```text
+//! statement := "include" string ";"
+//!            | "qreg" id "[" int "]" ";"
+//!            | "creg" id "[" int "]" ";"
+//!            | "gate" id [ "(" [ids] ")" ] ids "{" {gop} "}"
+//!            | "barrier" args ";"
+//!            | "measure" arg "->" arg ";"
+//!            | id [ "(" exprs ")" ] args ";"          // gate application
+//! gop       := id [ "(" exprs ")" ] ids ";" | "barrier" ids ";"
+//! arg       := id [ "[" int "]" ]
+//! expr      := term  { ("+"|"-") term }               // precedence climbing
+//! term      := unary { ("*"|"/") unary }
+//! unary     := "-" unary | pow
+//! pow       := atom [ "^" unary ]                     // right-associative
+//! atom      := real | int | "pi" | id | id "(" expr ")" | "(" expr ")"
+//! ```
+//!
+//! Unsupported OpenQASM 2.0 constructs — `opaque`, `if`, `reset`, includes
+//! other than `qelib1.inc` — are rejected with a targeted message rather
+//! than a generic syntax error.
+
+use crate::ast::{Argument, BinOp, Expr, Func, GateDef, GateOp, Program, Stmt};
+use crate::error::{ParseError, Span};
+use crate::lexer::{lex, Token, TokenKind, TokenStream};
+
+/// Parses `source` into a [`Program`] (syntax only; see
+/// [`crate::lower`] for semantic analysis).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error, with source span.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let ts = lex(source)?;
+    Parser { ts, pos: 0 }.program()
+}
+
+struct Parser {
+    ts: TokenStream,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.ts.tokens[self.pos.min(self.ts.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos + 1 < self.ts.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, span: Span, message: impl Into<String>) -> ParseError {
+        self.ts.error_at(span, message)
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, ParseError> {
+        let t = self.peek().clone();
+        if &t.kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.error(t.span, format!("expected {what}, found {}", t.kind)))
+        }
+    }
+
+    fn expect_semicolon(&mut self) -> Result<(), ParseError> {
+        self.expect(&TokenKind::Semicolon, "`;` after statement")?;
+        Ok(())
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), ParseError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok((name, t.span))
+            }
+            other => Err(self.error(t.span, format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn expect_index(&mut self, what: &str) -> Result<usize, ParseError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Int(v) => {
+                self.bump();
+                usize::try_from(v)
+                    .map_err(|_| self.error(t.span, format!("{what} `{v}` is out of range")))
+            }
+            other => Err(self.error(t.span, format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        self.header()?;
+        let mut program = Program {
+            stmts: Vec::new(),
+            includes_qelib1: false,
+        };
+        while self.peek().kind != TokenKind::Eof {
+            if let Some(stmt) = self.statement(&mut program)? {
+                program.stmts.push(stmt);
+            }
+        }
+        Ok(program)
+    }
+
+    fn header(&mut self) -> Result<(), ParseError> {
+        let t = self.peek().clone();
+        match &t.kind {
+            TokenKind::Ident(k) if k == "OPENQASM" => {
+                self.bump();
+            }
+            _ => {
+                return Err(self.error(
+                    t.span,
+                    "expected `OPENQASM 2.0;` header as the first statement",
+                ))
+            }
+        }
+        let v = self.peek().clone();
+        match v.kind {
+            TokenKind::Real(2.0) => {
+                self.bump();
+            }
+            TokenKind::Real(x) => {
+                return Err(self.error(
+                    v.span,
+                    format!("unsupported OpenQASM version {x}; only 2.0 is supported"),
+                ));
+            }
+            ref other => {
+                return Err(self.error(v.span, format!("expected version `2.0`, found {other}")));
+            }
+        }
+        self.expect_semicolon()
+    }
+
+    /// Parses one top-level statement. `include` statements mutate
+    /// `program` directly and yield `None`.
+    fn statement(&mut self, program: &mut Program) -> Result<Option<Stmt>, ParseError> {
+        let t = self.peek().clone();
+        let TokenKind::Ident(ref word) = t.kind else {
+            return Err(self.error(t.span, format!("expected a statement, found {}", t.kind)));
+        };
+        match word.as_str() {
+            "include" => {
+                self.include(program)?;
+                Ok(None)
+            }
+            "qreg" | "creg" => self.register(word.clone(), t.span).map(Some),
+            "gate" => self.gate_def(t.span).map(Some),
+            "barrier" => {
+                self.bump();
+                let args = self.argument_list()?;
+                self.expect_semicolon()?;
+                Ok(Some(Stmt::Barrier { args, span: t.span }))
+            }
+            "measure" => {
+                self.bump();
+                let src = self.argument()?;
+                self.expect(&TokenKind::Arrow, "`->` in measure statement")?;
+                let dst = self.argument()?;
+                self.expect_semicolon()?;
+                Ok(Some(Stmt::Measure {
+                    src,
+                    dst,
+                    span: t.span,
+                }))
+            }
+            "opaque" => Err(self.error(
+                t.span,
+                "unsupported construct: `opaque` gates have no body to lower; \
+                 define the gate with `gate ... { ... }` instead",
+            )),
+            "if" => Err(self.error(
+                t.span,
+                "unsupported construct: classically-controlled `if` statements \
+                 (the OneQ pipeline compiles straight-line circuits)",
+            )),
+            "reset" => Err(self.error(
+                t.span,
+                "unsupported construct: `reset` (mid-circuit re-initialization \
+                 has no one-way equivalent in this pipeline)",
+            )),
+            _ => self.apply(t.span).map(Some),
+        }
+    }
+
+    fn include(&mut self, program: &mut Program) -> Result<(), ParseError> {
+        self.bump(); // `include`
+        let t = self.peek().clone();
+        let TokenKind::Str(ref path) = t.kind else {
+            return Err(self.error(t.span, format!("expected include path, found {}", t.kind)));
+        };
+        if path != "qelib1.inc" {
+            return Err(self.error(
+                t.span,
+                format!("unsupported include \"{path}\"; only \"qelib1.inc\" is available"),
+            ));
+        }
+        program.includes_qelib1 = true;
+        self.bump();
+        self.expect_semicolon()
+    }
+
+    fn register(&mut self, keyword: String, span: Span) -> Result<Stmt, ParseError> {
+        self.bump(); // `qreg` / `creg`
+        let (name, _) = self.expect_ident("register name")?;
+        self.expect(&TokenKind::LBracket, "`[` after register name")?;
+        let size_span = self.peek().span;
+        let size = self.expect_index("register size")?;
+        if size == 0 {
+            return Err(self.error(size_span, format!("register `{name}` must not be empty")));
+        }
+        self.expect(&TokenKind::RBracket, "`]` after register size")?;
+        self.expect_semicolon()?;
+        if keyword == "qreg" {
+            Ok(Stmt::QReg { name, size, span })
+        } else {
+            Ok(Stmt::CReg { name, size, span })
+        }
+    }
+
+    fn gate_def(&mut self, span: Span) -> Result<Stmt, ParseError> {
+        self.bump(); // `gate`
+        let (name, _) = self.expect_ident("gate name")?;
+        let params = if self.peek().kind == TokenKind::LParen {
+            self.bump();
+            let names = if self.peek().kind == TokenKind::RParen {
+                Vec::new()
+            } else {
+                self.ident_list("parameter name")?
+            };
+            self.expect(&TokenKind::RParen, "`)` after gate parameters")?;
+            names
+        } else {
+            Vec::new()
+        };
+        let qargs = self.ident_list("qubit argument name")?;
+        self.expect(&TokenKind::LBrace, "`{` before gate body")?;
+        let mut body = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            if self.peek().kind == TokenKind::Eof {
+                let t = self.peek().clone();
+                return Err(self.error(t.span, format!("unclosed body of gate `{name}`")));
+            }
+            if let Some(op) = self.gate_op(&name)? {
+                body.push(op);
+            }
+        }
+        self.bump(); // `}`
+        Ok(Stmt::Gate(GateDef {
+            name,
+            params,
+            qargs,
+            body,
+            span,
+        }))
+    }
+
+    /// One operation inside a gate body; `barrier` yields `None`.
+    fn gate_op(&mut self, gate: &str) -> Result<Option<GateOp>, ParseError> {
+        let t = self.peek().clone();
+        let (word, span) = self.expect_ident("gate application")?;
+        match word.as_str() {
+            "barrier" => {
+                // Barriers are scheduling hints; the lowering keeps program
+                // order anyway, so they are validated and dropped.
+                self.ident_list("qubit argument name")?;
+                self.expect_semicolon()?;
+                Ok(None)
+            }
+            "measure" | "reset" | "if" | "gate" | "qreg" | "creg" | "opaque" | "include" => {
+                Err(self.error(
+                    t.span,
+                    format!("`{word}` is not allowed inside the body of gate `{gate}`"),
+                ))
+            }
+            _ => {
+                let params = self.call_params()?;
+                let args = self.ident_list("qubit argument name")?;
+                self.expect_semicolon()?;
+                Ok(Some(GateOp {
+                    name: word,
+                    params,
+                    args,
+                    span,
+                }))
+            }
+        }
+    }
+
+    fn apply(&mut self, span: Span) -> Result<Stmt, ParseError> {
+        let (name, _) = self.expect_ident("gate name")?;
+        let params = self.call_params()?;
+        let args = self.argument_list()?;
+        self.expect_semicolon()?;
+        Ok(Stmt::Apply {
+            name,
+            params,
+            args,
+            span,
+        })
+    }
+
+    /// `( expr, ... )` if present; empty otherwise.
+    fn call_params(&mut self) -> Result<Vec<Expr>, ParseError> {
+        if self.peek().kind != TokenKind::LParen {
+            return Ok(Vec::new());
+        }
+        self.bump();
+        let mut params = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                params.push(self.expr()?);
+                if self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)` after gate parameters")?;
+        Ok(params)
+    }
+
+    fn ident_list(&mut self, what: &str) -> Result<Vec<String>, ParseError> {
+        let mut names = vec![self.expect_ident(what)?.0];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            names.push(self.expect_ident(what)?.0);
+        }
+        Ok(names)
+    }
+
+    fn argument(&mut self) -> Result<Argument, ParseError> {
+        let (reg, span) = self.expect_ident("register name")?;
+        let index = if self.peek().kind == TokenKind::LBracket {
+            self.bump();
+            let i = self.expect_index("register index")?;
+            self.expect(&TokenKind::RBracket, "`]` after register index")?;
+            Some(i)
+        } else {
+            None
+        };
+        Ok(Argument { reg, index, span })
+    }
+
+    fn argument_list(&mut self) -> Result<Vec<Argument>, ParseError> {
+        let mut args = vec![self.argument()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            args.push(self.argument()?);
+        }
+        Ok(args)
+    }
+
+    // --- parameter expressions -------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek().kind == TokenKind::Minus {
+            self.bump();
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.pow()
+    }
+
+    fn pow(&mut self) -> Result<Expr, ParseError> {
+        let base = self.atom()?;
+        if self.peek().kind == TokenKind::Caret {
+            self.bump();
+            let exp = self.unary()?;
+            return Ok(Expr::Binary(BinOp::Pow, Box::new(base), Box::new(exp)));
+        }
+        Ok(base)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Real(v) => {
+                self.bump();
+                Ok(Expr::Real(v))
+            }
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)` closing the expression")?;
+                Ok(e)
+            }
+            TokenKind::Ident(ref name) if name == "pi" => {
+                self.bump();
+                Ok(Expr::Pi)
+            }
+            TokenKind::Ident(ref name) => {
+                if let Some(f) = Func::from_name(name) {
+                    self.bump();
+                    self.expect(&TokenKind::LParen, "`(` after function name")?;
+                    let e = self.expr()?;
+                    self.expect(&TokenKind::RParen, "`)` after function argument")?;
+                    Ok(Expr::Call(f, Box::new(e)))
+                } else {
+                    let name = name.clone();
+                    self.bump();
+                    Ok(Expr::Param(name, t.span))
+                }
+            }
+            ref other => Err(self.error(t.span, format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::f64::consts::PI;
+
+    fn parse_ok(src: &str) -> Program {
+        parse_program(src).expect("program should parse")
+    }
+
+    #[test]
+    fn minimal_program_parses() {
+        let p = parse_ok("OPENQASM 2.0;\nqreg q[3];\n");
+        assert_eq!(p.stmts.len(), 1);
+        assert!(matches!(
+            p.stmts[0],
+            Stmt::QReg { ref name, size: 3, .. } if name == "q"
+        ));
+        assert!(!p.includes_qelib1);
+    }
+
+    #[test]
+    fn include_qelib1_sets_flag() {
+        let p = parse_ok("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+        assert!(p.includes_qelib1);
+        assert!(p.stmts.is_empty());
+    }
+
+    #[test]
+    fn other_includes_are_rejected() {
+        let err = parse_program("OPENQASM 2.0;\ninclude \"other.inc\";").unwrap_err();
+        assert!(err.message().contains("other.inc"));
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = parse_program("qreg q[1];").unwrap_err();
+        assert!(err.message().contains("OPENQASM 2.0"));
+        assert_eq!((err.line(), err.col()), (1, 1));
+    }
+
+    #[test]
+    fn qasm3_is_rejected_with_version() {
+        let err = parse_program("OPENQASM 3.0;").unwrap_err();
+        assert!(err.message().contains("only 2.0"));
+    }
+
+    #[test]
+    fn missing_semicolon_points_at_next_token() {
+        let err = parse_program("OPENQASM 2.0;\nqreg q[4]\nqreg r[2];").unwrap_err();
+        assert!(err.message().contains("`;`"));
+        assert_eq!((err.line(), err.col()), (3, 1));
+    }
+
+    #[test]
+    fn apply_with_params_and_indices() {
+        let p = parse_ok("OPENQASM 2.0;\nqreg q[2];\ncu1(pi/4) q[1], q[0];");
+        let Stmt::Apply {
+            ref name,
+            ref params,
+            ref args,
+            ..
+        } = p.stmts[1]
+        else {
+            panic!("expected apply");
+        };
+        assert_eq!(name, "cu1");
+        assert_eq!(params.len(), 1);
+        assert_eq!(params[0].eval(&HashMap::new()).unwrap(), PI / 4.0);
+        assert_eq!(args[0].to_string(), "q[1]");
+        assert_eq!(args[1].to_string(), "q[0]");
+    }
+
+    #[test]
+    fn gate_definition_roundtrip() {
+        let p = parse_ok(
+            "OPENQASM 2.0;\n\
+             gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; }\n",
+        );
+        let Stmt::Gate(ref def) = p.stmts[0] else {
+            panic!("expected gate def");
+        };
+        assert_eq!(def.name, "majority");
+        assert!(def.params.is_empty());
+        assert_eq!(def.qargs, vec!["a", "b", "c"]);
+        assert_eq!(def.body.len(), 3);
+        assert_eq!(def.body[2].name, "ccx");
+    }
+
+    #[test]
+    fn parameterized_gate_definition() {
+        let p = parse_ok(
+            "OPENQASM 2.0;\n\
+             gate rot(theta) a { rx(theta/2) a; rx(theta/2) a; }\n",
+        );
+        let Stmt::Gate(ref def) = p.stmts[0] else {
+            panic!("expected gate def");
+        };
+        assert_eq!(def.params, vec!["theta"]);
+        let mut env = HashMap::new();
+        env.insert("theta".to_string(), PI);
+        assert_eq!(def.body[0].params[0].eval(&env).unwrap(), PI / 2.0);
+    }
+
+    #[test]
+    fn barrier_in_gate_body_is_dropped() {
+        let p = parse_ok("OPENQASM 2.0;\ngate g a,b { cx a,b; barrier a,b; cx a,b; }");
+        let Stmt::Gate(ref def) = p.stmts[0] else {
+            panic!("expected gate def");
+        };
+        assert_eq!(def.body.len(), 2);
+    }
+
+    #[test]
+    fn measure_and_barrier_statements() {
+        let p =
+            parse_ok("OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nbarrier q;\nmeasure q[0] -> c[0];");
+        assert!(matches!(p.stmts[2], Stmt::Barrier { .. }));
+        assert!(matches!(p.stmts[3], Stmt::Measure { .. }));
+    }
+
+    #[test]
+    fn unsupported_constructs_have_targeted_messages() {
+        for (src, needle) in [
+            ("OPENQASM 2.0;\nopaque magic q;", "opaque"),
+            (
+                "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nif (c==1) x q[0];",
+                "if",
+            ),
+            ("OPENQASM 2.0;\nqreg q[1];\nreset q[0];", "reset"),
+        ] {
+            let err = parse_program(src).unwrap_err();
+            assert!(err.message().contains(needle), "{src}: {}", err.message());
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let p = parse_ok("OPENQASM 2.0;\nqreg q[1];\nrz(1+2*3) q[0];");
+        let Stmt::Apply { ref params, .. } = p.stmts[1] else {
+            panic!()
+        };
+        assert_eq!(params[0].eval(&HashMap::new()).unwrap(), 7.0);
+        let p = parse_ok("OPENQASM 2.0;\nqreg q[1];\nrz(-2^2) q[0];");
+        let Stmt::Apply { ref params, .. } = p.stmts[1] else {
+            panic!()
+        };
+        assert_eq!(params[0].eval(&HashMap::new()).unwrap(), -4.0);
+        let p = parse_ok("OPENQASM 2.0;\nqreg q[1];\nrz((1+2)*sin(0)) q[0];");
+        let Stmt::Apply { ref params, .. } = p.stmts[1] else {
+            panic!()
+        };
+        assert_eq!(params[0].eval(&HashMap::new()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_register_is_rejected() {
+        let err = parse_program("OPENQASM 2.0;\nqreg q[0];").unwrap_err();
+        assert!(err.message().contains("must not be empty"));
+        assert_eq!((err.line(), err.col()), (2, 8));
+    }
+
+    #[test]
+    fn unclosed_gate_body_is_reported() {
+        let err = parse_program("OPENQASM 2.0;\ngate g a { cx a,a;").unwrap_err();
+        assert!(err.message().contains("unclosed body"));
+    }
+}

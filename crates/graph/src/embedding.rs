@@ -270,7 +270,9 @@ mod tests {
         let emb = Embedding::from_adjacency(&g);
         let hub = NodeId::new(0);
         for &u in g.neighbors(hub) {
-            let w = emb.next_after(hub, u).unwrap();
+            let w = emb
+                .next_after(hub, u)
+                .expect("adjacency-derived rotation must contain every hub neighbor");
             assert_eq!(emb.prev_before(hub, w), Some(u));
         }
         assert_eq!(emb.next_after(hub, NodeId::new(99)), None);
