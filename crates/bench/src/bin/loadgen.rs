@@ -1,0 +1,283 @@
+//! `loadgen`: the service-throughput harness.
+//!
+//! Replays the `.qasm` fixture corpus against an `oneqd` instance at a
+//! configurable concurrency and writes `BENCH_service.json` with
+//! throughput, latency percentiles, and the cache-hit rate — the served
+//! counterpart of `sweep`'s `BENCH_pipeline.json`, extending the repo's
+//! measured perf trajectory onto the requests/sec axis.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin loadgen [-- OPTIONS]
+//!
+//!   --addr HOST:PORT   target an already-running oneqd; without it,
+//!                      loadgen self-hosts an in-process server on an
+//!                      ephemeral loopback port
+//!   --corpus DIR       .qasm directory (default tests/fixtures/qasm)
+//!   --requests N       total requests to send (default 64)
+//!   --concurrency N    client worker threads (default 4)
+//!   --out PATH         output path (default BENCH_service.json)
+//! ```
+//!
+//! Requests round-robin the sorted corpus, so with N ≥ 2 × files the
+//! steady state exercises the content-addressed cache; per-request cache
+//! outcomes are read from the `X-Oneqd-Cache` response header.
+//!
+//! Exit code: 0 on success, 1 when any request failed (transport error or
+//! non-200), 2 on usage errors, 3 when the corpus holds no `.qasm` files.
+
+use oneq_service::http;
+use oneq_service::json;
+use oneq_service::pool::run_indexed;
+use oneq_service::server::{Server, ServerConfig, ServerHandle};
+use std::fmt::Write as _;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+struct Options {
+    addr: Option<String>,
+    corpus: PathBuf,
+    requests: usize,
+    concurrency: usize,
+    out: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--corpus DIR] [--requests N] \
+         [--concurrency N] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opt = Options {
+        addr: None,
+        corpus: PathBuf::from("tests/fixtures/qasm"),
+        requests: 64,
+        concurrency: 4,
+        out: PathBuf::from("BENCH_service.json"),
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("loadgen: {flag} needs a value");
+            usage();
+        })
+    };
+    let num = |s: String, flag: &str| -> usize {
+        match s.parse::<usize>() {
+            Ok(v) if v >= 1 => v,
+            _ => {
+                eprintln!("loadgen: {flag} expects a number >= 1, got `{s}`");
+                usage();
+            }
+        }
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => opt.addr = Some(value(&mut i, "--addr")),
+            "--corpus" => opt.corpus = PathBuf::from(value(&mut i, "--corpus")),
+            "--requests" => opt.requests = num(value(&mut i, "--requests"), "--requests"),
+            "--concurrency" => {
+                opt.concurrency = num(value(&mut i, "--concurrency"), "--concurrency")
+            }
+            "--out" => opt.out = PathBuf::from(value(&mut i, "--out")),
+            "--help" | "-h" => usage(),
+            flag => {
+                eprintln!("loadgen: unknown flag {flag}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    opt
+}
+
+/// The sorted `.qasm` files of the corpus directory, via the shared
+/// discovery helper (`oneq_service::corpus`).
+fn corpus_files(dir: &Path) -> Vec<PathBuf> {
+    oneq_service::corpus::qasm_files_flat(dir).unwrap_or_else(|e| {
+        eprintln!("loadgen: cannot read corpus {}: {e}", dir.display());
+        std::process::exit(3);
+    })
+}
+
+struct Sample {
+    latency_ns: u128,
+    ok: bool,
+    cache_hit: bool,
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let opt = parse_args();
+    let files = corpus_files(&opt.corpus);
+    if files.is_empty() {
+        eprintln!(
+            "loadgen: no .qasm files found under {}",
+            opt.corpus.display()
+        );
+        std::process::exit(3);
+    }
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|path| {
+            let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("loadgen: cannot read {}: {e}", path.display());
+                std::process::exit(3);
+            });
+            (path.display().to_string(), source)
+        })
+        .collect();
+
+    // Self-host unless an external daemon was given. The handle must
+    // outlive the run; dropping it shuts the server down.
+    let mut self_hosted: Option<ServerHandle> = None;
+    let addr: SocketAddr = match &opt.addr {
+        // `to_socket_addrs` resolves hostnames too (`localhost:7878`),
+        // matching oneqd's own `--addr` handling.
+        Some(addr) => addr
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut addrs| addrs.next())
+            .unwrap_or_else(|| {
+                eprintln!("loadgen: cannot resolve --addr `{addr}` (expected HOST:PORT)");
+                usage();
+            }),
+        None => {
+            let server = Server::bind("127.0.0.1:0", ServerConfig::default())
+                .expect("bind ephemeral loopback port");
+            let handle = server.spawn().expect("spawn in-process oneqd");
+            let addr = handle.addr();
+            self_hosted = Some(handle);
+            addr
+        }
+    };
+    println!(
+        "loadgen: {} requests over {} file(s) at concurrency {} -> {} ({})",
+        opt.requests,
+        sources.len(),
+        opt.concurrency,
+        addr,
+        if self_hosted.is_some() {
+            "self-hosted"
+        } else {
+            "external"
+        }
+    );
+
+    let timeout = Duration::from_secs(60);
+    let indices: Vec<usize> = (0..opt.requests).collect();
+    let t0 = Instant::now();
+    let samples = run_indexed(opt.concurrency, &indices, |_, &i| {
+        let (label, source) = &sources[i % sources.len()];
+        let target = format!("/compile?file={}", http::percent_encode(label));
+        let start = Instant::now();
+        let response = http::request(addr, "POST", &target, source.as_bytes(), timeout);
+        let latency_ns = start.elapsed().as_nanos();
+        match response {
+            Ok(resp) => Sample {
+                latency_ns,
+                ok: resp.status == 200,
+                cache_hit: resp.header("x-oneqd-cache") == Some("hit"),
+            },
+            Err(_) => Sample {
+                latency_ns,
+                ok: false,
+                cache_hit: false,
+            },
+        }
+    });
+    let wall_ns = t0.elapsed().as_nanos();
+
+    // One final /stats snapshot, embedded verbatim (it is already JSON).
+    let server_stats = http::request(addr, "GET", "/stats", b"", timeout)
+        .ok()
+        .filter(|r| r.status == 200)
+        .map(|r| String::from_utf8_lossy(&r.body).trim().to_string());
+    if let Some(handle) = self_hosted {
+        let _ = handle.shutdown();
+    }
+
+    let ok = samples.iter().filter(|s| s.ok).count();
+    let errors = samples.len() - ok;
+    let cache_hits = samples.iter().filter(|s| s.cache_hit).count();
+    let mut latencies: Vec<u128> = samples.iter().map(|s| s.latency_ns).collect();
+    latencies.sort_unstable();
+    let mean_ns = latencies.iter().sum::<u128>() as f64 / latencies.len().max(1) as f64;
+    let throughput_rps = samples.len() as f64 / (wall_ns as f64 / 1e9);
+    let hit_rate = cache_hits as f64 / samples.len().max(1) as f64;
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"oneq-bench-service/v1\",");
+    let _ = writeln!(
+        out,
+        "  \"corpus\": \"{}\",",
+        json::escape(&opt.corpus.display().to_string())
+    );
+    let _ = writeln!(out, "  \"files\": {},", sources.len());
+    let _ = writeln!(out, "  \"requests\": {},", samples.len());
+    let _ = writeln!(out, "  \"concurrency\": {},", opt.concurrency);
+    let _ = writeln!(out, "  \"self_hosted\": {},", opt.addr.is_none());
+    let _ = writeln!(out, "  \"ok\": {ok},");
+    let _ = writeln!(out, "  \"errors\": {errors},");
+    let _ = writeln!(out, "  \"cache_hits\": {cache_hits},");
+    let _ = writeln!(out, "  \"cache_hit_rate\": {},", json::fmt_f64(hit_rate));
+    let _ = writeln!(out, "  \"wall_ns\": {wall_ns},");
+    let _ = writeln!(
+        out,
+        "  \"throughput_rps\": {},",
+        json::fmt_f64(throughput_rps)
+    );
+    let _ = writeln!(
+        out,
+        "  \"latency_ns\": {{\"min\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
+         \"max\": {}, \"mean\": {}}},",
+        latencies.first().copied().unwrap_or(0),
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 90.0),
+        percentile(&latencies, 99.0),
+        latencies.last().copied().unwrap_or(0),
+        json::fmt_f64(mean_ns),
+    );
+    match &server_stats {
+        Some(stats) => {
+            let _ = writeln!(out, "  \"server_stats\": {stats}");
+        }
+        None => {
+            let _ = writeln!(out, "  \"server_stats\": null");
+        }
+    }
+    out.push_str("}\n");
+
+    std::fs::write(&opt.out, &out).unwrap_or_else(|e| {
+        eprintln!("loadgen: cannot write {}: {e}", opt.out.display());
+        std::process::exit(2);
+    });
+    println!(
+        "loadgen: {ok}/{} ok, {cache_hits} cache hits ({:.1}%), {:.1} req/s, \
+         p50 {:.2} ms, p99 {:.2} ms -> {}",
+        samples.len(),
+        100.0 * hit_rate,
+        throughput_rps,
+        percentile(&latencies, 50.0) as f64 / 1e6,
+        percentile(&latencies, 99.0) as f64 / 1e6,
+        opt.out.display()
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,11 @@
 //! disabled (the default) the output is byte-for-byte deterministic across
 //! runs — CI compiles the fixture corpus twice and diffs.
 //!
+//! The compile → record path and the worker pool live in `oneq-service`
+//! (`oneq_service::compile`, `oneq_service::pool`) and are shared with the
+//! `oneqd` daemon, whose `POST /compile` responses are byte-identical to
+//! these records for the same source and config.
+//!
 //! Usage:
 //!
 //! ```text
@@ -25,7 +30,9 @@
 //! ```
 //!
 //! Exit code: 0 when every file compiled, 1 when any file failed (failed
-//! files still get a `"status":"error"` record), 2 on usage errors.
+//! files still get a `"status":"error"` record), 2 on usage errors, 3 when
+//! an input path does not exist or no `.qasm` files were found under the
+//! given paths.
 //!
 //! JSONL schema (`oneqc/v1`): every record carries `file` and `status`.
 //! `ok` records add `qubits`, `gates`, `two_qubit_gates`, `rows`, `cols`,
@@ -34,32 +41,20 @@
 //! `timings_ns{parse,translate,partition,fusion_graph,mapping,shuffle,wall}`.
 //! `error` records add `error` (a `file:line:col: message` one-liner).
 
-use oneq::{Compiler, CompilerOptions};
-use oneq_hardware::{LayerGeometry, ResourceKind};
-use std::fmt::Write as _;
+use oneq_service::compile::{compile_record, error_record, CompileConfig, GeometryChoice};
+use oneq_service::pool::run_indexed;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
 
-#[derive(Clone, Copy)]
-enum GeometryChoice {
-    /// Square layer sized per circuit by the baseline's physical-area
-    /// protocol (the Table 2 / determinism-gate geometry).
-    Auto,
-    Square(usize),
-    Rect(usize, usize),
-}
+/// Exit code for input-path problems: a path that does not exist, an
+/// unreadable directory, or a scan that found zero `.qasm` files.
+/// Distinct from 1 (compile failures) and 2 (usage errors) so callers can
+/// tell "bad invocation" from "bad corpus" from "bad circuit".
+const EXIT_NO_INPUT: i32 = 3;
 
-#[derive(Clone)]
 struct Options {
-    geometry: GeometryChoice,
-    extension: usize,
-    resource: ResourceKind,
-    resource_label: String,
+    config: CompileConfig,
     jobs: usize,
     out: Option<PathBuf>,
-    timings: bool,
     paths: Vec<PathBuf>,
 }
 
@@ -132,28 +127,23 @@ fn parse_args() -> Options {
         eprintln!("oneqc: layer dimensions must be >= 1");
         usage();
     }
-    let resource = match resource_label.as_str() {
-        "line3" => ResourceKind::LINE3,
-        "line4" => ResourceKind::LINE4,
-        "star4" => ResourceKind::STAR4,
-        "ring4" => ResourceKind::RING4,
-        other => {
-            eprintln!("oneqc: unknown resource kind `{other}`");
-            usage();
-        }
-    };
+    let resource = oneq_service::compile::parse_resource(&resource_label).unwrap_or_else(|| {
+        eprintln!("oneqc: unknown resource kind `{resource_label}`");
+        usage();
+    });
     if extension == 0 {
         eprintln!("oneqc: --extension must be >= 1");
         usage();
     }
     Options {
-        geometry,
-        extension,
-        resource,
-        resource_label,
+        config: CompileConfig {
+            geometry,
+            extension,
+            resource,
+            timings,
+        },
         jobs: jobs.max(1),
         out,
-        timings,
         paths,
     }
 }
@@ -166,6 +156,9 @@ fn parse_num(s: &str, flag: &str) -> usize {
 }
 
 /// Expands the input paths into a sorted, deduplicated `.qasm` file list.
+/// A nonexistent path is an input error (exit [`EXIT_NO_INPUT`]), not a
+/// usage error: the command line was well-formed, the filesystem just
+/// doesn't match it.
 fn collect_files(paths: &[PathBuf]) -> Vec<PathBuf> {
     let mut files = Vec::new();
     for path in paths {
@@ -175,7 +168,7 @@ fn collect_files(paths: &[PathBuf]) -> Vec<PathBuf> {
             files.push(path.clone());
         } else {
             eprintln!("oneqc: no such file or directory: {}", path.display());
-            std::process::exit(2);
+            std::process::exit(EXIT_NO_INPUT);
         }
     }
     files.sort();
@@ -186,7 +179,7 @@ fn collect_files(paths: &[PathBuf]) -> Vec<PathBuf> {
 fn walk(dir: &Path, files: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         eprintln!("oneqc: cannot read directory {}", dir.display());
-        std::process::exit(2);
+        std::process::exit(EXIT_NO_INPUT);
     };
     for entry in entries.flatten() {
         let path = entry.path();
@@ -201,142 +194,43 @@ fn walk(dir: &Path, files: &mut Vec<PathBuf>) {
     }
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 /// Compiles one file into its JSONL record. Never panics on bad input:
-/// parse errors become `"status":"error"` records.
-fn run_one(path: &Path, opt: &Options) -> (String, bool) {
+/// read and parse errors become `"status":"error"` records.
+fn run_one(path: &Path, config: &CompileConfig) -> (String, bool) {
     let display = path.display().to_string();
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
-            return (
-                format!(
-                    "{{\"file\": \"{}\", \"status\": \"error\", \"error\": \"{}\"}}",
-                    json_escape(&display),
-                    json_escape(&format!("read failed: {e}"))
-                ),
-                false,
-            );
+            return (error_record(&display, &format!("read failed: {e}")), false);
         }
     };
-    let t0 = Instant::now();
-    let circuit = match oneq_frontend::parse_circuit(&source) {
-        Ok(c) => c,
-        Err(e) => {
-            let e = e.with_file(&display);
-            return (
-                format!(
-                    "{{\"file\": \"{}\", \"status\": \"error\", \"error\": \"{}\"}}",
-                    json_escape(&display),
-                    json_escape(&e.to_line())
-                ),
-                false,
-            );
-        }
-    };
-    let parse_ns = t0.elapsed().as_nanos();
-
-    let geometry = match opt.geometry {
-        GeometryChoice::Auto => LayerGeometry::square(oneq_baseline::physical_side(
-            circuit.n_qubits(),
-            opt.resource,
-        )),
-        GeometryChoice::Square(s) => LayerGeometry::square(s),
-        GeometryChoice::Rect(r, c) => LayerGeometry::new(r, c),
-    };
-    let options = CompilerOptions::new(geometry)
-        .with_resource_kind(opt.resource)
-        .with_extension(opt.extension);
-    let t1 = Instant::now();
-    let program = Compiler::new(options).compile(&circuit);
-    let wall_ns = parse_ns + t1.elapsed().as_nanos();
-
-    let mut line = String::new();
-    let _ = write!(
-        line,
-        "{{\"file\": \"{}\", \"status\": \"ok\", \"qubits\": {}, \"gates\": {}, \
-         \"two_qubit_gates\": {}, \"rows\": {}, \"cols\": {}, \"extension_factor\": {}, \
-         \"resource\": \"{}\", \"depth\": {}, \"fusions\": {}, \"partitions\": {}, \
-         \"fusion_graph_nodes\": {}, \"graph_state_nodes\": {}",
-        json_escape(&display),
-        circuit.n_qubits(),
-        circuit.gate_count(),
-        circuit.two_qubit_count(),
-        geometry.rows(),
-        geometry.cols(),
-        opt.extension,
-        opt.resource_label,
-        program.depth,
-        program.fusions,
-        program.stats.partitions,
-        program.stats.fusion_graph_nodes,
-        program.stats.graph_state_nodes,
-    );
-    if opt.timings {
-        let t = &program.timings;
-        let _ = write!(
-            line,
-            ", \"timings_ns\": {{\"parse\": {parse_ns}, \"translate\": {}, \
-             \"partition\": {}, \"fusion_graph\": {}, \"mapping\": {}, \"shuffle\": {}, \
-             \"wall\": {wall_ns}}}",
-            t.translate_ns, t.partition_ns, t.fusion_graph_ns, t.mapping_ns, t.shuffle_ns,
-        );
-    }
-    line.push('}');
-    (line, true)
+    compile_record(&display, &source, config)
 }
 
 fn main() {
     let opt = parse_args();
     let files = collect_files(&opt.paths);
     if files.is_empty() {
-        eprintln!("oneqc: no .qasm files found");
-        std::process::exit(2);
+        eprintln!(
+            "oneqc: no .qasm files found under: {}",
+            opt.paths
+                .iter()
+                .map(|p| p.display().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(EXIT_NO_INPUT);
     }
 
-    // Worker pool: a shared cursor hands out file indices; each record
-    // lands in its slot, so the output order is the sorted input order no
-    // matter which thread finishes first.
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<(String, bool)>>> = Mutex::new(vec![None; files.len()]);
-    let workers = opt.jobs.min(files.len());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= files.len() {
-                    break;
-                }
-                let record = run_one(&files[i], &opt);
-                slots.lock().expect("result mutex poisoned")[i] = Some(record);
-            });
-        }
-    });
+    // Worker pool (shared with oneqd): a cursor hands out file indices and
+    // each record lands in its slot, so the output order is the sorted
+    // input order no matter which thread finishes first.
+    let records = run_indexed(opt.jobs, &files, |_, path| run_one(path, &opt.config));
 
-    let records = slots.into_inner().expect("result mutex poisoned");
     let mut output = String::new();
     let mut failures = 0usize;
-    for record in records {
-        let (line, ok) = record.expect("every slot filled by the pool");
-        output.push_str(&line);
+    for (line, ok) in &records {
+        output.push_str(line);
         output.push('\n');
         if !ok {
             failures += 1;
@@ -350,7 +244,7 @@ fn main() {
             });
             eprintln!(
                 "oneqc: {} file(s) compiled, {failures} failed -> {}",
-                records_len(&output),
+                records.len(),
                 path.display()
             );
         }
@@ -359,8 +253,4 @@ fn main() {
     if failures > 0 {
         std::process::exit(1);
     }
-}
-
-fn records_len(output: &str) -> usize {
-    output.lines().count()
 }

@@ -21,6 +21,7 @@
 use oneq::{Compiler, CompilerOptions};
 use oneq_bench::{BenchKind, SEED};
 use oneq_hardware::{LayerGeometry, ResourceKind};
+use oneq_service::json;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -110,8 +111,10 @@ fn run_one(config: RunConfig) -> RunRecord {
     }
 }
 
-/// Renders the records as JSON (hand-rolled: every value is a number or a
-/// plain ASCII label, so no escaping is needed).
+/// Renders the records as JSON. String values go through the shared
+/// `oneq_service::json` escaper (the same helper behind `oneqc` records
+/// and `oneqd` responses), so the labels stay safe even if a future
+/// benchmark name stops being plain ASCII.
 fn to_json(records: &[RunRecord], quick: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -131,11 +134,11 @@ fn to_json(records: &[RunRecord], quick: bool) -> String {
              \"timings_ns\": {{\"translate\": {}, \"partition\": {}, \
              \"fusion_graph\": {}, \"mapping\": {}, \"shuffle\": {}, \
              \"wall\": {}}}",
-            c.kind.name(),
+            json::escape(c.kind.name()),
             c.qubits,
             c.geometry.rows(),
             c.geometry.cols(),
-            c.geometry_label,
+            json::escape(c.geometry_label),
             c.extension_factor,
             r.depth,
             r.fusions,

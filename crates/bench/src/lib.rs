@@ -18,8 +18,11 @@
 //!
 //! Beyond the paper artifacts, `oneqc` batch-compiles arbitrary OpenQASM
 //! 2.0 files (via `oneq-frontend`) to JSONL metrics, `sweep` records the
-//! perf trajectory, and `gen_qasm_fixtures` keeps the `.qasm` fixture
-//! corpus under `tests/fixtures/qasm/` in sync with the constructors.
+//! perf trajectory, `loadgen` replays the fixture corpus against the
+//! `oneqd` compile service and records throughput/latency/cache-hit rate
+//! (`BENCH_service.json`), and `gen_qasm_fixtures` keeps the `.qasm`
+//! fixture corpus under `tests/fixtures/qasm/` in sync with the
+//! constructors.
 //!
 //! Criterion benches under `benches/` measure compiler performance per
 //! stage and end to end.

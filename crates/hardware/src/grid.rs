@@ -346,6 +346,123 @@ mod tests {
         assert_eq!(grid.bounding_box(), Some((0, 4, 0, 4)));
     }
 
+    /// Brute-force reference bounding box.
+    fn naive_bbox(grid: &CellGrid<u8>) -> Option<(usize, usize, usize, usize)> {
+        let mut bbox: Option<(usize, usize, usize, usize)> = None;
+        for (p, _) in grid.iter() {
+            bbox = Some(match bbox {
+                None => (p.row, p.row, p.col, p.col),
+                Some((rmin, rmax, cmin, cmax)) => (
+                    rmin.min(p.row),
+                    rmax.max(p.row),
+                    cmin.min(p.col),
+                    cmax.max(p.col),
+                ),
+            });
+        }
+        bbox
+    }
+
+    #[test]
+    fn bbox_shrinks_then_regrows_through_vacate_reoccupy() {
+        // The mapping hot path vacates boundary cells (node shuffles) and
+        // re-occupies nearby, repeatedly; the incremental box must track
+        // every shrink-then-regrow exactly.
+        let mut grid: CellGrid<u8> = CellGrid::new(LayerGeometry::new(10, 10));
+        for p in [
+            Position::new(1, 1),
+            Position::new(1, 8),
+            Position::new(8, 1),
+            Position::new(8, 8),
+            Position::new(4, 4),
+        ] {
+            grid.set(p, 0);
+        }
+        assert_eq!(grid.bounding_box(), Some((1, 8, 1, 8)));
+        // Vacate one extreme corner: the box shrinks on the next read.
+        grid.remove(Position::new(8, 8));
+        assert_eq!(
+            grid.bounding_box(),
+            Some((1, 8, 1, 8)),
+            "other extremes hold the box"
+        );
+        grid.remove(Position::new(8, 1));
+        assert_eq!(
+            grid.bounding_box(),
+            Some((1, 4, 1, 8)),
+            "bottom row vacated"
+        );
+        grid.remove(Position::new(1, 8));
+        assert_eq!(grid.bounding_box(), Some((1, 4, 1, 4)));
+        // Re-occupy beyond the shrunken box: it must regrow incrementally.
+        grid.set(Position::new(9, 2), 0);
+        assert_eq!(grid.bounding_box(), Some((1, 9, 1, 4)));
+        // Vacate + immediately re-occupy the same boundary cell.
+        grid.remove(Position::new(9, 2));
+        grid.set(Position::new(9, 2), 0);
+        assert_eq!(grid.bounding_box(), Some((1, 9, 1, 4)));
+        assert_eq!(grid.bounding_box(), naive_bbox(&grid));
+    }
+
+    #[test]
+    fn bbox_set_while_dirty_is_counted_on_the_next_read() {
+        // Removing a boundary cell marks the cached box dirty; a set that
+        // lands while it is dirty must still be reflected by the rescan.
+        let mut grid: CellGrid<u8> = CellGrid::new(LayerGeometry::new(8, 8));
+        grid.set(Position::new(2, 2), 0);
+        grid.set(Position::new(5, 5), 0);
+        assert_eq!(grid.bounding_box(), Some((2, 5, 2, 5)));
+        grid.remove(Position::new(5, 5)); // dirties the cache...
+        grid.set(Position::new(7, 0), 0); // ...and this set sees it dirty
+        grid.set(Position::new(0, 7), 0);
+        assert_eq!(grid.bounding_box(), Some((0, 7, 0, 7)));
+        assert_eq!(grid.bounding_box(), naive_bbox(&grid));
+    }
+
+    #[test]
+    fn bbox_empty_regrow_cycles() {
+        let mut grid: CellGrid<u8> = CellGrid::new(LayerGeometry::new(6, 6));
+        for _ in 0..3 {
+            grid.set(Position::new(3, 2), 0);
+            grid.set(Position::new(1, 4), 0);
+            assert_eq!(grid.bounding_box(), Some((1, 3, 2, 4)));
+            grid.remove(Position::new(3, 2));
+            grid.remove(Position::new(1, 4));
+            assert_eq!(grid.bounding_box(), None, "fully vacated grid has no box");
+            assert_eq!(grid.bounding_box_area(), 0);
+        }
+    }
+
+    #[test]
+    fn bbox_matches_brute_force_under_random_churn() {
+        // Deterministic LCG so the sequence is reproducible without the
+        // rand shim; interleave reads at varying cadences so both the
+        // incremental path and the lazy rescan path are exercised.
+        let mut state = 0x2023_cafe_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let geometry = LayerGeometry::new(7, 9);
+        let mut grid: CellGrid<u8> = CellGrid::new(geometry);
+        for step in 0..2000 {
+            let p = Position::new(next() % 7, next() % 9);
+            if next() % 2 == 0 {
+                grid.set(p, 1);
+            } else {
+                grid.remove(p);
+            }
+            // Read on a varying cadence: sometimes right after a dirtying
+            // remove, sometimes after a burst of writes.
+            if step % (1 + next() % 5) == 0 {
+                assert_eq!(grid.bounding_box(), naive_bbox(&grid), "step {step}");
+            }
+        }
+        assert_eq!(grid.bounding_box(), naive_bbox(&grid));
+    }
+
     #[test]
     fn bfs_scratch_epochs_invalidate() {
         let mut bfs = BfsScratch::new();

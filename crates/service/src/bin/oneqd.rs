@@ -1,0 +1,106 @@
+//! `oneqd`: the OneQ compile daemon.
+//!
+//! A long-lived HTTP/1.1 service over the full compile pipeline, with a
+//! content-addressed result cache. See the crate docs (`oneq-service`)
+//! and the README's service section for the endpoint contract.
+//!
+//! Usage:
+//!
+//! ```text
+//! oneqd [OPTIONS]
+//!
+//!   --addr HOST:PORT     listen address (default 127.0.0.1:7878; port 0
+//!                        picks an ephemeral port, printed at startup)
+//!   --workers N          worker threads (default: available parallelism)
+//!   --backlog N          bounded queue of pending connections (default 64)
+//!   --cache-capacity N   cached /compile responses (default 256)
+//!   --cache-shards N     cache mutex stripes (default 8)
+//!   --max-body BYTES     request body limit (default 4194304)
+//! ```
+//!
+//! The daemon prints `oneqd: listening on http://ADDR` once ready and
+//! exits 0 after a graceful shutdown (SIGTERM or ctrl-c): the listener
+//! stops accepting, in-flight and queued requests finish, workers join.
+//! Usage errors exit 2.
+
+use oneq_service::server::{Server, ServerConfig};
+use oneq_service::signal;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: oneqd [--addr HOST:PORT] [--workers N] [--backlog N] \
+         [--cache-capacity N] [--cache-shards N] [--max-body BYTES]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (String, ServerConfig) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut config = ServerConfig::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("oneqd: {flag} needs a value");
+            usage();
+        })
+    };
+    let num = |s: String, flag: &str, min: usize| -> usize {
+        match s.parse::<usize>() {
+            Ok(v) if v >= min => v,
+            _ => {
+                eprintln!("oneqd: {flag} expects a number >= {min}, got `{s}`");
+                usage();
+            }
+        }
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = value(&mut i, "--addr"),
+            "--workers" => config.workers = num(value(&mut i, "--workers"), "--workers", 1),
+            "--backlog" => config.backlog = num(value(&mut i, "--backlog"), "--backlog", 1),
+            "--cache-capacity" => {
+                config.cache_capacity =
+                    num(value(&mut i, "--cache-capacity"), "--cache-capacity", 1);
+            }
+            "--cache-shards" => {
+                config.cache_shards = num(value(&mut i, "--cache-shards"), "--cache-shards", 1);
+            }
+            "--max-body" => config.max_body = num(value(&mut i, "--max-body"), "--max-body", 1),
+            "--help" | "-h" => usage(),
+            flag => {
+                eprintln!("oneqd: unknown flag {flag}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    (addr, config)
+}
+
+fn main() {
+    let (addr, config) = parse_args();
+    signal::install();
+    let server = Server::bind(addr.as_str(), config.clone()).unwrap_or_else(|e| {
+        eprintln!("oneqd: cannot bind {addr}: {e}");
+        std::process::exit(2);
+    });
+    let local = server
+        .local_addr()
+        .expect("freshly bound listener has an address");
+    // Scripts (CI, tests) wait for this exact line before sending traffic.
+    println!("oneqd: listening on http://{local}");
+    println!(
+        "oneqd: {} workers, backlog {}, cache capacity {} over {} shard(s)",
+        config.workers, config.backlog, config.cache_capacity, config.cache_shards
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    if let Err(e) = server.run_until(signal::shutdown_requested) {
+        eprintln!("oneqd: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+    println!("oneqd: shutdown complete");
+}

@@ -1,0 +1,379 @@
+//! Content-addressed compile cache: sharded, mutex-striped LRU.
+//!
+//! `oneqd` keys compiled responses by *content*, not by file name: the
+//! address is a hand-written [`sha256`] digest of the
+//! [`canonicalize_source`]d QASM bytes combined with the compile-config
+//! fingerprint (and the response's file label, which is embedded in the
+//! record bytes). Entries store only the 32-byte digest — never the
+//! source — so resident key memory is bounded by `capacity × 32` no
+//! matter how large the posted circuits are, and serving a wrong
+//! circuit's metrics would require a SHA-256 collision. Digests route to
+//! one of N mutex stripes by their leading bytes, so concurrent requests
+//! only contend when they land on the same shard.
+//!
+//! Hit/miss/eviction counters are process-wide atomics surfaced through
+//! `GET /stats`. [`fnv1a_64`] is kept alongside as the cheap
+//! non-cryptographic hash for callers that only need routing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a, 64-bit: the classic offset-basis/prime pair. Tiny and fast;
+/// for routing and fingerprinting only — it is not collision-resistant,
+/// which is why the cache itself addresses by [`sha256`].
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// SHA-256 round constants (FIPS 180-4 §4.2.2).
+const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// A small hand-written SHA-256 (FIPS 180-4): the cache's content
+/// address. ~40 lines of shifts and adds keeps the workspace free of an
+/// external digest crate while making key collisions cryptographically
+/// negligible.
+pub fn sha256(bytes: &[u8]) -> [u8; 32] {
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    // Padded message: data ‖ 0x80 ‖ zeros ‖ 64-bit big-endian bit length.
+    let mut msg = bytes.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&((bytes.len() as u64) * 8).to_be_bytes());
+
+    let mut w = [0u32; 64];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(SHA256_K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (hi, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+            *hi = hi.wrapping_add(v);
+        }
+    }
+    let mut out = [0u8; 32];
+    for (chunk, word) in out.chunks_exact_mut(4).zip(h) {
+        chunk.copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Canonicalizes QASM source for cache keying: CRLF → LF, trailing
+/// horizontal whitespace stripped per line, and exactly one trailing
+/// newline. Two sources with the same canonical form tokenize
+/// identically under the OpenQASM 2.0 grammar (whitespace is
+/// insignificant outside string literals, and the only accepted string
+/// literal is the include path), so they compile to the same metrics.
+/// The *original* bytes are still what gets compiled on a miss — the
+/// canonical form exists only as the cache address.
+pub fn canonicalize_source(source: &str) -> String {
+    let mut out = String::with_capacity(source.len() + 1);
+    for line in source.split('\n') {
+        out.push_str(line.trim_end_matches([' ', '\t', '\r']));
+        out.push('\n');
+    }
+    while out.ends_with("\n\n") {
+        out.pop();
+    }
+    out
+}
+
+/// A point-in-time snapshot of the cache counters (for `/stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a cached body.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident (across all shards).
+    pub entries: usize,
+    /// Maximum resident entries (across all shards).
+    pub capacity: usize,
+    /// Number of mutex stripes.
+    pub shards: usize,
+}
+
+struct Entry {
+    digest: [u8; 32],
+    value: Arc<str>,
+}
+
+/// One stripe: a digest-keyed LRU with the most recently used entry at
+/// the back of the vec. Capacities are small (tens of entries per
+/// shard), so the O(len) scan-and-rotate is cheaper than pointer-chasing
+/// a list.
+#[derive(Default)]
+struct Shard {
+    entries: Vec<Entry>,
+}
+
+/// The sharded LRU. All methods take `&self`; interior mutability is one
+/// mutex per shard.
+pub struct CompileCache {
+    shards: Box<[Mutex<Shard>]>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CompileCache {
+    /// A cache holding at most `capacity` entries striped over `shards`
+    /// mutexes (both clamped to ≥ 1; per-shard capacity rounds up).
+    pub fn new(capacity: usize, shards: usize) -> CompileCache {
+        let shards = shards.max(1);
+        let shard_capacity = capacity.max(1).div_ceil(shards);
+        CompileCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Routes a digest to its stripe by the leading 8 bytes (SHA-256
+    /// output is uniform, so any fixed slice balances the shards).
+    fn shard_of(&self, digest: &[u8; 32]) -> &Mutex<Shard> {
+        let lead = u64::from_be_bytes(digest[..8].try_into().expect("8-byte slice"));
+        &self.shards[(lead as usize) % self.shards.len()]
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<Arc<str>> {
+        let digest = sha256(key.as_bytes());
+        let mut shard = self.shard_of(&digest).lock().expect("cache shard poisoned");
+        let pos = shard.entries.iter().position(|e| e.digest == digest);
+        match pos {
+            Some(pos) => {
+                let entry = shard.entries.remove(pos);
+                let value = Arc::clone(&entry.value);
+                shard.entries.push(entry);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key → value`, evicting the least recently
+    /// used entry of the target shard when it is full.
+    pub fn insert(&self, key: &str, value: Arc<str>) {
+        let digest = sha256(key.as_bytes());
+        let mut shard = self.shard_of(&digest).lock().expect("cache shard poisoned");
+        if let Some(pos) = shard.entries.iter().position(|e| e.digest == digest) {
+            // Two threads can race the same miss; the second insert just
+            // refreshes recency.
+            let mut entry = shard.entries.remove(pos);
+            entry.value = value;
+            shard.entries.push(entry);
+            return;
+        }
+        shard.entries.push(Entry { digest, value });
+        if shard.entries.len() > self.shard_capacity {
+            shard.entries.remove(0);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+            .sum()
+    }
+
+    /// `true` when no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter + occupancy snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.shard_capacity * self.shards.len(),
+            shards: self.shards.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn sha256_matches_fips_vectors() {
+        fn hex(digest: [u8; 32]) -> String {
+            digest.iter().map(|b| format!("{b:02x}")).collect()
+        }
+        assert_eq!(
+            hex(sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        // Two-block message (FIPS 180-4 example B.2).
+        assert_eq!(
+            hex(sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn canonicalization_normalizes_whitespace() {
+        let a = "OPENQASM 2.0;\r\nqreg q[1];  \nh q[0];\t\r\n\n\n";
+        let b = "OPENQASM 2.0;\nqreg q[1];\nh q[0];\n";
+        assert_eq!(canonicalize_source(a), canonicalize_source(b));
+        assert_eq!(canonicalize_source(b), b, "canonical form is a fixpoint");
+        // Leading/interior whitespace is significant structure; keep it.
+        assert_ne!(canonicalize_source("  h q;"), canonicalize_source("h q;"));
+    }
+
+    #[test]
+    fn get_miss_then_hit() {
+        let cache = CompileCache::new(8, 2);
+        assert!(cache.get("k").is_none());
+        cache.insert("k", arc("v"));
+        assert_eq!(cache.get("k").as_deref(), Some("v"));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Single shard so the eviction order is fully observable.
+        let cache = CompileCache::new(2, 1);
+        cache.insert("a", arc("1"));
+        cache.insert("b", arc("2"));
+        assert_eq!(cache.get("a").as_deref(), Some("1")); // refresh a
+        cache.insert("c", arc("3")); // evicts b, the LRU entry
+        assert!(cache.get("b").is_none());
+        assert_eq!(cache.get("a").as_deref(), Some("1"));
+        assert_eq!(cache.get("c").as_deref(), Some("3"));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let cache = CompileCache::new(2, 1);
+        cache.insert("a", arc("1"));
+        cache.insert("b", arc("2"));
+        cache.insert("a", arc("1'"));
+        assert_eq!(cache.len(), 2);
+        cache.insert("c", arc("3")); // b is now the LRU
+        assert!(cache.get("b").is_none());
+        assert_eq!(cache.get("a").as_deref(), Some("1'"));
+    }
+
+    #[test]
+    fn striping_spreads_and_counts_globally() {
+        let cache = CompileCache::new(64, 8);
+        for i in 0..64 {
+            cache.insert(&format!("key-{i}"), arc("v"));
+        }
+        assert!(cache.len() <= 64);
+        assert!(cache.len() > 8, "keys spread over multiple shards");
+        for i in 0..64 {
+            let _ = cache.get(&format!("key-{i}"));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 64);
+        assert_eq!(stats.shards, 8);
+        assert_eq!(stats.capacity, 64);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = Arc::new(CompileCache::new(128, 8));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let key = format!("key-{}", (t * 31 + i) % 50);
+                        match cache.get(&key) {
+                            Some(v) => assert_eq!(&*v, &key, "a hit returns its own value"),
+                            None => cache.insert(&key, Arc::from(key.as_str())),
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8 * 200);
+        assert!(stats.entries <= 50);
+    }
+}

@@ -1,0 +1,476 @@
+//! A deliberately small HTTP/1.1 implementation over `std::net`.
+//!
+//! `oneqd` serves three fixed routes to trusted clients (CI, `loadgen`,
+//! `curl`); it needs request-line + header + `Content-Length` body
+//! parsing, percent-decoding for query strings, and `Connection: close`
+//! responses — nothing more. Pulling in an HTTP stack would break the
+//! workspace's vendored-offline policy, so this module implements exactly
+//! that subset, with hard limits on line, header, and body sizes.
+//!
+//! [`request`] is the matching one-shot client used by `loadgen` and the
+//! integration tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Upper bound on one request line or header line.
+const MAX_LINE: usize = 8 * 1024;
+/// Upper bound on the number of header lines.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path component of the target (no query string).
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (`Content-Length`-framed; no chunked encoding).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter named `name`, if any.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First header named `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be served.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Transport failure (peer went away, timeout); no response owed.
+    Io(std::io::Error),
+    /// Malformed request → `400 Bad Request`.
+    Malformed(String),
+    /// Body larger than the server's limit → `413 Content Too Large`.
+    BodyTooLarge(usize),
+}
+
+impl From<std::io::Error> for RequestError {
+    fn from(e: std::io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// Reads one line (LF-terminated, CR stripped) with a length cap. EOF
+/// before the terminator is a transport error, never a silently accepted
+/// truncated line: a peer that dies mid-header must not have its partial
+/// bytes parsed as a complete request.
+fn read_line(reader: &mut impl BufRead) -> Result<String, RequestError> {
+    let mut buf = Vec::with_capacity(128);
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => {
+                return Err(RequestError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-line",
+                )));
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE {
+                    return Err(RequestError::Malformed("header line too long".into()));
+                }
+            }
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| RequestError::Malformed("header line not UTF-8".into()))
+}
+
+/// Reads and parses one request from `stream`, enforcing `max_body`.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RequestError> {
+    let mut reader = BufReader::new(stream);
+    let request_line = read_line(&mut reader)?;
+    if request_line.is_empty() {
+        return Err(RequestError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "empty request",
+        )));
+    }
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(RequestError::Malformed("bad request line".into())),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(RequestError::Malformed("too many headers".into()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Malformed("header without colon".into()));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(RequestError::Malformed(
+            "chunked transfer encoding is not supported".into(),
+        ));
+    }
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| RequestError::Malformed("bad content-length".into()))?,
+    };
+    if content_length > max_body {
+        return Err(RequestError::BodyTooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, parse_query(q)),
+        None => (target, Vec::new()),
+    };
+    Ok(Request {
+        method: method.to_string(),
+        path: percent_decode(path),
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Decodes `name=value&…` with percent-decoding and `+` → space.
+pub fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((n, v)) => (percent_decode(n), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Percent-decodes `s` (`%XX` → byte, `+` → space); invalid escapes pass
+/// through literally, invalid UTF-8 is replaced.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex_val(bytes.get(i + 1)), hex_val(bytes.get(i + 2))) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: Option<&u8>) -> Option<u8> {
+    match b? {
+        b @ b'0'..=b'9' => Some(b - b'0'),
+        b @ b'a'..=b'f' => Some(b - b'a' + 10),
+        b @ b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Percent-encodes `s` for use inside a query value: unreserved
+/// characters (RFC 3986) and `/` stay literal, everything else becomes
+/// `%XX`.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' | b'/' => {
+                out.push(b as char);
+            }
+            b => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+        }
+    }
+    out
+}
+
+/// The reason phrase for the status codes this service emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Connection: close` response.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        status_reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A parsed client-side response.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header named `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One-shot HTTP client: opens a connection, sends `method target` with
+/// `body`, reads the `Connection: close` response to EOF. Used by
+/// `loadgen` and the integration tests.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_client_response(&raw)
+}
+
+fn parse_client_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header/body separator"))?;
+    let head = std::str::from_utf8(&raw[..split]).map_err(|_| bad("head not UTF-8"))?;
+    let body = raw[split + 4..].to_vec();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("missing status line"))?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_parsing_decodes() {
+        let q = parse_query("file=a%2Fb.qasm&side=12&flag&x=1+2");
+        assert_eq!(
+            q,
+            vec![
+                ("file".into(), "a/b.qasm".into()),
+                ("side".into(), "12".into()),
+                ("flag".into(), String::new()),
+                ("x".into(), "1 2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn percent_roundtrip() {
+        let s = "tests/fixtures/qasm/bv-16.qasm with space&=%";
+        assert_eq!(percent_decode(&percent_encode(s)), s);
+        assert_eq!(percent_decode("%zz%4"), "%zz%4", "bad escapes pass through");
+    }
+
+    #[test]
+    fn client_response_parsing() {
+        let raw = b"HTTP/1.1 404 Not Found\r\nContent-Type: application/json\r\nX-A: b\r\n\r\n{}";
+        let resp = parse_client_response(raw).unwrap();
+        assert_eq!(resp.status, 404);
+        assert_eq!(resp.header("x-a"), Some("b"));
+        assert_eq!(resp.body, b"{}");
+    }
+
+    #[test]
+    fn write_response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            "application/json",
+            &[("X-Oneqd-Cache", "hit".to_string())],
+            b"{\"a\": 1}\n",
+        )
+        .unwrap();
+        let resp = parse_client_response(&out).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-length"), Some("9"));
+        assert_eq!(resp.header("x-oneqd-cache"), Some("hit"));
+        assert_eq!(resp.body, b"{\"a\": 1}\n");
+    }
+
+    #[test]
+    fn request_against_a_canned_server() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream, 1024).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/compile");
+            assert_eq!(req.query_param("file"), Some("a b.qasm"));
+            assert_eq!(req.body, b"hello");
+            write_response(&mut stream, 200, "text/plain", &[], b"ok").unwrap();
+        });
+        let resp = request(
+            addr,
+            "POST",
+            "/compile?file=a%20b.qasm",
+            b"hello",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"ok");
+    }
+
+    #[test]
+    fn truncated_requests_are_io_errors_not_parsed() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            match read_request(&mut stream, 1024) {
+                Err(RequestError::Io(e)) => {
+                    assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+                }
+                other => panic!("expected Io(UnexpectedEof), got {other:?}"),
+            }
+        });
+        {
+            let mut client = TcpStream::connect(addr).unwrap();
+            client
+                .write_all(b"POST /compile HTTP/1.1\r\nContent-Le")
+                .unwrap();
+            // Dropping the stream closes the connection mid-header.
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            match read_request(&mut stream, 4) {
+                Err(RequestError::BodyTooLarge(n)) => assert_eq!(n, 5),
+                other => panic!("expected BodyTooLarge, got {other:?}"),
+            }
+        });
+        let _ = request(addr, "POST", "/x", b"12345", Duration::from_secs(5));
+        server.join().unwrap();
+    }
+}

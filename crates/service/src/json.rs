@@ -1,0 +1,94 @@
+//! Hand-rolled JSON emission helpers.
+//!
+//! The workspace has no serde: every JSON producer (`oneqc`'s JSONL
+//! writer, `oneqd`'s responses, `sweep`'s and `loadgen`'s BENCH files)
+//! formats records by hand. This module is the single implementation of
+//! the two parts that are easy to get subtly wrong — string escaping and
+//! `f64` formatting — so the producers cannot drift apart.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// and all control characters below U+0020). The surrounding quotes are
+/// the caller's job, matching how the record format strings are written.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// JSON-escapes `s` into a fresh `String` (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+/// Formats an `f64` as a JSON value. Finite values print in Rust's
+/// shortest round-trip decimal form (always a valid JSON number);
+/// non-finite values (`NaN`, `±inf`) have no JSON representation and
+/// print as `null`.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_backslashes() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+    }
+
+    #[test]
+    fn escapes_named_control_chars() {
+        assert_eq!(escape("a\nb\rc\td"), r"a\nb\rc\td");
+    }
+
+    #[test]
+    fn escapes_other_control_chars_as_unicode() {
+        assert_eq!(escape("\u{0}\u{1f}"), "\\u0000\\u001f");
+        // U+0020 (space) and above pass through untouched.
+        assert_eq!(escape(" ~\u{7f}é"), " ~\u{7f}é");
+    }
+
+    #[test]
+    fn escape_into_appends() {
+        let mut out = String::from("x");
+        escape_into(&mut out, "\"");
+        assert_eq!(out, "x\\\"");
+    }
+
+    #[test]
+    fn finite_floats_round_trip() {
+        assert_eq!(fmt_f64(1.0), "1");
+        assert_eq!(fmt_f64(-0.5), "-0.5");
+        let v = 0.1 + 0.2;
+        assert_eq!(fmt_f64(v).parse::<f64>().unwrap(), v);
+        // Display never uses exponent notation, so even huge values stay
+        // valid JSON numbers and round-trip exactly.
+        assert_eq!(fmt_f64(1e300).parse::<f64>().unwrap(), 1e300);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "null");
+    }
+}

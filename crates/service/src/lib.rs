@@ -1,0 +1,51 @@
+//! # oneq-service
+//!
+//! The serving layer over the OneQ pipeline: a std-only concurrent
+//! compile service with a content-addressed result cache.
+//!
+//! The `oneqd` binary is a long-lived daemon that keeps the compiler hot
+//! and amortizes work across requests:
+//!
+//! * a hand-rolled HTTP/1.1 server ([`http`], [`server`]) over
+//!   `std::net::TcpListener` — no external dependencies, consistent with
+//!   the workspace's vendored-offline policy;
+//! * a bounded worker pool ([`pool`]) shared with the batch drivers;
+//! * a sharded, mutex-striped, content-addressed LRU cache ([`cache`])
+//!   keyed by a hand-written SHA-256 digest over canonicalized source
+//!   bytes × compile config (entries hold the 32-byte digest, never the
+//!   source);
+//! * graceful shutdown on SIGTERM/ctrl-c ([`signal`]).
+//!
+//! The compile path itself ([`compile`]) and the JSON emission helpers
+//! ([`json`]) are the *same modules* `oneqc` and the bench drivers use,
+//! which is what makes the service's contract — `/compile` responses
+//! byte-identical to `oneqc` JSONL records — hold by construction.
+//!
+//! # Example
+//!
+//! ```
+//! use oneq_service::server::{Server, ServerConfig};
+//! use std::time::Duration;
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let handle = server.spawn().unwrap();
+//! let resp = oneq_service::http::request(
+//!     handle.addr(),
+//!     "GET",
+//!     "/healthz",
+//!     b"",
+//!     Duration::from_secs(5),
+//! )
+//! .unwrap();
+//! assert_eq!(resp.status, 200);
+//! handle.shutdown().unwrap();
+//! ```
+
+pub mod cache;
+pub mod compile;
+pub mod corpus;
+pub mod http;
+pub mod json;
+pub mod pool;
+pub mod server;
+pub mod signal;

@@ -1,0 +1,165 @@
+//! Std-thread worker pools shared by the batch drivers and the daemon.
+//!
+//! Two shapes of parallelism live here:
+//!
+//! * [`run_indexed`] — the batch pool `oneqc` (and `loadgen`) use: a
+//!   shared atomic cursor hands out item indices to scoped workers, and
+//!   every result lands in its input slot, so output order is input order
+//!   no matter which thread finishes first.
+//! * [`WorkerPool`] — the long-lived bounded pool `oneqd` uses: N named
+//!   threads drain a bounded queue of boxed jobs. A full queue makes
+//!   [`WorkerPool::execute`] block (backpressure on the acceptor), and
+//!   dropping the pool joins the workers after the queue drains — the
+//!   mechanism behind graceful shutdown.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Runs `f` over every item of `items` on up to `jobs` scoped worker
+/// threads and returns the results in input order.
+///
+/// # Example
+///
+/// ```
+/// let squares = oneq_service::pool::run_indexed(4, &[1u64, 2, 3], |i, v| (i, v * v));
+/// assert_eq!(squares, vec![(0, 1), (1, 4), (2, 9)]);
+/// ```
+pub fn run_indexed<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let slots = Mutex::new(slots);
+    let workers = jobs.max(1).min(items.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                slots.lock().expect("pool slot mutex poisoned")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("pool slot mutex poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every slot filled by the pool"))
+        .collect()
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A bounded pool of long-lived worker threads draining a job queue.
+pub struct WorkerPool {
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (named `{name}-{i}`) behind a queue
+    /// holding at most `backlog` pending jobs.
+    pub fn new(name: &str, workers: usize, backlog: usize) -> WorkerPool {
+        let (tx, rx) = sync_channel::<Job>(backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Enqueues a job, blocking while the queue is full. Returns `false`
+    /// only after [`WorkerPool::shutdown`].
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Closes the queue and joins every worker; jobs already enqueued
+    /// still run (drain-then-exit).
+    pub fn shutdown(&mut self) {
+        self.tx.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the receiver lock only while dequeuing, never while running
+        // the job, so workers drain the queue concurrently.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => break,
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => break, // sender dropped and queue drained
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_indexed_preserves_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = run_indexed(8, &items, |i, v| {
+            assert_eq!(i, *v);
+            v * 2
+        });
+        assert_eq!(out, items.iter().map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_and_single() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(run_indexed(4, &empty, |_, v| *v).is_empty());
+        assert_eq!(run_indexed(0, &[7], |_, v| *v), vec![7]);
+    }
+
+    #[test]
+    fn worker_pool_runs_all_jobs_before_shutdown() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut pool = WorkerPool::new("test", 4, 2);
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert!(!pool.execute(|| {}), "execute after shutdown is refused");
+    }
+}

@@ -1,0 +1,508 @@
+//! The `oneqd` server: routing, request accounting, and the accept loop.
+//!
+//! Three routes, all JSON:
+//!
+//! | Route | Purpose |
+//! |---|---|
+//! | `POST /compile` | compile an OpenQASM 2.0 body; knobs as query params |
+//! | `GET /healthz`  | liveness probe |
+//! | `GET /stats`    | request + cache counters |
+//!
+//! `/compile` responses are byte-identical to `oneqc`'s JSONL records
+//! (one record + `\n`) for the same source and config, and — unless
+//! `timings=1` — are served through the content-addressed
+//! [`CompileCache`], with the outcome exposed in an `X-Oneqd-Cache:
+//! hit|miss|bypass` header.
+//!
+//! The accept loop is poll-based (non-blocking listener + short sleep)
+//! so it can observe a shutdown flag between accepts; accepted
+//! connections are handed to a bounded [`WorkerPool`], whose drop joins
+//! the workers after draining in-flight requests — that is the whole
+//! graceful-shutdown story.
+
+use crate::cache::{canonicalize_source, CompileCache};
+use crate::compile::{compile_record, CompileConfig, GeometryChoice};
+use crate::http::{read_request, write_response, Request, RequestError};
+use crate::pool::WorkerPool;
+use crate::{compile, json};
+use std::fmt::Write as _;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tunables for a server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bounded backlog of accepted-but-unhandled connections; a full
+    /// backlog blocks the acceptor (backpressure), it never drops.
+    pub backlog: usize,
+    /// Total cached `/compile` responses.
+    pub cache_capacity: usize,
+    /// Mutex stripes in the cache.
+    pub cache_shards: usize,
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+    /// Per-connection read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+            backlog: 64,
+            cache_capacity: 256,
+            cache_shards: 8,
+            max_body: 4 * 1024 * 1024,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Shared request/cache accounting, surfaced through `GET /stats`.
+pub struct ServiceState {
+    started: Instant,
+    /// The compile cache.
+    pub cache: CompileCache,
+    requests: AtomicU64,
+    healthz_requests: AtomicU64,
+    stats_requests: AtomicU64,
+    compile_requests: AtomicU64,
+    compile_ok: AtomicU64,
+    compile_errors: AtomicU64,
+    http_errors: AtomicU64,
+    workers: usize,
+}
+
+impl ServiceState {
+    fn new(config: &ServerConfig) -> ServiceState {
+        ServiceState {
+            started: Instant::now(),
+            cache: CompileCache::new(config.cache_capacity, config.cache_shards),
+            requests: AtomicU64::new(0),
+            healthz_requests: AtomicU64::new(0),
+            stats_requests: AtomicU64::new(0),
+            compile_requests: AtomicU64::new(0),
+            compile_ok: AtomicU64::new(0),
+            compile_errors: AtomicU64::new(0),
+            http_errors: AtomicU64::new(0),
+            workers: config.workers.max(1),
+        }
+    }
+
+    /// Renders the `/stats` body (`oneqd-stats/v1`).
+    pub fn stats_json(&self) -> String {
+        let cache = self.cache.stats();
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"schema\": \"oneqd-stats/v1\", \"uptime_ms\": {}, \"workers\": {}, \
+             \"requests\": {}, \"healthz_requests\": {}, \"stats_requests\": {}, \
+             \"compile_requests\": {}, \"compile_ok\": {}, \"compile_errors\": {}, \
+             \"http_errors\": {}, \"cache\": {{\"hits\": {}, \"misses\": {}, \
+             \"evictions\": {}, \"entries\": {}, \"capacity\": {}, \"shards\": {}}}}}",
+            self.started.elapsed().as_millis(),
+            self.workers,
+            self.requests.load(Ordering::Relaxed),
+            self.healthz_requests.load(Ordering::Relaxed),
+            self.stats_requests.load(Ordering::Relaxed),
+            self.compile_requests.load(Ordering::Relaxed),
+            self.compile_ok.load(Ordering::Relaxed),
+            self.compile_errors.load(Ordering::Relaxed),
+            self.http_errors.load(Ordering::Relaxed),
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.entries,
+            cache.capacity,
+            cache.shards,
+        );
+        out.push('\n');
+        out
+    }
+}
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+    config: ServerConfig,
+}
+
+/// Handle to a server running on a background thread (test/loadgen use).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared counters (same data `/stats` reports).
+    pub fn state(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
+
+    /// Requests shutdown and joins the server thread.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.thread.take() {
+            Some(t) => t
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("server thread panicked"))),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`, or port 0 for an ephemeral
+    /// port).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let state = Arc::new(ServiceState::new(&config));
+        Ok(Server {
+            listener,
+            state,
+            config,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared counters.
+    pub fn state(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
+
+    /// Runs the accept loop until `stop()` returns `true`, then drains
+    /// the worker pool and returns. Poll cadence is ~10 ms, so shutdown
+    /// latency is bounded by the slowest in-flight compile, not by an
+    /// accept call blocked forever.
+    pub fn run_until(self, stop: impl Fn() -> bool) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let pool = WorkerPool::new("oneqd-worker", self.config.workers, self.config.backlog);
+        while !stop() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = Arc::clone(&self.state);
+                    let max_body = self.config.max_body;
+                    let io_timeout = self.config.io_timeout;
+                    pool.execute(move || handle_connection(stream, &state, max_body, io_timeout));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // Transient accept failures — a peer that RSTs before
+                    // we accept (ECONNABORTED), fd exhaustion under a
+                    // spike (EMFILE) — must not kill the daemon. Log,
+                    // back off briefly, keep serving.
+                    eprintln!("oneqd: accept failed (retrying): {e}");
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+        drop(pool); // join workers; queued connections still get served
+        Ok(())
+    }
+
+    /// Spawns the accept loop on a background thread and returns a
+    /// handle exposing the bound address and a shutdown switch.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let state = Arc::clone(&self.state);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("oneqd-accept".to_string())
+            .spawn(move || self.run_until(|| stop_flag.load(Ordering::Relaxed)))?;
+        Ok(ServerHandle {
+            addr,
+            state,
+            stop,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Serves one connection: read one request, route it, write one
+/// `Connection: close` response.
+fn handle_connection(
+    mut stream: TcpStream,
+    state: &ServiceState,
+    max_body: usize,
+    io_timeout: Duration,
+) {
+    // The listener is non-blocking; put the accepted stream back into
+    // blocking mode with explicit timeouts.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+
+    let request = match read_request(&mut stream, max_body) {
+        Ok(request) => request,
+        Err(RequestError::Io(_)) => return, // peer vanished; nothing to say
+        Err(RequestError::Malformed(msg)) => {
+            // Parse failures still count as requests, so `requests` is
+            // reconcilable with `http_errors` + the per-route counters.
+            state.requests.fetch_add(1, Ordering::Relaxed);
+            state.http_errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(&mut stream, 400, &msg);
+            return;
+        }
+        Err(RequestError::BodyTooLarge(n)) => {
+            state.requests.fetch_add(1, Ordering::Relaxed);
+            state.http_errors.fetch_add(1, Ordering::Relaxed);
+            // Drain (bounded) what the client is still sending before
+            // responding: closing with unread bytes queued in the receive
+            // buffer triggers a TCP reset that would discard the 413
+            // before the client reads it.
+            drain_body(&mut stream, n);
+            respond_error(
+                &mut stream,
+                413,
+                &format!("body of {n} bytes exceeds limit"),
+            );
+            return;
+        }
+    };
+    state.requests.fetch_add(1, Ordering::Relaxed);
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            state.healthz_requests.fetch_add(1, Ordering::Relaxed);
+            respond(
+                &mut stream,
+                200,
+                &[],
+                "{\"status\": \"ok\", \"service\": \"oneqd\"}\n",
+            );
+        }
+        ("GET", "/stats") => {
+            state.stats_requests.fetch_add(1, Ordering::Relaxed);
+            let body = state.stats_json();
+            respond(&mut stream, 200, &[], &body);
+        }
+        ("POST", "/compile") => handle_compile(&mut stream, state, &request),
+        (_, "/healthz" | "/stats") => {
+            state.http_errors.fetch_add(1, Ordering::Relaxed);
+            respond_error_with(
+                &mut stream,
+                405,
+                "method not allowed",
+                &[("Allow", "GET".to_string())],
+            );
+        }
+        (_, "/compile") => {
+            state.http_errors.fetch_add(1, Ordering::Relaxed);
+            respond_error_with(
+                &mut stream,
+                405,
+                "method not allowed",
+                &[("Allow", "POST".to_string())],
+            );
+        }
+        _ => {
+            state.http_errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(&mut stream, 404, "no such endpoint");
+        }
+    }
+}
+
+/// Parses `/compile` query parameters into a config + file label,
+/// mirroring `oneqc`'s flag validation.
+fn parse_compile_query(request: &Request) -> Result<(CompileConfig, String), String> {
+    let mut side = None;
+    let mut rows = None;
+    let mut cols = None;
+    let mut config = CompileConfig::default();
+    let mut label = "request.qasm".to_string();
+    for (name, value) in &request.query {
+        match name.as_str() {
+            "side" => side = Some(parse_dim(value, "side")?),
+            "rows" => rows = Some(parse_dim(value, "rows")?),
+            "cols" => cols = Some(parse_dim(value, "cols")?),
+            "extension" => {
+                config.extension = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&v| v >= 1)
+                    .ok_or_else(|| format!("extension must be a positive number, got `{value}`"))?;
+            }
+            "resource" => {
+                config.resource = compile::parse_resource(value)
+                    .ok_or_else(|| format!("unknown resource kind `{value}`"))?;
+            }
+            "timings" => {
+                config.timings = match value.as_str() {
+                    "1" | "true" => true,
+                    "0" | "false" => false,
+                    other => return Err(format!("timings must be 0|1|true|false, got `{other}`")),
+                };
+            }
+            "file" => label = value.clone(),
+            other => return Err(format!("unknown query parameter `{other}`")),
+        }
+    }
+    config.geometry = match (side, rows, cols) {
+        (None, None, None) => GeometryChoice::Auto,
+        (Some(s), None, None) => GeometryChoice::Square(s),
+        (None, Some(r), Some(c)) => GeometryChoice::Rect(r, c),
+        _ => return Err("use either side or both rows and cols".to_string()),
+    };
+    Ok((config, label))
+}
+
+fn parse_dim(value: &str, name: &str) -> Result<usize, String> {
+    value
+        .parse::<usize>()
+        .ok()
+        .filter(|&v| v >= 1)
+        .ok_or_else(|| format!("{name} must be a positive number, got `{value}`"))
+}
+
+fn handle_compile(stream: &mut TcpStream, state: &ServiceState, request: &Request) {
+    state.compile_requests.fetch_add(1, Ordering::Relaxed);
+    let (config, label) = match parse_compile_query(request) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            state.http_errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, 400, &msg);
+            return;
+        }
+    };
+    let source = match std::str::from_utf8(&request.body) {
+        Ok(s) => s,
+        Err(_) => {
+            state.http_errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, 400, "request body is not UTF-8");
+            return;
+        }
+    };
+
+    // Timed compiles are inherently non-deterministic, so they bypass
+    // the cache entirely (never read, never written).
+    if config.timings {
+        let (record, ok) = compile_record(&label, source, &config);
+        finish_compile(stream, state, record + "\n", ok, "bypass");
+        return;
+    }
+
+    // Cache key: config fingerprint × file label (it appears in the
+    // response bytes) × canonicalized source. The label's length prefix
+    // keeps the concatenation injective.
+    let key = format!(
+        "{}\n{}:{label}\n{}",
+        config.fingerprint(),
+        label.len(),
+        canonicalize_source(source)
+    );
+    if let Some(cached) = state.cache.get(&key) {
+        state.compile_ok.fetch_add(1, Ordering::Relaxed);
+        respond(
+            stream,
+            200,
+            &[("X-Oneqd-Cache", "hit".to_string())],
+            &cached,
+        );
+        return;
+    }
+    let (record, ok) = compile_record(&label, source, &config);
+    let body = record + "\n";
+    if ok {
+        // Error records are cheap to recompute and their spans depend on
+        // pre-canonicalization bytes, so only successes are cached.
+        state.cache.insert(&key, Arc::from(body.as_str()));
+    }
+    finish_compile(stream, state, body, ok, "miss");
+}
+
+fn finish_compile(
+    stream: &mut TcpStream,
+    state: &ServiceState,
+    body: String,
+    ok: bool,
+    cache_outcome: &str,
+) {
+    let counter = if ok {
+        &state.compile_ok
+    } else {
+        &state.compile_errors
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    let status = if ok { 200 } else { 422 };
+    respond(
+        stream,
+        status,
+        &[("X-Oneqd-Cache", cache_outcome.to_string())],
+        &body,
+    );
+}
+
+/// Upper bound on bytes discarded for an oversized request; a client
+/// claiming more than this is not worth waiting for.
+const DRAIN_CAP: usize = 16 * 1024 * 1024;
+
+/// Reads and discards up to `declared` body bytes (capped) so the error
+/// response survives the close. Bounded in time as well as bytes: reads
+/// run under a short timeout, and any error (including that timeout)
+/// stops the drain — the response is then sent on a best-effort basis.
+fn drain_body(stream: &mut TcpStream, declared: usize) {
+    use std::io::Read as _;
+    let old_timeout = stream.read_timeout().ok().flatten();
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut remaining = declared.min(DRAIN_CAP);
+    let mut buf = [0u8; 8192];
+    while remaining > 0 {
+        let want = buf.len().min(remaining);
+        match stream.read(&mut buf[..want]) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => remaining -= n,
+        }
+    }
+    let _ = stream.set_read_timeout(old_timeout);
+}
+
+fn respond(stream: &mut TcpStream, status: u16, extra: &[(&str, String)], body: &str) {
+    let _ = write_response(stream, status, "application/json", extra, body.as_bytes());
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
+    respond_error_with(stream, status, message, &[]);
+}
+
+fn respond_error_with(
+    stream: &mut TcpStream,
+    status: u16,
+    message: &str,
+    extra: &[(&str, String)],
+) {
+    let body = format!(
+        "{{\"status\": \"error\", \"error\": \"{}\"}}\n",
+        json::escape(message)
+    );
+    respond(stream, status, extra, &body);
+}

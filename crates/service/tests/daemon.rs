@@ -1,0 +1,91 @@
+//! Process-level tests for the `oneqd` binary: startup banner, traffic,
+//! and graceful SIGTERM shutdown. These spawn the real daemon (rather
+//! than the in-process server the `tests/service.rs` suite uses) because
+//! signal delivery and exit codes only exist at process granularity.
+
+#![cfg(unix)]
+
+use oneq_service::http;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Spawns `oneqd` on an ephemeral port and parses the bound address from
+/// its startup banner.
+fn spawn_daemon(extra_args: &[&str]) -> (Child, SocketAddr, BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_oneqd"))
+        .args(["--addr", "127.0.0.1:0"])
+        .args(extra_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn oneqd");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("read banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("oneqd: listening on http://")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+        .parse::<SocketAddr>()
+        .expect("banner carries the bound address");
+    (child, addr, stdout)
+}
+
+fn send_sigterm(child: &Child) {
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(status.success(), "kill -TERM delivered");
+}
+
+#[test]
+fn daemon_serves_and_shuts_down_gracefully_on_sigterm() {
+    let (mut child, addr, _stdout) = spawn_daemon(&["--workers", "2", "--cache-capacity", "16"]);
+
+    let health = http::request(addr, "GET", "/healthz", b"", TIMEOUT).expect("GET /healthz");
+    assert_eq!(health.status, 200);
+
+    let source = b"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n";
+    let first = http::request(addr, "POST", "/compile?file=bell.qasm", source, TIMEOUT)
+        .expect("POST /compile");
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("x-oneqd-cache"), Some("miss"));
+    let second = http::request(addr, "POST", "/compile?file=bell.qasm", source, TIMEOUT)
+        .expect("POST /compile again");
+    assert_eq!(second.header("x-oneqd-cache"), Some("hit"));
+    assert_eq!(first.body, second.body);
+
+    send_sigterm(&child);
+    let status = child.wait().expect("wait for daemon");
+    assert_eq!(status.code(), Some(0), "SIGTERM exits gracefully with 0");
+}
+
+#[test]
+fn daemon_sigterm_without_traffic_still_exits_cleanly() {
+    let (mut child, addr, _stdout) = spawn_daemon(&[]);
+    // Prove it is actually up before killing it.
+    let health = http::request(addr, "GET", "/healthz", b"", TIMEOUT).expect("GET /healthz");
+    assert_eq!(health.status, 200);
+    send_sigterm(&child);
+    let status = child.wait().expect("wait for daemon");
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn daemon_rejects_bad_flags_with_usage_exit() {
+    let output = Command::new(env!("CARGO_BIN_EXE_oneqd"))
+        .args(["--workers", "zero"])
+        .output()
+        .expect("run oneqd");
+    assert_eq!(output.status.code(), Some(2));
+    let output = Command::new(env!("CARGO_BIN_EXE_oneqd"))
+        .args(["--frobnicate"])
+        .output()
+        .expect("run oneqd");
+    assert_eq!(output.status.code(), Some(2));
+}

@@ -1,0 +1,312 @@
+//! Integration tests for the `oneqd` compile service.
+//!
+//! The acceptance contract (ISSUE 4): for every fixture in
+//! `tests/fixtures/qasm/`, the daemon's `POST /compile` response is
+//! byte-identical to `oneqc`'s JSONL record for the same source and
+//! config; a repeated identical request is served from the cache with a
+//! byte-identical body; and `loadgen` emits a well-formed
+//! `BENCH_service.json`. The first property is checked against the real
+//! `oneqc` *binary*, not a shared code path re-run in-process, so a
+//! regression in either front door breaks the diff.
+
+use oneq_service::http;
+use oneq_service::server::{Server, ServerConfig, ServerHandle};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+fn fixture_files() -> Vec<PathBuf> {
+    let files = oneq_service::corpus::qasm_files_flat(&oneq_bench::qasm_fixture_dir())
+        .expect("fixture corpus directory exists");
+    assert!(!files.is_empty(), "fixture corpus is not empty");
+    files
+}
+
+fn spawn_server() -> ServerHandle {
+    Server::bind("127.0.0.1:0", ServerConfig::default())
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn server thread")
+}
+
+fn post_compile(handle: &ServerHandle, label: &str, source: &[u8]) -> http::ClientResponse {
+    let target = format!("/compile?file={}", http::percent_encode(label));
+    http::request(handle.addr(), "POST", &target, source, TIMEOUT).expect("POST /compile")
+}
+
+/// Pulls `"name": <integer>` out of a stats body (the workspace has no
+/// JSON parser; the emitter is ours, so the textual shape is stable).
+fn json_u64(body: &str, name: &str) -> u64 {
+    let pat = format!("\"{name}\": ");
+    let start = body
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{name} in {body}"))
+        + pat.len();
+    body[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("integer stats field")
+}
+
+#[test]
+fn compile_responses_match_oneqc_records_for_every_fixture() {
+    // One oneqc batch over the whole corpus, default config.
+    let dir = oneq_bench::qasm_fixture_dir();
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_oneqc"))
+        .arg(&dir)
+        .output()
+        .expect("run oneqc");
+    assert!(output.status.success(), "oneqc failed: {output:?}");
+    let jsonl = String::from_utf8(output.stdout).expect("oneqc emits UTF-8");
+    let records: Vec<&str> = jsonl.lines().collect();
+    let files = fixture_files();
+    assert_eq!(records.len(), files.len());
+
+    let handle = spawn_server();
+    for (path, record) in files.iter().zip(&records) {
+        // oneqc labelled the record with the path it was invoked with.
+        let label = path.display().to_string();
+        assert!(
+            record.contains(&format!("\"file\": \"{label}\"")),
+            "record/file pairing: {record}"
+        );
+        let source = std::fs::read(path).expect("read fixture");
+        let response = post_compile(&handle, &label, &source);
+        assert_eq!(response.status, 200, "{label}");
+        assert_eq!(response.header("x-oneqd-cache"), Some("miss"), "{label}");
+        let body = String::from_utf8(response.body).expect("JSON body");
+        assert_eq!(
+            body,
+            format!("{record}\n"),
+            "daemon response differs from oneqc record for {label}"
+        );
+    }
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn repeated_requests_hit_the_cache_with_identical_bytes() {
+    let handle = spawn_server();
+    let files = fixture_files();
+    let mut first = Vec::new();
+    for path in &files {
+        let label = path.display().to_string();
+        let source = std::fs::read(path).expect("read fixture");
+        let response = post_compile(&handle, &label, &source);
+        assert_eq!(response.header("x-oneqd-cache"), Some("miss"));
+        first.push((label, source, response.body));
+    }
+    for (label, source, body) in &first {
+        let response = post_compile(&handle, label, source);
+        assert_eq!(response.status, 200);
+        assert_eq!(
+            response.header("x-oneqd-cache"),
+            Some("hit"),
+            "second request for {label} must be served from cache"
+        );
+        assert_eq!(&response.body, body, "cached body differs for {label}");
+    }
+
+    let stats = http::request(handle.addr(), "GET", "/stats", b"", TIMEOUT).expect("GET /stats");
+    assert_eq!(stats.status, 200);
+    let stats = String::from_utf8(stats.body).expect("stats body");
+    assert_eq!(json_u64(&stats, "hits"), files.len() as u64);
+    assert_eq!(json_u64(&stats, "misses"), files.len() as u64);
+    assert_eq!(json_u64(&stats, "entries"), files.len() as u64);
+    assert_eq!(json_u64(&stats, "compile_ok"), 2 * files.len() as u64);
+    assert_eq!(json_u64(&stats, "compile_errors"), 0);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn cache_distinguishes_configs_and_labels() {
+    let handle = spawn_server();
+    let path = &fixture_files()[0];
+    let source = std::fs::read(path).expect("read fixture");
+
+    let a = post_compile(&handle, "a.qasm", &source);
+    assert_eq!(a.header("x-oneqd-cache"), Some("miss"));
+    // Same source, different label → different response bytes → miss.
+    let b = post_compile(&handle, "b.qasm", &source);
+    assert_eq!(b.header("x-oneqd-cache"), Some("miss"));
+    assert_ne!(a.body, b.body);
+    // Same source + label, different geometry → miss.
+    let c = http::request(
+        handle.addr(),
+        "POST",
+        "/compile?file=a.qasm&side=25",
+        &source,
+        TIMEOUT,
+    )
+    .expect("POST with side");
+    assert_eq!(c.header("x-oneqd-cache"), Some("miss"));
+    // Whitespace-only source changes canonicalize away → hit.
+    let mut padded = String::from_utf8(source.clone()).unwrap();
+    padded = padded.replace('\n', " \n");
+    let d = post_compile(&handle, "a.qasm", padded.as_bytes());
+    assert_eq!(
+        d.header("x-oneqd-cache"),
+        Some("hit"),
+        "trailing whitespace must not defeat content addressing"
+    );
+    assert_eq!(d.body, a.body);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn error_and_edge_responses() {
+    let handle = spawn_server();
+
+    // healthz
+    let health = http::request(handle.addr(), "GET", "/healthz", b"", TIMEOUT).unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(
+        health.body,
+        b"{\"status\": \"ok\", \"service\": \"oneqd\"}\n"
+    );
+
+    // Parse failure → 422 with an oneqc-shaped error record, not cached.
+    let bad = b"OPENQASM 2.0;\nqreg q[1];\nnope q[0];\n";
+    let r1 = post_compile(&handle, "bad.qasm", bad);
+    let r2 = post_compile(&handle, "bad.qasm", bad);
+    assert_eq!(r1.status, 422);
+    assert_eq!(r1.header("x-oneqd-cache"), Some("miss"));
+    assert_eq!(
+        r2.header("x-oneqd-cache"),
+        Some("miss"),
+        "errors are not cached"
+    );
+    assert_eq!(r1.body, r2.body, "error records are still deterministic");
+    let body = String::from_utf8(r1.body).unwrap();
+    assert!(body.starts_with("{\"file\": \"bad.qasm\", \"status\": \"error\""));
+    assert!(body.contains("bad.qasm:3:"));
+
+    // Unknown endpoint, wrong method, bad params.
+    let missing = http::request(handle.addr(), "GET", "/nope", b"", TIMEOUT).unwrap();
+    assert_eq!(missing.status, 404);
+    let get_compile = http::request(handle.addr(), "GET", "/compile", b"", TIMEOUT).unwrap();
+    assert_eq!(get_compile.status, 405);
+    assert_eq!(get_compile.header("allow"), Some("POST"));
+    let post_health = http::request(handle.addr(), "POST", "/healthz", b"", TIMEOUT).unwrap();
+    assert_eq!(post_health.status, 405);
+    let bad_param = http::request(handle.addr(), "POST", "/compile?side=0", b"x", TIMEOUT).unwrap();
+    assert_eq!(bad_param.status, 400);
+    let unknown_param =
+        http::request(handle.addr(), "POST", "/compile?what=1", b"x", TIMEOUT).unwrap();
+    assert_eq!(unknown_param.status, 400);
+    let rows_only = http::request(handle.addr(), "POST", "/compile?rows=4", b"x", TIMEOUT).unwrap();
+    assert_eq!(rows_only.status, 400);
+
+    // Stats accounting for the traffic above.
+    let stats = http::request(handle.addr(), "GET", "/stats", b"", TIMEOUT).unwrap();
+    let stats = String::from_utf8(stats.body).unwrap();
+    assert_eq!(json_u64(&stats, "compile_errors"), 2);
+    assert!(json_u64(&stats, "http_errors") >= 5);
+    assert_eq!(json_u64(&stats, "healthz_requests"), 1);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn timings_requests_bypass_the_cache() {
+    let handle = spawn_server();
+    let path = &fixture_files()[0];
+    let label = path.display().to_string();
+    let source = std::fs::read(path).unwrap();
+    let target = format!("/compile?file={}&timings=1", http::percent_encode(&label));
+    for _ in 0..2 {
+        let r = http::request(handle.addr(), "POST", &target, &source, TIMEOUT).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("x-oneqd-cache"), Some("bypass"));
+        assert!(String::from_utf8(r.body).unwrap().contains("timings_ns"));
+    }
+    // A timed request neither reads nor warms the cache.
+    let plain = post_compile(&handle, &label, &source);
+    assert_eq!(plain.header("x-oneqd-cache"), Some("miss"));
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn concurrent_identical_requests_converge_to_one_entry() {
+    let handle = spawn_server();
+    let path = &fixture_files()[0];
+    let label = path.display().to_string();
+    let source = std::fs::read(path).unwrap();
+
+    let bodies: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let handle = &handle;
+                let label = &label;
+                let source = &source;
+                scope.spawn(move || post_compile(handle, label, source).body)
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for body in &bodies[1..] {
+        assert_eq!(body, &bodies[0], "every racer sees the same bytes");
+    }
+    let stats = http::request(handle.addr(), "GET", "/stats", b"", TIMEOUT).unwrap();
+    let stats = String::from_utf8(stats.body).unwrap();
+    assert_eq!(
+        json_u64(&stats, "entries"),
+        1,
+        "racing misses dedupe to one entry"
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn loadgen_emits_a_well_formed_bench_file() {
+    let dir = tempdir();
+    let out = dir.join("BENCH_service.json");
+    let corpus = oneq_bench::qasm_fixture_dir();
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args([
+            "--corpus",
+            &corpus.display().to_string(),
+            "--requests",
+            "14",
+            "--concurrency",
+            "2",
+            "--out",
+            &out.display().to_string(),
+        ])
+        .output()
+        .expect("run loadgen");
+    assert!(
+        output.status.success(),
+        "loadgen failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let body = std::fs::read_to_string(&out).expect("BENCH_service.json written");
+    for key in [
+        "\"schema\": \"oneq-bench-service/v1\"",
+        "\"requests\": 14",
+        "\"concurrency\": 2",
+        "\"throughput_rps\": ",
+        "\"cache_hit_rate\": ",
+        "\"p50\": ",
+        "\"p99\": ",
+        "\"server_stats\": {",
+    ] {
+        assert!(body.contains(key), "missing {key} in {body}");
+    }
+    // 14 requests over 7 files = each file twice = 7 hits.
+    assert!(json_u64(&body, "cache_hits") >= 1, "loadgen saw cache hits");
+    assert_eq!(json_u64(&body, "errors"), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn tempdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "oneq-service-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
