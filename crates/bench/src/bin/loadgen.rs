@@ -2,9 +2,16 @@
 //!
 //! Replays the `.qasm` fixture corpus against an `oneqd` instance at a
 //! configurable concurrency and writes `BENCH_service.json` with
-//! throughput, latency percentiles, and the cache-hit rate — the served
-//! counterpart of `sweep`'s `BENCH_pipeline.json`, extending the repo's
-//! measured perf trajectory onto the requests/sec axis.
+//! throughput, latency percentiles, and per-request cache outcomes — the
+//! served counterpart of `sweep`'s `BENCH_pipeline.json`, extending the
+//! repo's measured perf trajectory onto the requests/sec axis.
+//!
+//! Since the `/v1` redesign it measures *both* connection disciplines:
+//! the default `--mode both` run replays the same workload once over
+//! one-shot `Connection: close` requests and once over persistent
+//! keep-alive sessions (one [`ClientConn`] per worker), and records the
+//! two side by side plus their throughput ratio — the number that shows
+//! what removing per-request TCP setup buys.
 //!
 //! Usage:
 //!
@@ -15,9 +22,15 @@
 //!                      loadgen self-hosts an in-process server on an
 //!                      ephemeral loopback port
 //!   --corpus DIR       .qasm directory (default tests/fixtures/qasm)
-//!   --requests N       total requests to send (default 64)
+//!   --requests N       requests per mode (default 64)
 //!   --concurrency N    client worker threads (default 4)
+//!   --mode M           both|keep-alive|close (default both)
 //!   --out PATH         output path (default BENCH_service.json)
+//!
+//! plus the shared compile knobs (--side, --rows, --cols, --extension,
+//! --resource, --timings, --bypass), parsed by the same
+//! `CompileRequest::from_args` the other entrypoints use and forwarded
+//! to the daemon as /v1/compile query parameters.
 //! ```
 //!
 //! Requests round-robin the sorted corpus, so with N ≥ 2 × files the
@@ -27,44 +40,80 @@
 //! Exit code: 0 on success, 1 when any request failed (transport error or
 //! non-200), 2 on usage errors, 3 when the corpus holds no `.qasm` files.
 
-use oneq_service::http;
+use oneq_service::http::{self, ClientConn};
 use oneq_service::json;
-use oneq_service::pool::run_indexed;
-use oneq_service::server::{Server, ServerConfig, ServerHandle};
+use oneq_service::pool::run_indexed_with;
+use oneq_service::request::CompileRequest;
+use oneq_service::server::{
+    Server, ServerConfig, ServerHandle, OUTCOME_BYPASS, OUTCOME_COALESCED, OUTCOME_HIT,
+    OUTCOME_MISS,
+};
 use std::fmt::Write as _;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    KeepAlive,
+    Close,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::KeepAlive => "keep-alive",
+            Mode::Close => "close",
+        }
+    }
+
+    fn json_key(self) -> &'static str {
+        match self {
+            Mode::KeepAlive => "keep_alive",
+            Mode::Close => "close",
+        }
+    }
+}
 
 struct Options {
     addr: Option<String>,
     corpus: PathBuf,
     requests: usize,
     concurrency: usize,
+    modes: Vec<Mode>,
+    template: CompileRequest,
     out: PathBuf,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--corpus DIR] [--requests N] \
-         [--concurrency N] [--out PATH]"
+         [--concurrency N] [--mode both|keep-alive|close] [--out PATH] \
+         [compile knobs: --side N | --rows R --cols C, --extension N, \
+         --resource KIND, --timings, --bypass]"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let (template, rest) = CompileRequest::from_args(&args).unwrap_or_else(|msg| {
+        eprintln!("loadgen: {msg}");
+        usage();
+    });
     let mut opt = Options {
         addr: None,
         corpus: PathBuf::from("tests/fixtures/qasm"),
         requests: 64,
         concurrency: 4,
+        modes: vec![Mode::Close, Mode::KeepAlive],
+        template,
         out: PathBuf::from("BENCH_service.json"),
     };
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> String {
         *i += 1;
-        args.get(*i).cloned().unwrap_or_else(|| {
+        rest.get(*i).cloned().unwrap_or_else(|| {
             eprintln!("loadgen: {flag} needs a value");
             usage();
         })
@@ -78,13 +127,24 @@ fn parse_args() -> Options {
             }
         }
     };
-    while i < args.len() {
-        match args[i].as_str() {
+    while i < rest.len() {
+        match rest[i].as_str() {
             "--addr" => opt.addr = Some(value(&mut i, "--addr")),
             "--corpus" => opt.corpus = PathBuf::from(value(&mut i, "--corpus")),
             "--requests" => opt.requests = num(value(&mut i, "--requests"), "--requests"),
             "--concurrency" => {
                 opt.concurrency = num(value(&mut i, "--concurrency"), "--concurrency")
+            }
+            "--mode" => {
+                opt.modes = match value(&mut i, "--mode").as_str() {
+                    "both" => vec![Mode::Close, Mode::KeepAlive],
+                    "keep-alive" => vec![Mode::KeepAlive],
+                    "close" => vec![Mode::Close],
+                    other => {
+                        eprintln!("loadgen: --mode expects both|keep-alive|close, got `{other}`");
+                        usage();
+                    }
+                }
             }
             "--out" => opt.out = PathBuf::from(value(&mut i, "--out")),
             "--help" | "-h" => usage(),
@@ -110,7 +170,21 @@ fn corpus_files(dir: &Path) -> Vec<PathBuf> {
 struct Sample {
     latency_ns: u128,
     ok: bool,
-    cache_hit: bool,
+    /// `X-Oneqd-Cache` outcome, or `"error"` for a failed request.
+    outcome: &'static str,
+}
+
+/// Maps an `X-Oneqd-Cache` header onto the server's own outcome
+/// vocabulary (shared constants, so a renamed or new label is a compile
+/// error here instead of silently counting as transport failure).
+fn classify_outcome(header: Option<&str>) -> &'static str {
+    match header {
+        Some(h) if h == OUTCOME_HIT => OUTCOME_HIT,
+        Some(h) if h == OUTCOME_MISS => OUTCOME_MISS,
+        Some(h) if h == OUTCOME_COALESCED => OUTCOME_COALESCED,
+        Some(h) if h == OUTCOME_BYPASS => OUTCOME_BYPASS,
+        _ => "error",
+    }
 }
 
 fn percentile(sorted: &[u128], p: f64) -> u128 {
@@ -119,6 +193,140 @@ fn percentile(sorted: &[u128], p: f64) -> u128 {
     }
     let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Per-mode measurement: samples plus the run's wall clock. Latencies
+/// are sorted once at construction; the console summary and the JSON
+/// emitter read the same vector, so they cannot disagree.
+struct ModeRun {
+    mode: Mode,
+    samples: Vec<Sample>,
+    sorted_latency_ns: Vec<u128>,
+    wall_ns: u128,
+}
+
+impl ModeRun {
+    fn new(mode: Mode, samples: Vec<Sample>, wall_ns: u128) -> ModeRun {
+        let mut sorted_latency_ns: Vec<u128> = samples.iter().map(|s| s.latency_ns).collect();
+        sorted_latency_ns.sort_unstable();
+        ModeRun {
+            mode,
+            samples,
+            sorted_latency_ns,
+            wall_ns,
+        }
+    }
+
+    fn ok(&self) -> usize {
+        self.samples.iter().filter(|s| s.ok).count()
+    }
+
+    fn errors(&self) -> usize {
+        self.samples.len() - self.ok()
+    }
+
+    fn outcome_count(&self, outcome: &str) -> usize {
+        self.samples.iter().filter(|s| s.outcome == outcome).count()
+    }
+
+    fn throughput_rps(&self) -> f64 {
+        self.samples.len() as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Replays `requests` round-robin requests over `targets` at
+/// `concurrency`, using one persistent connection per worker
+/// (keep-alive) or one connection per request (close).
+fn run_mode(
+    mode: Mode,
+    addr: SocketAddr,
+    targets: &[(String, Vec<u8>)],
+    requests: usize,
+    concurrency: usize,
+) -> ModeRun {
+    let indices: Vec<usize> = (0..requests).collect();
+    let t0 = Instant::now();
+    let samples = run_indexed_with(
+        concurrency,
+        &indices,
+        // Per-worker state: the persistent connection (keep-alive mode
+        // only). `None` between requests in close mode, and after an
+        // error in keep-alive mode (the next request reconnects).
+        || None::<ClientConn>,
+        |conn, _, &i| {
+            let (target, body) = &targets[i % targets.len()];
+            let start = Instant::now();
+            let response = match mode {
+                Mode::Close => http::request(addr, "POST", target, body, TIMEOUT),
+                Mode::KeepAlive => {
+                    if conn.is_none() {
+                        *conn = ClientConn::connect(addr, TIMEOUT).ok();
+                    }
+                    match conn.as_mut() {
+                        Some(c) => {
+                            let resp = c.send("POST", target, body);
+                            match &resp {
+                                // A spent or failed socket must not poison
+                                // the rest of this worker's run.
+                                Ok(r) if !r.keep_alive() => *conn = None,
+                                Err(_) => *conn = None,
+                                Ok(_) => {}
+                            }
+                            resp
+                        }
+                        None => Err(std::io::Error::other("connect failed")),
+                    }
+                }
+            };
+            let latency_ns = start.elapsed().as_nanos();
+            match response {
+                Ok(resp) => Sample {
+                    latency_ns,
+                    ok: resp.status == 200,
+                    outcome: classify_outcome(resp.header("x-oneqd-cache")),
+                },
+                Err(_) => Sample {
+                    latency_ns,
+                    ok: false,
+                    outcome: "error",
+                },
+            }
+        },
+    );
+    ModeRun::new(mode, samples, t0.elapsed().as_nanos())
+}
+
+fn mode_json(run: &ModeRun) -> String {
+    let latencies = &run.sorted_latency_ns;
+    let mean_ns = latencies.iter().sum::<u128>() as f64 / latencies.len().max(1) as f64;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"mode\": \"{}\", \"requests\": {}, \"ok\": {}, \"errors\": {}, \
+         \"cache\": {{\"hit\": {}, \"miss\": {}, \"coalesced\": {}, \"bypass\": {}}}, \
+         \"wall_ns\": {}, \"throughput_rps\": {}, \
+         \"latency_ns\": {{\"min\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
+         \"max\": {}, \"mean\": {}}}}}",
+        run.mode.label(),
+        run.samples.len(),
+        run.ok(),
+        run.errors(),
+        run.outcome_count(OUTCOME_HIT),
+        run.outcome_count(OUTCOME_MISS),
+        run.outcome_count(OUTCOME_COALESCED),
+        run.outcome_count(OUTCOME_BYPASS),
+        run.wall_ns,
+        json::fmt_f64(run.throughput_rps()),
+        latencies.first().copied().unwrap_or(0),
+        percentile(latencies, 50.0),
+        percentile(latencies, 90.0),
+        percentile(latencies, 99.0),
+        latencies.last().copied().unwrap_or(0),
+        json::fmt_f64(mean_ns),
+    );
+    out
 }
 
 fn main() {
@@ -131,14 +339,20 @@ fn main() {
         );
         std::process::exit(3);
     }
-    let sources: Vec<(String, String)> = files
+    // Pre-render each corpus file as its request target + body, through
+    // the same CompileRequest the server parses back out of the query.
+    let targets: Vec<(String, Vec<u8>)> = files
         .iter()
         .map(|path| {
             let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
                 eprintln!("loadgen: cannot read {}: {e}", path.display());
                 std::process::exit(3);
             });
-            (path.display().to_string(), source)
+            let request = opt.template.with_source(path.display().to_string(), source);
+            (
+                request.query_target("/v1/compile"),
+                request.source.into_bytes(),
+            )
         })
         .collect();
 
@@ -166,9 +380,9 @@ fn main() {
         }
     };
     println!(
-        "loadgen: {} requests over {} file(s) at concurrency {} -> {} ({})",
+        "loadgen: {} requests/mode over {} file(s) at concurrency {} -> {} ({})",
         opt.requests,
-        sources.len(),
+        targets.len(),
         opt.concurrency,
         addr,
         if self_hosted.is_some() {
@@ -178,32 +392,39 @@ fn main() {
         }
     );
 
-    let timeout = Duration::from_secs(60);
-    let indices: Vec<usize> = (0..opt.requests).collect();
-    let t0 = Instant::now();
-    let samples = run_indexed(opt.concurrency, &indices, |_, &i| {
-        let (label, source) = &sources[i % sources.len()];
-        let target = format!("/compile?file={}", http::percent_encode(label));
-        let start = Instant::now();
-        let response = http::request(addr, "POST", &target, source.as_bytes(), timeout);
-        let latency_ns = start.elapsed().as_nanos();
-        match response {
-            Ok(resp) => Sample {
-                latency_ns,
-                ok: resp.status == 200,
-                cache_hit: resp.header("x-oneqd-cache") == Some("hit"),
-            },
-            Err(_) => Sample {
-                latency_ns,
-                ok: false,
-                cache_hit: false,
-            },
-        }
-    });
-    let wall_ns = t0.elapsed().as_nanos();
+    // Warm the cache once per file before measuring, so every mode sees
+    // the same steady state and the keep-alive/close comparison isolates
+    // the connection discipline instead of who paid the cold compiles.
+    // (With --timings or --bypass nothing is cacheable; the pass is then
+    // just a harmless preflight.)
+    for (target, body) in &targets {
+        let _ = http::request(addr, "POST", target, body, TIMEOUT);
+    }
 
-    // One final /stats snapshot, embedded verbatim (it is already JSON).
-    let server_stats = http::request(addr, "GET", "/stats", b"", timeout)
+    let mut runs = Vec::new();
+    for &mode in &opt.modes {
+        let run = run_mode(mode, addr, &targets, opt.requests, opt.concurrency);
+        let latencies = &run.sorted_latency_ns;
+        println!(
+            "loadgen[{}]: {}/{} ok, cache hit={} miss={} coalesced={} bypass={}, \
+             {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms",
+            mode.label(),
+            run.ok(),
+            run.samples.len(),
+            run.outcome_count(OUTCOME_HIT),
+            run.outcome_count(OUTCOME_MISS),
+            run.outcome_count(OUTCOME_COALESCED),
+            run.outcome_count(OUTCOME_BYPASS),
+            run.throughput_rps(),
+            percentile(latencies, 50.0) as f64 / 1e6,
+            percentile(latencies, 99.0) as f64 / 1e6,
+        );
+        runs.push(run);
+    }
+
+    // One final /v1/stats snapshot, embedded verbatim (it is already
+    // JSON).
+    let server_stats = http::request(addr, "GET", "/v1/stats", b"", TIMEOUT)
         .ok()
         .filter(|r| r.status == 200)
         .map(|r| String::from_utf8_lossy(&r.body).trim().to_string());
@@ -211,48 +432,52 @@ fn main() {
         let _ = handle.shutdown();
     }
 
-    let ok = samples.iter().filter(|s| s.ok).count();
-    let errors = samples.len() - ok;
-    let cache_hits = samples.iter().filter(|s| s.cache_hit).count();
-    let mut latencies: Vec<u128> = samples.iter().map(|s| s.latency_ns).collect();
-    latencies.sort_unstable();
-    let mean_ns = latencies.iter().sum::<u128>() as f64 / latencies.len().max(1) as f64;
-    let throughput_rps = samples.len() as f64 / (wall_ns as f64 / 1e9);
-    let hit_rate = cache_hits as f64 / samples.len().max(1) as f64;
+    let speedup = {
+        let rps = |m: Mode| {
+            runs.iter()
+                .find(|r| r.mode == m)
+                .map(ModeRun::throughput_rps)
+        };
+        match (rps(Mode::KeepAlive), rps(Mode::Close)) {
+            (Some(ka), Some(close)) if close > 0.0 => Some(ka / close),
+            _ => None,
+        }
+    };
+    if let Some(speedup) = speedup {
+        println!("loadgen: keep-alive / close throughput = {speedup:.2}x");
+    }
 
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"oneq-bench-service/v1\",");
+    let _ = writeln!(out, "  \"schema\": \"oneq-bench-service/v2\",");
     let _ = writeln!(
         out,
         "  \"corpus\": \"{}\",",
         json::escape(&opt.corpus.display().to_string())
     );
-    let _ = writeln!(out, "  \"files\": {},", sources.len());
-    let _ = writeln!(out, "  \"requests\": {},", samples.len());
+    let _ = writeln!(out, "  \"files\": {},", targets.len());
+    let _ = writeln!(out, "  \"requests_per_mode\": {},", opt.requests);
     let _ = writeln!(out, "  \"concurrency\": {},", opt.concurrency);
     let _ = writeln!(out, "  \"self_hosted\": {},", opt.addr.is_none());
-    let _ = writeln!(out, "  \"ok\": {ok},");
-    let _ = writeln!(out, "  \"errors\": {errors},");
-    let _ = writeln!(out, "  \"cache_hits\": {cache_hits},");
-    let _ = writeln!(out, "  \"cache_hit_rate\": {},", json::fmt_f64(hit_rate));
-    let _ = writeln!(out, "  \"wall_ns\": {wall_ns},");
     let _ = writeln!(
         out,
-        "  \"throughput_rps\": {},",
-        json::fmt_f64(throughput_rps)
+        "  \"config\": \"{}\",",
+        json::escape(&opt.template.config.fingerprint())
     );
-    let _ = writeln!(
-        out,
-        "  \"latency_ns\": {{\"min\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
-         \"max\": {}, \"mean\": {}}},",
-        latencies.first().copied().unwrap_or(0),
-        percentile(&latencies, 50.0),
-        percentile(&latencies, 90.0),
-        percentile(&latencies, 99.0),
-        latencies.last().copied().unwrap_or(0),
-        json::fmt_f64(mean_ns),
-    );
+    out.push_str("  \"modes\": {\n");
+    for (i, run) in runs.iter().enumerate() {
+        let _ = write!(out, "    \"{}\": {}", run.mode.json_key(), mode_json(run));
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  },\n");
+    match speedup {
+        Some(speedup) => {
+            let _ = writeln!(out, "  \"keep_alive_speedup\": {},", json::fmt_f64(speedup));
+        }
+        None => {
+            let _ = writeln!(out, "  \"keep_alive_speedup\": null,");
+        }
+    }
     match &server_stats {
         Some(stats) => {
             let _ = writeln!(out, "  \"server_stats\": {stats}");
@@ -267,17 +492,8 @@ fn main() {
         eprintln!("loadgen: cannot write {}: {e}", opt.out.display());
         std::process::exit(2);
     });
-    println!(
-        "loadgen: {ok}/{} ok, {cache_hits} cache hits ({:.1}%), {:.1} req/s, \
-         p50 {:.2} ms, p99 {:.2} ms -> {}",
-        samples.len(),
-        100.0 * hit_rate,
-        throughput_rps,
-        percentile(&latencies, 50.0) as f64 / 1e6,
-        percentile(&latencies, 99.0) as f64 / 1e6,
-        opt.out.display()
-    );
-    if errors > 0 {
+    println!("loadgen: wrote {}", opt.out.display());
+    if runs.iter().any(|r| r.errors() > 0) {
         std::process::exit(1);
     }
 }

@@ -41,8 +41,9 @@
 //! `timings_ns{parse,translate,partition,fusion_graph,mapping,shuffle,wall}`.
 //! `error` records add `error` (a `file:line:col: message` one-liner).
 
-use oneq_service::compile::{compile_record, error_record, CompileConfig, GeometryChoice};
+use oneq_service::compile::error_record;
 use oneq_service::pool::run_indexed;
+use oneq_service::request::CompileRequest;
 use std::path::{Path, PathBuf};
 
 /// Exit code for input-path problems: a path that does not exist, an
@@ -52,7 +53,9 @@ use std::path::{Path, PathBuf};
 const EXIT_NO_INPUT: i32 = 3;
 
 struct Options {
-    config: CompileConfig,
+    /// Template request carrying the shared compile config; per-file
+    /// requests are stamped from it with `with_source`.
+    template: CompileRequest,
     jobs: usize,
     out: Option<PathBuf>,
     paths: Vec<PathBuf>,
@@ -68,34 +71,38 @@ fn usage() -> ! {
 
 fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut side = None;
-    let mut rows = None;
-    let mut cols = None;
-    let mut extension = 1usize;
-    let mut resource_label = "line3".to_string();
+    // The shared compile knobs (--side/--rows/--cols/--extension/
+    // --resource/--timings) are parsed — and validated, with zero
+    // dimensions rejected here rather than panicking a worker thread —
+    // by the one knob table every entrypoint uses; only oneqc's own
+    // flags remain below.
+    let (template, rest) = CompileRequest::from_args(&args).unwrap_or_else(|msg| {
+        eprintln!("oneqc: {msg}");
+        usage();
+    });
+    // --bypass is a daemon/loadgen knob (cache opt-out); oneqc has no
+    // cache, and an accepted-but-dead flag is a usage error, not a
+    // silent no-op.
+    if template.bypass {
+        eprintln!("oneqc: --bypass only applies to the cached entrypoints (oneqd, loadgen)");
+        usage();
+    }
     let mut jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut out = None;
-    let mut timings = false;
     let mut paths = Vec::new();
 
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> String {
         *i += 1;
-        args.get(*i).cloned().unwrap_or_else(|| {
+        rest.get(*i).cloned().unwrap_or_else(|| {
             eprintln!("oneqc: {flag} needs a value");
             usage();
         })
     };
-    while i < args.len() {
-        match args[i].as_str() {
-            "--side" => side = Some(parse_num(&value(&mut i, "--side"), "--side")),
-            "--rows" => rows = Some(parse_num(&value(&mut i, "--rows"), "--rows")),
-            "--cols" => cols = Some(parse_num(&value(&mut i, "--cols"), "--cols")),
-            "--extension" => extension = parse_num(&value(&mut i, "--extension"), "--extension"),
-            "--resource" => resource_label = value(&mut i, "--resource"),
+    while i < rest.len() {
+        match rest[i].as_str() {
             "--jobs" => jobs = parse_num(&value(&mut i, "--jobs"), "--jobs"),
             "--out" => out = Some(PathBuf::from(value(&mut i, "--out"))),
-            "--timings" => timings = true,
             "--help" | "-h" => usage(),
             flag if flag.starts_with("--") => {
                 eprintln!("oneqc: unknown flag {flag}");
@@ -109,39 +116,8 @@ fn parse_args() -> Options {
         eprintln!("oneqc: no input paths");
         usage();
     }
-    let geometry = match (side, rows, cols) {
-        (None, None, None) => GeometryChoice::Auto,
-        (Some(s), None, None) => GeometryChoice::Square(s),
-        (None, Some(r), Some(c)) => GeometryChoice::Rect(r, c),
-        _ => {
-            eprintln!("oneqc: use either --side or both --rows and --cols");
-            usage();
-        }
-    };
-    // Reject zero dimensions here (usage error, exit 2) rather than letting
-    // LayerGeometry's assert panic inside a worker thread.
-    if matches!(
-        geometry,
-        GeometryChoice::Square(0) | GeometryChoice::Rect(0, _) | GeometryChoice::Rect(_, 0)
-    ) {
-        eprintln!("oneqc: layer dimensions must be >= 1");
-        usage();
-    }
-    let resource = oneq_service::compile::parse_resource(&resource_label).unwrap_or_else(|| {
-        eprintln!("oneqc: unknown resource kind `{resource_label}`");
-        usage();
-    });
-    if extension == 0 {
-        eprintln!("oneqc: --extension must be >= 1");
-        usage();
-    }
     Options {
-        config: CompileConfig {
-            geometry,
-            extension,
-            resource,
-            timings,
-        },
+        template,
         jobs: jobs.max(1),
         out,
         paths,
@@ -196,7 +172,7 @@ fn walk(dir: &Path, files: &mut Vec<PathBuf>) {
 
 /// Compiles one file into its JSONL record. Never panics on bad input:
 /// read and parse errors become `"status":"error"` records.
-fn run_one(path: &Path, config: &CompileConfig) -> (String, bool) {
+fn run_one(path: &Path, template: &CompileRequest) -> (String, bool) {
     let display = path.display().to_string();
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
@@ -204,7 +180,7 @@ fn run_one(path: &Path, config: &CompileConfig) -> (String, bool) {
             return (error_record(&display, &format!("read failed: {e}")), false);
         }
     };
-    compile_record(&display, &source, config)
+    template.with_source(display, source).record()
 }
 
 fn main() {
@@ -225,7 +201,7 @@ fn main() {
     // Worker pool (shared with oneqd): a cursor hands out file indices and
     // each record lands in its slot, so the output order is the sorted
     // input order no matter which thread finishes first.
-    let records = run_indexed(opt.jobs, &files, |_, path| run_one(path, &opt.config));
+    let records = run_indexed(opt.jobs, &files, |_, path| run_one(path, &opt.template));
 
     let mut output = String::new();
     let mut failures = 0usize;

@@ -10,18 +10,23 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release --bin sweep [-- [--quick] [--out PATH]]
+//! cargo run --release --bin sweep [-- [--quick] [--out PATH] [--resource KIND]]
 //! ```
 //!
 //! `--quick` restricts the sweep to the smallest size per benchmark with
 //! no geometry variants (the CI smoke configuration); `--out` overrides
 //! the output path (default `BENCH_pipeline.json` in the working
-//! directory).
+//! directory). `--resource` (line3|line4|star4|ring4, default line3)
+//! selects the resource-state kind the whole sweep compiles with; it is
+//! parsed by the same `CompileRequest::from_args` knob table as `oneqc`,
+//! `loadgen`, and the daemon's query strings.
 
 use oneq::{Compiler, CompilerOptions};
 use oneq_bench::{BenchKind, SEED};
 use oneq_hardware::{LayerGeometry, ResourceKind};
+use oneq_service::compile::GeometryChoice;
 use oneq_service::json;
+use oneq_service::request::CompileRequest;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -49,7 +54,7 @@ struct RunRecord {
     wall_ns: u128,
 }
 
-fn configs(quick: bool) -> Vec<RunConfig> {
+fn configs(quick: bool, resource: ResourceKind) -> Vec<RunConfig> {
     let mut out = Vec::new();
     for kind in BenchKind::ALL {
         let sizes: &[usize] = if quick {
@@ -58,7 +63,7 @@ fn configs(quick: bool) -> Vec<RunConfig> {
             kind.paper_sizes()
         };
         for &n in sizes {
-            let side = oneq_baseline::physical_side(n, ResourceKind::LINE3);
+            let side = oneq_baseline::physical_side(n, resource);
             let square = LayerGeometry::square(side);
             // The paper's square array, plus (full mode) the 1.5-ratio
             // rectangle of Fig. 13 and the x2 extended layer of Fig. 14.
@@ -90,9 +95,11 @@ fn configs(quick: bool) -> Vec<RunConfig> {
     out
 }
 
-fn run_one(config: RunConfig) -> RunRecord {
+fn run_one(config: RunConfig, resource: ResourceKind) -> RunRecord {
     let circuit = config.kind.circuit(config.qubits, SEED);
-    let options = CompilerOptions::new(config.geometry).with_extension(config.extension_factor);
+    let options = CompilerOptions::new(config.geometry)
+        .with_resource_kind(resource)
+        .with_extension(config.extension_factor);
     let t0 = Instant::now();
     let program = Compiler::new(options).compile(&circuit);
     let wall_ns = t0.elapsed().as_nanos();
@@ -115,12 +122,17 @@ fn run_one(config: RunConfig) -> RunRecord {
 /// `oneq_service::json` escaper (the same helper behind `oneqc` records
 /// and `oneqd` responses), so the labels stay safe even if a future
 /// benchmark name stops being plain ASCII.
-fn to_json(records: &[RunRecord], quick: bool) -> String {
+fn to_json(records: &[RunRecord], quick: bool, resource: ResourceKind) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"oneq-bench-pipeline/v1\",");
     let _ = writeln!(out, "  \"seed\": {SEED},");
     let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(
+        out,
+        "  \"resource\": \"{}\",",
+        json::escape(oneq_service::compile::resource_label(resource))
+    );
     out.push_str("  \"runs\": [\n");
     for (i, r) in records.iter().enumerate() {
         let c = &r.config;
@@ -170,15 +182,35 @@ fn to_json(records: &[RunRecord], quick: bool) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
+    // The shared compile knobs come from the one knob table; sweep's own
+    // flags are picked off the rest. Only --resource applies here — the
+    // sweep owns its geometry/extension axes — and a knob that would be
+    // accepted-but-dead is a usage error, not a silent no-op.
+    let (template, rest) = CompileRequest::from_args(&args).unwrap_or_else(|msg| {
+        eprintln!("sweep: {msg}");
+        std::process::exit(2);
+    });
+    if template.config.geometry != GeometryChoice::Auto
+        || template.config.extension != 1
+        || template.config.timings
+        || template.bypass
+    {
+        eprintln!(
+            "sweep: only --resource applies; the sweep sets geometry, extension, \
+             and timings itself"
+        );
+        std::process::exit(2);
+    }
+    let resource = template.config.resource;
+    let quick = rest.iter().any(|a| a == "--quick");
+    let out_path = rest
         .iter()
         .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
+        .and_then(|i| rest.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
 
-    let configs = configs(quick);
+    let configs = configs(quick, resource);
     println!(
         "sweep: {} configurations ({})",
         configs.len(),
@@ -187,7 +219,7 @@ fn main() {
 
     let mut records = Vec::with_capacity(configs.len());
     for config in configs {
-        let record = run_one(config);
+        let record = run_one(config, resource);
         println!(
             "  {}-{} {}x{} ext{}: depth {}, fusions {}, mapping {:.2} ms, wall {:.2} ms",
             record.config.kind.name(),
@@ -211,7 +243,7 @@ fn main() {
         total_wall as f64 / 1e6
     );
 
-    let json = to_json(&records, quick);
+    let json = to_json(&records, quick, resource);
     std::fs::write(&out_path, json).expect("write BENCH_pipeline.json");
     println!("wrote {out_path}");
 }

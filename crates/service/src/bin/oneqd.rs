@@ -9,13 +9,19 @@
 //! ```text
 //! oneqd [OPTIONS]
 //!
-//!   --addr HOST:PORT     listen address (default 127.0.0.1:7878; port 0
-//!                        picks an ephemeral port, printed at startup)
-//!   --workers N          worker threads (default: available parallelism)
-//!   --backlog N          bounded queue of pending connections (default 64)
-//!   --cache-capacity N   cached /compile responses (default 256)
-//!   --cache-shards N     cache mutex stripes (default 8)
-//!   --max-body BYTES     request body limit (default 4194304)
+//!   --addr HOST:PORT          listen address (default 127.0.0.1:7878; port 0
+//!                             picks an ephemeral port, printed at startup)
+//!   --workers N               worker threads (default: available parallelism)
+//!   --backlog N               bounded queue of pending connections (default 64)
+//!   --cache-capacity N        cached compile responses (default 256)
+//!   --cache-shards N          cache mutex stripes (default 8)
+//!   --max-body BYTES          request body limit (default 4194304)
+//!   --keep-alive-requests N   requests served per connection before the
+//!                             server closes it (default 256)
+//!   --idle-timeout-ms MS      idle time allowed between requests on a
+//!                             kept-alive connection (default 5000)
+//!   --batch-jobs N            threads compiling one /v1/compile-batch
+//!                             request (default: available parallelism)
 //! ```
 //!
 //! The daemon prints `oneqd: listening on http://ADDR` once ready and
@@ -29,7 +35,8 @@ use oneq_service::signal;
 fn usage() -> ! {
     eprintln!(
         "usage: oneqd [--addr HOST:PORT] [--workers N] [--backlog N] \
-         [--cache-capacity N] [--cache-shards N] [--max-body BYTES]"
+         [--cache-capacity N] [--cache-shards N] [--max-body BYTES] \
+         [--keep-alive-requests N] [--idle-timeout-ms MS] [--batch-jobs N]"
     );
     std::process::exit(2);
 }
@@ -68,6 +75,23 @@ fn parse_args() -> (String, ServerConfig) {
                 config.cache_shards = num(value(&mut i, "--cache-shards"), "--cache-shards", 1);
             }
             "--max-body" => config.max_body = num(value(&mut i, "--max-body"), "--max-body", 1),
+            "--keep-alive-requests" => {
+                config.keep_alive_requests = num(
+                    value(&mut i, "--keep-alive-requests"),
+                    "--keep-alive-requests",
+                    1,
+                );
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout = std::time::Duration::from_millis(num(
+                    value(&mut i, "--idle-timeout-ms"),
+                    "--idle-timeout-ms",
+                    1,
+                ) as u64);
+            }
+            "--batch-jobs" => {
+                config.batch_jobs = num(value(&mut i, "--batch-jobs"), "--batch-jobs", 1);
+            }
             "--help" | "-h" => usage(),
             flag => {
                 eprintln!("oneqd: unknown flag {flag}");
@@ -92,8 +116,14 @@ fn main() {
     // Scripts (CI, tests) wait for this exact line before sending traffic.
     println!("oneqd: listening on http://{local}");
     println!(
-        "oneqd: {} workers, backlog {}, cache capacity {} over {} shard(s)",
-        config.workers, config.backlog, config.cache_capacity, config.cache_shards
+        "oneqd: {} workers, backlog {}, cache capacity {} over {} shard(s), \
+         keep-alive {} req/conn, idle timeout {} ms",
+        config.workers,
+        config.backlog,
+        config.cache_capacity,
+        config.cache_shards,
+        config.keep_alive_requests,
+        config.idle_timeout.as_millis()
     );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();

@@ -12,11 +12,16 @@
 //! only contend when they land on the same shard.
 //!
 //! Hit/miss/eviction counters are process-wide atomics surfaced through
-//! `GET /stats`. [`fnv1a_64`] is kept alongside as the cheap
+//! `GET /v1/stats`. [`fnv1a_64`] is kept alongside as the cheap
 //! non-cryptographic hash for callers that only need routing.
+//!
+//! [`SingleFlight`] is the coalescing layer *in front of* the cache: N
+//! concurrent misses on one digest elect one leader that compiles while
+//! the followers block on its result, so a thundering herd on a cold key
+//! runs exactly one compile instead of N.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// FNV-1a, 64-bit: the classic offset-basis/prime pair. Tiny and fast;
 /// for routing and fingerprinting only — it is not collision-resistant,
@@ -189,9 +194,14 @@ impl CompileCache {
 
     /// Looks up `key`, refreshing its recency on a hit.
     pub fn get(&self, key: &str) -> Option<Arc<str>> {
-        let digest = sha256(key.as_bytes());
-        let mut shard = self.shard_of(&digest).lock().expect("cache shard poisoned");
-        let pos = shard.entries.iter().position(|e| e.digest == digest);
+        self.get_digest(&sha256(key.as_bytes()))
+    }
+
+    /// Digest-addressed lookup (the key was already hashed — e.g. to join
+    /// a [`SingleFlight`]), refreshing recency on a hit.
+    pub fn get_digest(&self, digest: &[u8; 32]) -> Option<Arc<str>> {
+        let mut shard = self.shard_of(digest).lock().expect("cache shard poisoned");
+        let pos = shard.entries.iter().position(|e| e.digest == *digest);
         match pos {
             Some(pos) => {
                 let entry = shard.entries.remove(pos);
@@ -207,10 +217,28 @@ impl CompileCache {
         }
     }
 
+    /// Counter-free lookup: no hit/miss accounting, no recency refresh.
+    /// Used by a freshly elected single-flight leader to double-check the
+    /// cache (a previous leader may have filled it between this thread's
+    /// miss and its election) without double-counting the request's one
+    /// logical lookup.
+    pub fn peek_digest(&self, digest: &[u8; 32]) -> Option<Arc<str>> {
+        let shard = self.shard_of(digest).lock().expect("cache shard poisoned");
+        shard
+            .entries
+            .iter()
+            .find(|e| e.digest == *digest)
+            .map(|e| Arc::clone(&e.value))
+    }
+
     /// Inserts (or refreshes) `key → value`, evicting the least recently
     /// used entry of the target shard when it is full.
     pub fn insert(&self, key: &str, value: Arc<str>) {
-        let digest = sha256(key.as_bytes());
+        self.insert_digest(sha256(key.as_bytes()), value);
+    }
+
+    /// Digest-addressed insert.
+    pub fn insert_digest(&self, digest: [u8; 32], value: Arc<str>) {
         let mut shard = self.shard_of(&digest).lock().expect("cache shard poisoned");
         if let Some(pos) = shard.entries.iter().position(|e| e.digest == digest) {
             // Two threads can race the same miss; the second insert just
@@ -249,6 +277,141 @@ impl CompileCache {
             entries: self.len(),
             capacity: self.shard_capacity * self.shards.len(),
             shards: self.shards.len(),
+        }
+    }
+}
+
+/// The role [`SingleFlight::join`] hands back for a digest.
+pub enum FlightRole<'a> {
+    /// This thread compiles; it must call [`FlightLeader::publish`] (or
+    /// drop the guard, which aborts the flight and wakes followers).
+    Leader(FlightLeader<'a>),
+    /// Another thread was already compiling this digest. `Some` carries
+    /// its published `(body, ok)`; `None` means the leader aborted
+    /// without publishing (it panicked) and the follower should compile
+    /// for itself.
+    Follower(Option<(Arc<str>, bool)>),
+}
+
+enum FlightState {
+    Pending,
+    Done(Arc<str>, bool),
+    Aborted,
+}
+
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+/// Request coalescing in front of the cache: concurrent misses on one
+/// digest elect a single leader; followers block until the leader
+/// publishes and then return its bytes. The in-flight table holds only
+/// keys currently being compiled, so it stays tiny (bounded by worker
+/// count) and one mutex suffices.
+///
+/// Exactly-once protocol (the part that keeps a storm at one compile):
+/// the leader must insert its result into the [`CompileCache`] *before*
+/// calling [`FlightLeader::publish`] — publish removes the flight from
+/// the table, and any request that missed the cache earlier will either
+/// find the flight (and follow) or, finding neither, elect itself leader
+/// and see the filled cache on its double-check
+/// ([`CompileCache::peek_digest`]).
+#[derive(Default)]
+pub struct SingleFlight {
+    inflight: Mutex<Vec<([u8; 32], Arc<Flight>)>>,
+    coalesced: AtomicU64,
+}
+
+impl SingleFlight {
+    /// An empty coalescing table.
+    pub fn new() -> SingleFlight {
+        SingleFlight::default()
+    }
+
+    /// Joins the flight for `digest`: the first caller becomes the
+    /// leader, everyone else blocks until the leader publishes or aborts.
+    pub fn join(&self, digest: [u8; 32]) -> FlightRole<'_> {
+        let mut inflight = self.inflight.lock().expect("single-flight table poisoned");
+        if let Some((_, flight)) = inflight.iter().find(|(d, _)| *d == digest) {
+            let flight = Arc::clone(flight);
+            drop(inflight);
+            let mut state = flight.state.lock().expect("flight state poisoned");
+            while matches!(*state, FlightState::Pending) {
+                state = flight.cv.wait(state).expect("flight state poisoned");
+            }
+            return match &*state {
+                FlightState::Done(body, ok) => {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    FlightRole::Follower(Some((Arc::clone(body), *ok)))
+                }
+                FlightState::Aborted => FlightRole::Follower(None),
+                FlightState::Pending => unreachable!("wait loop exits only on a final state"),
+            };
+        }
+        let flight = Arc::new(Flight {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        });
+        inflight.push((digest, Arc::clone(&flight)));
+        FlightRole::Leader(FlightLeader {
+            owner: self,
+            digest,
+            flight,
+            published: false,
+        })
+    }
+
+    /// Followers served from a leader's in-flight result so far.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Digests currently being compiled (test/stats visibility).
+    pub fn in_flight(&self) -> usize {
+        self.inflight
+            .lock()
+            .expect("single-flight table poisoned")
+            .len()
+    }
+
+    fn finish(&self, digest: &[u8; 32], flight: &Flight, state: FlightState) {
+        let mut inflight = self.inflight.lock().expect("single-flight table poisoned");
+        if let Some(pos) = inflight.iter().position(|(d, _)| d == digest) {
+            inflight.swap_remove(pos);
+        }
+        drop(inflight);
+        *flight.state.lock().expect("flight state poisoned") = state;
+        flight.cv.notify_all();
+    }
+}
+
+/// The leader's obligation: publish a result (or abort by dropping).
+pub struct FlightLeader<'a> {
+    owner: &'a SingleFlight,
+    digest: [u8; 32],
+    flight: Arc<Flight>,
+    published: bool,
+}
+
+impl FlightLeader<'_> {
+    /// Publishes the compiled `(body, ok)` to every follower and retires
+    /// the flight. Call only *after* inserting a cacheable result into
+    /// the cache — see the ordering note on [`SingleFlight`].
+    pub fn publish(mut self, body: Arc<str>, ok: bool) {
+        self.published = true;
+        self.owner
+            .finish(&self.digest, &self.flight, FlightState::Done(body, ok));
+    }
+}
+
+impl Drop for FlightLeader<'_> {
+    fn drop(&mut self) {
+        // Panic safety: a leader that unwinds without publishing must not
+        // strand its followers on the condvar forever.
+        if !self.published {
+            self.owner
+                .finish(&self.digest, &self.flight, FlightState::Aborted);
         }
     }
 }
@@ -353,6 +516,89 @@ mod tests {
         assert_eq!(stats.hits + stats.misses, 64);
         assert_eq!(stats.shards, 8);
         assert_eq!(stats.capacity, 64);
+    }
+
+    #[test]
+    fn single_flight_coalesces_followers_deterministically() {
+        let flights = SingleFlight::new();
+        let digest = sha256(b"storm-key");
+        let followers = 6usize;
+
+        std::thread::scope(|scope| {
+            let FlightRole::Leader(leader) = flights.join(digest) else {
+                panic!("first join must lead");
+            };
+            assert_eq!(flights.in_flight(), 1);
+            // Observing the flight's Arc strong count makes coalescing
+            // deterministic instead of timing-dependent: one reference in
+            // the table, one in the leader guard, one here, plus one per
+            // follower that has found the flight. A follower that cloned
+            // the Arc is guaranteed to observe the published state (the
+            // wait loop re-checks under the same mutex publish takes).
+            let flight = Arc::clone(&leader.flight);
+            for _ in 0..followers {
+                let flights = &flights;
+                scope.spawn(move || match flights.join(digest) {
+                    FlightRole::Follower(Some((body, ok))) => {
+                        assert_eq!(&*body, "result");
+                        assert!(ok);
+                    }
+                    _ => panic!("expected a published follower result"),
+                });
+            }
+            while Arc::strong_count(&flight) < 3 + followers {
+                std::thread::yield_now();
+            }
+            leader.publish(arc("result"), true);
+        });
+        assert_eq!(flights.in_flight(), 0);
+        assert_eq!(
+            flights.coalesced(),
+            followers as u64,
+            "every follower was served from the leader's flight"
+        );
+    }
+
+    #[test]
+    fn single_flight_aborted_leader_releases_followers() {
+        let flights = SingleFlight::new();
+        let digest = sha256(b"abort-key");
+        let FlightRole::Leader(leader) = flights.join(digest) else {
+            panic!("first join must lead");
+        };
+        std::thread::scope(|scope| {
+            let follower = scope.spawn(|| flights.join(digest));
+            // Give the follower a moment to block, then abort by drop.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(leader);
+            match follower.join().expect("follower thread") {
+                FlightRole::Follower(None) => {}
+                FlightRole::Follower(Some(_)) => panic!("aborted flight published a result"),
+                FlightRole::Leader(_) => panic!("follower joined a live flight"),
+            }
+        });
+        assert_eq!(flights.in_flight(), 0);
+        assert_eq!(flights.coalesced(), 0, "aborts are not coalesced serves");
+        // The digest is free again: the next join leads.
+        assert!(matches!(flights.join(digest), FlightRole::Leader(_)));
+    }
+
+    #[test]
+    fn single_flight_distinct_digests_fly_independently() {
+        let flights = SingleFlight::new();
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        let FlightRole::Leader(la) = flights.join(a) else {
+            panic!("lead a");
+        };
+        let FlightRole::Leader(lb) = flights.join(b) else {
+            panic!("lead b");
+        };
+        assert_eq!(flights.in_flight(), 2);
+        la.publish(arc("A"), true);
+        assert_eq!(flights.in_flight(), 1);
+        lb.publish(arc("B"), false);
+        assert_eq!(flights.in_flight(), 0);
     }
 
     #[test]

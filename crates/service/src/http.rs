@@ -1,16 +1,25 @@
 //! A deliberately small HTTP/1.1 implementation over `std::net`.
 //!
-//! `oneqd` serves three fixed routes to trusted clients (CI, `loadgen`,
-//! `curl`); it needs request-line + header + `Content-Length` body
-//! parsing, percent-decoding for query strings, and `Connection: close`
-//! responses — nothing more. Pulling in an HTTP stack would break the
-//! workspace's vendored-offline policy, so this module implements exactly
-//! that subset, with hard limits on line, header, and body sizes.
+//! `oneqd` serves a handful of fixed routes to trusted clients (CI,
+//! `loadgen`, `curl`); it needs request-line + header + `Content-Length`
+//! body parsing, percent-decoding for query strings, and persistent
+//! (`Connection: keep-alive`) framing in both directions — nothing more.
+//! Pulling in an HTTP stack would break the workspace's vendored-offline
+//! policy, so this module implements exactly that subset, with hard
+//! limits on line, header, and body sizes.
 //!
-//! [`request`] is the matching one-shot client used by `loadgen` and the
-//! integration tests.
+//! Since the `/v1` redesign, connections are sessions: the server reads
+//! many requests off one socket (see `server::handle_connection`) and the
+//! client side has a matching reusable [`ClientConn`] that `loadgen`
+//! drives. The one-shot [`request`] helper remains for tests and scripts;
+//! it opens a connection, sends `Connection: close`, and reads one
+//! response.
+//!
+//! Header *names* are matched case-insensitively (RFC 9110 §5.1), and so
+//! are the connection-option tokens in `Connection` values (`Keep-Alive`
+//! and `keep-alive` mean the same thing) — see [`has_connection_token`].
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -18,6 +27,15 @@ use std::time::Duration;
 const MAX_LINE: usize = 8 * 1024;
 /// Upper bound on the number of header lines.
 const MAX_HEADERS: usize = 64;
+/// Upper bound on a response body the *client* side will buffer. The
+/// server enforces its own `max_body` on requests; this is the symmetric
+/// guard so a misbehaving endpoint declaring a huge `Content-Length`
+/// cannot make `loadgen` or a test attempt an absurd allocation.
+const MAX_CLIENT_BODY: usize = 64 * 1024 * 1024;
+/// Bodies up to this size are copied into one buffer with their head so
+/// the message leaves in a single write; larger bodies are written
+/// separately rather than paying a full memcpy.
+const COALESCE_WRITE_MAX: usize = 8 * 1024;
 
 /// A parsed request.
 #[derive(Debug)]
@@ -32,6 +50,8 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Raw body bytes (`Content-Length`-framed; no chunked encoding).
     pub body: Vec<u8>,
+    /// `true` for an `HTTP/1.0` request (keep-alive must be opted into).
+    pub http10: bool,
 }
 
 impl Request {
@@ -45,12 +65,40 @@ impl Request {
 
     /// First header named `name` (case-insensitive), if any.
     pub fn header(&self, name: &str) -> Option<&str> {
-        let name = name.to_ascii_lowercase();
-        self.headers
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, v)| v.as_str())
+        header_lookup(&self.headers, name)
     }
+
+    /// Whether the client asked for (or defaults to) a persistent
+    /// connection: HTTP/1.1 is keep-alive unless `Connection: close`;
+    /// HTTP/1.0 is close unless `Connection: keep-alive`. Token matching
+    /// is case-insensitive per RFC 9110.
+    pub fn wants_keep_alive(&self) -> bool {
+        let connection = self.header("connection");
+        if self.http10 {
+            connection.is_some_and(|v| has_connection_token(v, "keep-alive"))
+        } else {
+            !connection.is_some_and(|v| has_connection_token(v, "close"))
+        }
+    }
+}
+
+/// Case-insensitive lookup in a `(name, value)` header list. Stored names
+/// are already lowercased by the parsers, but the lookup does not rely on
+/// that invariant — a hand-built list in a test gets the same semantics.
+fn header_lookup<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// Whether a `Connection` header value contains `token` in its
+/// comma-separated option list, ASCII-case-insensitively: `Keep-Alive`,
+/// `keep-alive`, and `close, KEEP-ALIVE` all match `keep-alive`.
+pub fn has_connection_token(value: &str, token: &str) -> bool {
+    value
+        .split(',')
+        .any(|t| t.trim().eq_ignore_ascii_case(token))
 }
 
 /// Why a request could not be served.
@@ -61,6 +109,8 @@ pub enum RequestError {
     /// Malformed request → `400 Bad Request`.
     Malformed(String),
     /// Body larger than the server's limit → `413 Content Too Large`.
+    /// Raised from the `Content-Length` header alone, *before* any body
+    /// byte is buffered.
     BodyTooLarge(usize),
 }
 
@@ -102,10 +152,13 @@ fn read_line(reader: &mut impl BufRead) -> Result<String, RequestError> {
     String::from_utf8(buf).map_err(|_| RequestError::Malformed("header line not UTF-8".into()))
 }
 
-/// Reads and parses one request from `stream`, enforcing `max_body`.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RequestError> {
-    let mut reader = BufReader::new(stream);
-    let request_line = read_line(&mut reader)?;
+/// Reads and parses one request from `reader`, enforcing `max_body`.
+///
+/// Takes the session's persistent `BufRead` (not the raw stream): under
+/// keep-alive, bytes of the *next* request may already sit in the buffer,
+/// so the reader must outlive any single call.
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, RequestError> {
+    let request_line = read_line(reader)?;
     if request_line.is_empty() {
         return Err(RequestError::Io(std::io::Error::new(
             std::io::ErrorKind::UnexpectedEof,
@@ -122,10 +175,11 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
             "unsupported version {version}"
         )));
     }
+    let http10 = version == "HTTP/1.0";
 
     let mut headers = Vec::new();
     loop {
-        let line = read_line(&mut reader)?;
+        let line = read_line(reader)?;
         if line.is_empty() {
             break;
         }
@@ -138,17 +192,19 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+    if header_lookup(&headers, "transfer-encoding").is_some() {
         return Err(RequestError::Malformed(
             "chunked transfer encoding is not supported".into(),
         ));
     }
-    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+    let content_length = match header_lookup(&headers, "content-length") {
         None => 0,
-        Some((_, v)) => v
+        Some(v) => v
             .parse::<usize>()
             .map_err(|_| RequestError::Malformed("bad content-length".into()))?,
     };
+    // Enforce the limit from the declared length alone — the body is
+    // neither allocated nor read when the client announces too much.
     if content_length > max_body {
         return Err(RequestError::BodyTooLarge(content_length));
     }
@@ -165,6 +221,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         query,
         headers,
         body,
+        http10,
     })
 }
 
@@ -243,6 +300,7 @@ pub fn percent_encode(s: &str) -> String {
 pub fn status_reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        308 => "Permanent Redirect",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -254,19 +312,34 @@ pub fn status_reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete `Connection: close` response.
+/// What the response says about the connection's future.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Connection {
+    /// `Connection: keep-alive` — the peer may send another request.
+    KeepAlive,
+    /// `Connection: close` — this response is the last on the socket.
+    Close,
+}
+
+/// Writes a complete response with explicit `Content-Length` framing and
+/// the given `Connection` disposition.
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
     content_type: &str,
     extra_headers: &[(&str, String)],
     body: &[u8],
+    connection: Connection,
 ) -> std::io::Result<()> {
     let mut head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n",
+         Content-Length: {}\r\nConnection: {}\r\n",
         status_reason(status),
-        body.len()
+        body.len(),
+        match connection {
+            Connection::KeepAlive => "keep-alive",
+            Connection::Close => "close",
+        }
     );
     for (name, value) in extra_headers {
         head.push_str(name);
@@ -275,8 +348,19 @@ pub fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    // Small responses go out as one write (one segment, one syscall);
+    // large ones are written head-then-body so megabyte batch bodies are
+    // not copied wholesale. Both sides of a connection set TCP_NODELAY,
+    // so the two-write path cannot stall in Nagle's buffer against the
+    // peer's delayed ACK.
+    if body.len() <= COALESCE_WRITE_MAX {
+        let mut message = head.into_bytes();
+        message.extend_from_slice(body);
+        stream.write_all(&message)?;
+    } else {
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+    }
     stream.flush()
 }
 
@@ -294,60 +378,60 @@ pub struct ClientResponse {
 impl ClientResponse {
     /// First header named `name` (case-insensitive), if any.
     pub fn header(&self, name: &str) -> Option<&str> {
-        let name = name.to_ascii_lowercase();
-        self.headers
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, v)| v.as_str())
+        header_lookup(&self.headers, name)
+    }
+
+    /// Whether the server will keep the connection open after this
+    /// response.
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| has_connection_token(v, "close"))
     }
 }
 
-/// One-shot HTTP client: opens a connection, sends `method target` with
-/// `body`, reads the `Connection: close` response to EOF. Used by
-/// `loadgen` and the integration tests.
-pub fn request(
-    addr: SocketAddr,
-    method: &str,
-    target: &str,
-    body: &[u8],
-    timeout: Duration,
-) -> std::io::Result<ClientResponse> {
-    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
-    stream.set_read_timeout(Some(timeout))?;
-    stream.set_write_timeout(Some(timeout))?;
-    let head = format!(
-        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
-         Connection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
-    stream.flush()?;
-
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    parse_client_response(&raw)
-}
-
-fn parse_client_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
+/// Reads one `Content-Length`-framed response from `reader`. This is the
+/// keep-alive-safe framing: it never reads to EOF, so the connection
+/// stays usable for the next exchange.
+pub fn read_client_response(reader: &mut impl BufRead) -> std::io::Result<ClientResponse> {
     let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
-    let split = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .ok_or_else(|| bad("no header/body separator"))?;
-    let head = std::str::from_utf8(&raw[..split]).map_err(|_| bad("head not UTF-8"))?;
-    let body = raw[split + 4..].to_vec();
-    let mut lines = head.split("\r\n");
-    let status_line = lines.next().ok_or_else(|| bad("missing status line"))?;
+    let status_line = match read_line(reader) {
+        Ok(line) => line,
+        Err(RequestError::Io(e)) => return Err(e),
+        Err(_) => return Err(bad("bad status line")),
+    };
     let status = status_line
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| bad("bad status line"))?;
-    let headers = lines
-        .filter_map(|l| l.split_once(':'))
-        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
-        .collect();
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(reader) {
+            Ok(line) => line,
+            Err(RequestError::Io(e)) => return Err(e),
+            Err(_) => return Err(bad("bad header line")),
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad("too many headers"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad("header without colon"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = match header_lookup(&headers, "content-length") {
+        None => 0,
+        Some(v) => v.parse::<usize>().map_err(|_| bad("bad content-length"))?,
+    };
+    if content_length > MAX_CLIENT_BODY {
+        return Err(bad("response body exceeds the client limit"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
     Ok(ClientResponse {
         status,
         headers,
@@ -355,9 +439,101 @@ fn parse_client_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
     })
 }
 
+/// A persistent client connection: one socket carrying many
+/// request/response exchanges. `loadgen`'s keep-alive mode holds one of
+/// these per worker; the integration tests drive interleaved hit/miss
+/// sessions through it.
+pub struct ClientConn {
+    reader: BufReader<TcpStream>,
+    peer: SocketAddr,
+}
+
+impl ClientConn {
+    /// Connects to `addr` with `timeout` applied to the connect and to
+    /// every subsequent read and write.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<ClientConn> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        // Request/response exchanges are latency-bound: never trade a
+        // round trip for Nagle coalescing.
+        stream.set_nodelay(true)?;
+        Ok(ClientConn {
+            reader: BufReader::new(stream),
+            peer: addr,
+        })
+    }
+
+    /// The address this connection was opened to.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Sends one request and reads its response, leaving the connection
+    /// open for the next exchange (the request advertises
+    /// `Connection: keep-alive`). If the server replies
+    /// `Connection: close` the socket is spent; callers reconnect.
+    pub fn send(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        self.send_with(method, target, body, Connection::KeepAlive)
+    }
+
+    fn send_with(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+        connection: Connection,
+    ) -> std::io::Result<ClientResponse> {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\
+             Connection: {}\r\n\r\n",
+            self.peer,
+            body.len(),
+            match connection {
+                Connection::KeepAlive => "keep-alive",
+                Connection::Close => "close",
+            }
+        );
+        // Same write-coalescing policy as `write_response`: one write
+        // for small messages, head-then-body for large ones (the
+        // connection has TCP_NODELAY, so two writes cannot stall).
+        let stream = self.reader.get_mut();
+        if body.len() <= COALESCE_WRITE_MAX {
+            let mut message = head.into_bytes();
+            message.extend_from_slice(body);
+            stream.write_all(&message)?;
+        } else {
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(body)?;
+        }
+        stream.flush()?;
+        read_client_response(&mut self.reader)
+    }
+}
+
+/// One-shot HTTP client: opens a connection, sends `method target` with
+/// `body` and `Connection: close`, reads the single response. Used by
+/// scripts, `loadgen`'s close mode, and the integration tests.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
+    let mut conn = ClientConn::connect(addr, timeout)?;
+    conn.send_with(method, target, body, Connection::Close)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::TcpListener;
 
     #[test]
     fn query_parsing_decodes() {
@@ -380,13 +556,86 @@ mod tests {
         assert_eq!(percent_decode("%zz%4"), "%zz%4", "bad escapes pass through");
     }
 
+    fn parse_raw_request(raw: &[u8], max_body: usize) -> Result<Request, RequestError> {
+        let mut reader = std::io::BufReader::new(raw);
+        read_request(&mut reader, max_body)
+    }
+
     #[test]
-    fn client_response_parsing() {
-        let raw = b"HTTP/1.1 404 Not Found\r\nContent-Type: application/json\r\nX-A: b\r\n\r\n{}";
-        let resp = parse_client_response(raw).unwrap();
+    fn mixed_case_header_names_are_matched() {
+        // RFC 9110 §5.1: field names are case-insensitive. A client that
+        // spells `Content-LENGTH` or `CONNECTION` must be framed exactly
+        // like a lowercase one.
+        let raw =
+            b"POST /v1/compile HTTP/1.1\r\nContent-LENGTH: 5\r\nCONNECTION: ClOsE\r\n\r\nhello";
+        let req = parse_raw_request(raw, 1024).expect("parse mixed-case request");
+        assert_eq!(req.body, b"hello");
+        assert_eq!(req.header("content-length"), Some("5"));
+        assert_eq!(req.header("Content-Length"), Some("5"), "lookup side too");
+        assert!(!req.wants_keep_alive(), "ClOsE value token is recognized");
+    }
+
+    #[test]
+    fn mixed_case_transfer_encoding_is_still_rejected() {
+        let raw = b"POST /x HTTP/1.1\r\nTransfer-ENCODING: chunked\r\n\r\n";
+        assert!(matches!(
+            parse_raw_request(raw, 1024),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn connection_token_matching_is_case_insensitive_and_listwise() {
+        assert!(has_connection_token("Keep-Alive", "keep-alive"));
+        assert!(has_connection_token("close, KEEP-ALIVE", "keep-alive"));
+        assert!(has_connection_token(" close ", "close"));
+        assert!(!has_connection_token("keep-alive-ish", "keep-alive"));
+        assert!(!has_connection_token("", "close"));
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_the_http_version() {
+        let req = |line: &str| {
+            parse_raw_request(format!("GET / {line}\r\n\r\n").as_bytes(), 0).expect("parse")
+        };
+        assert!(
+            req("HTTP/1.1").wants_keep_alive(),
+            "1.1 defaults to keep-alive"
+        );
+        assert!(!req("HTTP/1.0").wants_keep_alive(), "1.0 defaults to close");
+        let raw = b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n";
+        assert!(parse_raw_request(raw, 0).unwrap().wants_keep_alive());
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(!parse_raw_request(raw, 0).unwrap().wants_keep_alive());
+    }
+
+    #[test]
+    fn oversized_content_length_rejects_before_reading_a_body_byte() {
+        // The body bytes are NOT in the input: if the parser tried to
+        // buffer the declared length it would hit EOF and report Io
+        // instead of BodyTooLarge.
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+        match parse_raw_request(raw, 1024) {
+            Err(RequestError::BodyTooLarge(n)) => assert_eq!(n, 99_999_999),
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn client_response_parsing_is_content_length_framed() {
+        // Trailing garbage after the framed body must NOT be consumed —
+        // that is the property keep-alive depends on.
+        let raw: &[u8] =
+            b"HTTP/1.1 404 Not Found\r\nContent-Type: application/json\r\nContent-LENGTH: 2\r\nX-A: b\r\n\r\n{}NEXT";
+        let mut reader = std::io::BufReader::new(raw);
+        let resp = read_client_response(&mut reader).unwrap();
         assert_eq!(resp.status, 404);
         assert_eq!(resp.header("x-a"), Some("b"));
+        assert_eq!(resp.header("X-A"), Some("b"));
         assert_eq!(resp.body, b"{}");
+        let mut rest = Vec::new();
+        std::io::Read::read_to_end(&mut reader, &mut rest).unwrap();
+        assert_eq!(rest, b"NEXT", "bytes after the body stay in the reader");
     }
 
     #[test]
@@ -398,28 +647,54 @@ mod tests {
             "application/json",
             &[("X-Oneqd-Cache", "hit".to_string())],
             b"{\"a\": 1}\n",
+            Connection::KeepAlive,
         )
         .unwrap();
-        let resp = parse_client_response(&out).unwrap();
+        let mut reader = std::io::BufReader::new(out.as_slice());
+        let resp = read_client_response(&mut reader).unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.header("content-length"), Some("9"));
         assert_eq!(resp.header("x-oneqd-cache"), Some("hit"));
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
+        assert!(resp.keep_alive());
         assert_eq!(resp.body, b"{\"a\": 1}\n");
+
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            400,
+            "application/json",
+            &[],
+            b"",
+            Connection::Close,
+        )
+        .unwrap();
+        let mut reader = std::io::BufReader::new(out.as_slice());
+        assert!(!read_client_response(&mut reader).unwrap().keep_alive());
     }
 
     #[test]
     fn request_against_a_canned_server() {
-        use std::net::TcpListener;
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let server = std::thread::spawn(move || {
-            let (mut stream, _) = listener.accept().unwrap();
-            let req = read_request(&mut stream, 1024).unwrap();
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream);
+            let req = read_request(&mut reader, 1024).unwrap();
             assert_eq!(req.method, "POST");
             assert_eq!(req.path, "/compile");
             assert_eq!(req.query_param("file"), Some("a b.qasm"));
             assert_eq!(req.body, b"hello");
-            write_response(&mut stream, 200, "text/plain", &[], b"ok").unwrap();
+            assert!(!req.wants_keep_alive(), "one-shot client sends close");
+            write_response(
+                reader.get_mut(),
+                200,
+                "text/plain",
+                &[],
+                b"ok",
+                Connection::Close,
+            )
+            .unwrap();
         });
         let resp = request(
             addr,
@@ -435,13 +710,48 @@ mod tests {
     }
 
     #[test]
-    fn truncated_requests_are_io_errors_not_parsed() {
-        use std::net::TcpListener;
+    fn client_conn_carries_many_exchanges_on_one_socket() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let server = std::thread::spawn(move || {
-            let (mut stream, _) = listener.accept().unwrap();
-            match read_request(&mut stream, 1024) {
+            // Exactly ONE accepted connection serves every request.
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream);
+            for i in 0..3 {
+                let req = read_request(&mut reader, 1024).unwrap();
+                assert!(req.wants_keep_alive());
+                let body = format!("echo-{i}:{}", String::from_utf8_lossy(&req.body));
+                write_response(
+                    reader.get_mut(),
+                    200,
+                    "text/plain",
+                    &[],
+                    body.as_bytes(),
+                    Connection::KeepAlive,
+                )
+                .unwrap();
+            }
+        });
+        let mut conn = ClientConn::connect(addr, Duration::from_secs(5)).unwrap();
+        for i in 0..3 {
+            let resp = conn
+                .send("POST", "/echo", format!("req-{i}").as_bytes())
+                .unwrap();
+            assert_eq!(resp.status, 200);
+            assert!(resp.keep_alive());
+            assert_eq!(resp.body, format!("echo-{i}:req-{i}").into_bytes());
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn truncated_requests_are_io_errors_not_parsed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream);
+            match read_request(&mut reader, 1024) {
                 Err(RequestError::Io(e)) => {
                     assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
                 }
@@ -460,12 +770,12 @@ mod tests {
 
     #[test]
     fn oversized_bodies_are_rejected() {
-        use std::net::TcpListener;
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let server = std::thread::spawn(move || {
-            let (mut stream, _) = listener.accept().unwrap();
-            match read_request(&mut stream, 4) {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream);
+            match read_request(&mut reader, 4) {
                 Err(RequestError::BodyTooLarge(n)) => assert_eq!(n, 5),
                 other => panic!("expected BodyTooLarge, got {other:?}"),
             }

@@ -1,10 +1,11 @@
-//! Hand-rolled JSON emission helpers.
+//! Hand-rolled JSON emission helpers and a flat-object reader.
 //!
 //! The workspace has no serde: every JSON producer (`oneqc`'s JSONL
 //! writer, `oneqd`'s responses, `sweep`'s and `loadgen`'s BENCH files)
 //! formats records by hand. This module is the single implementation of
-//! the two parts that are easy to get subtly wrong — string escaping and
-//! `f64` formatting — so the producers cannot drift apart.
+//! the parts that are easy to get subtly wrong — string escaping, `f64`
+//! formatting, and (for the `/v1/compile-batch` JSONL request lines)
+//! parsing one *flat* JSON object — so the producers cannot drift apart.
 
 use std::fmt::Write as _;
 
@@ -44,6 +45,232 @@ pub fn fmt_f64(v: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+/// Parses one *flat* JSON object (`{"k": v, ...}`) into `(key, value)`
+/// pairs in source order. Values are returned as plain strings: string
+/// literals are unescaped, numbers keep their literal spelling, booleans
+/// become `"true"`/`"false"`. Nested objects/arrays and `null` are
+/// rejected — the only consumer is the `/v1/compile-batch` request line,
+/// whose schema is flat by design. Duplicate keys are rejected too, so a
+/// request can never silently half-override itself.
+pub fn parse_flat_object(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut p = Parser {
+        text,
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key `{key}`"));
+            }
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.scalar()?;
+            pairs.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err("expected `,` or `}` after value".to_string()),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing bytes after object".to_string());
+    }
+    Ok(pairs)
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            _ => Err(format!("expected `{}`", want as char)),
+        }
+    }
+
+    /// A JSON string literal, fully unescaped (including `\uXXXX` and
+    /// UTF-16 surrogate pairs — QASM sources are plain ASCII, but the
+    /// parser must not corrupt a label that is not).
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Consume one UTF-8 scalar at a time so multi-byte characters
+            // pass through intact. Slicing the original &str is O(1) (a
+            // boundary check, never a re-validation) — re-checking the
+            // remaining bytes per character would make large `source`
+            // strings quadratic.
+            let rest = self
+                .text
+                .get(self.pos..)
+                .ok_or("string not on a character boundary")?;
+            let mut chars = rest.chars();
+            let c = chars.next().ok_or("unterminated string")?;
+            self.pos += c.len_utf8();
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = chars.next().ok_or("unterminated escape")?;
+                    self.pos += esc.len_utf8();
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: require `\uXXXX` low half.
+                                if self.next() != Some(b'\\') || self.next() != Some(b'u') {
+                                    return Err("unpaired surrogate".to_string());
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("unpaired surrogate".to_string());
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "invalid \\u escape".to_string())?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape `\\{other}`")),
+                    }
+                }
+                c if (c as u32) < 0x20 => return Err("raw control character in string".to_string()),
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.next().ok_or("truncated \\u escape")?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| "bad hex digit in \\u escape".to_string())?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    /// A scalar value: string, number, or boolean, rendered as a string.
+    fn scalar(&mut self) -> Result<String, String> {
+        match self.peek() {
+            Some(b'"') => self.string(),
+            Some(b'{') | Some(b'[') => Err("nested values are not supported".to_string()),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => Err("null is not a supported value".to_string()),
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                ) {
+                    self.pos += 1;
+                }
+                let literal = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII");
+                // Validate against the JSON number grammar itself —
+                // f64::parse is laxer (it accepts `5.` and `1.e3`, which
+                // JSON forbids).
+                if !is_json_number(literal) {
+                    return Err(format!("bad number `{literal}`"));
+                }
+                Ok(literal.to_string())
+            }
+            _ => Err("expected a value".to_string()),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<String, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(word.to_string())
+        } else {
+            Err(format!("expected `{word}`"))
+        }
+    }
+}
+
+/// RFC 8259 number grammar: `-? (0 | [1-9][0-9]*) frac? exp?` with
+/// `frac = . [0-9]+` and `exp = [eE] [+-]? [0-9]+`.
+fn is_json_number(s: &str) -> bool {
+    let mut b = s.as_bytes();
+    if let [b'-', rest @ ..] = b {
+        b = rest;
+    }
+    // Integer part: `0` alone, or a non-zero digit run.
+    b = match b {
+        [b'0', rest @ ..] => rest,
+        [b'1'..=b'9', ..] => {
+            let n = b.iter().take_while(|c| c.is_ascii_digit()).count();
+            &b[n..]
+        }
+        _ => return false,
+    };
+    if let [b'.', rest @ ..] = b {
+        let n = rest.iter().take_while(|c| c.is_ascii_digit()).count();
+        if n == 0 {
+            return false;
+        }
+        b = &rest[n..];
+    }
+    if let [b'e' | b'E', rest @ ..] = b {
+        let rest = match rest {
+            [b'+' | b'-', r @ ..] => r,
+            r => r,
+        };
+        let n = rest.iter().take_while(|c| c.is_ascii_digit()).count();
+        if n == 0 {
+            return false;
+        }
+        b = &rest[n..];
+    }
+    b.is_empty()
 }
 
 #[cfg(test)]
@@ -90,5 +317,78 @@ mod tests {
         assert_eq!(fmt_f64(f64::NAN), "null");
         assert_eq!(fmt_f64(f64::INFINITY), "null");
         assert_eq!(fmt_f64(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn flat_object_round_trips_through_escape() {
+        let label = "a \"weird\"\\label\nwith\tcontrol\u{1}chars";
+        let line = format!(
+            "{{\"file\": \"{}\", \"side\": 12, \"timings\": true}}",
+            escape(label)
+        );
+        let pairs = parse_flat_object(&line).unwrap();
+        assert_eq!(
+            pairs,
+            vec![
+                ("file".to_string(), label.to_string()),
+                ("side".to_string(), "12".to_string()),
+                ("timings".to_string(), "true".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn flat_object_handles_unicode_escapes_and_empties() {
+        assert_eq!(parse_flat_object("{}").unwrap(), vec![]);
+        assert_eq!(parse_flat_object("  { }  ").unwrap(), vec![]);
+        let pairs = parse_flat_object(r#"{"s": "\u00e9\ud83d\ude00/"}"#).unwrap();
+        assert_eq!(pairs, vec![("s".to_string(), "é😀/".to_string())]);
+        let pairs = parse_flat_object(r#"{"n": -1.5e3, "b": false}"#).unwrap();
+        assert_eq!(pairs[0].1, "-1.5e3");
+        assert_eq!(pairs[1].1, "false");
+    }
+
+    #[test]
+    fn flat_object_rejects_malformed_input() {
+        for bad in [
+            "",
+            "[]",
+            "{",
+            "{\"a\"}",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "{\"a\": 1} trailing",
+            "{\"a\": {\"nested\": 1}}",
+            "{\"a\": [1]}",
+            "{\"a\": null}",
+            "{\"a\": 1, \"a\": 2}",
+            "{\"a\": \"unterminated}",
+            "{\"a\": \"bad \\q escape\"}",
+            "{\"a\": \"\\ud800 lonely\"}",
+            "{\"a\": -.e8}",
+            // f64::parse would take these; the JSON grammar must not.
+            "{\"a\": 5.}",
+            "{\"a\": 1.e3}",
+            "{\"a\": .5}",
+            "{\"a\": 01}",
+            "{\"a\": 1e}",
+            "{\"a\": -}",
+        ] {
+            assert!(parse_flat_object(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn json_number_grammar_accepts_valid_forms() {
+        for good in [
+            "0", "-0", "7", "123", "1.5", "-0.25", "2e8", "1.5E-3", "9e+2",
+        ] {
+            let line = format!("{{\"n\": {good}}}");
+            assert_eq!(
+                parse_flat_object(&line).unwrap(),
+                vec![("n".to_string(), good.to_string())],
+                "rejected: {good}"
+            );
+        }
     }
 }

@@ -3,22 +3,30 @@
 //! The serving layer over the OneQ pipeline: a std-only concurrent
 //! compile service with a content-addressed result cache.
 //!
-//! The `oneqd` binary is a long-lived daemon that keeps the compiler hot
-//! and amortizes work across requests:
+//! The `oneqd` binary is a long-lived daemon serving a versioned `/v1`
+//! API that keeps the compiler hot and amortizes work across requests:
 //!
 //! * a hand-rolled HTTP/1.1 server ([`http`], [`server`]) over
-//!   `std::net::TcpListener` — no external dependencies, consistent with
+//!   `std::net::TcpListener` with persistent (keep-alive) connection
+//!   sessions on both sides — no external dependencies, consistent with
 //!   the workspace's vendored-offline policy;
+//! * one shared request model ([`request`]): the same
+//!   [`request::CompileRequest`] is built from CLI flags (`oneqc`,
+//!   `loadgen`, `sweep`), from `/v1/compile` query parameters, and from
+//!   `/v1/compile-batch` JSONL lines, and its single `fingerprint`
+//!   method feeds the cache key everywhere;
 //! * a bounded worker pool ([`pool`]) shared with the batch drivers;
 //! * a sharded, mutex-striped, content-addressed LRU cache ([`cache`])
 //!   keyed by a hand-written SHA-256 digest over canonicalized source
 //!   bytes × compile config (entries hold the 32-byte digest, never the
-//!   source);
+//!   source), fronted by a single-flight coalescing layer
+//!   ([`cache::SingleFlight`]) so N racing misses on one key run one
+//!   compile;
 //! * graceful shutdown on SIGTERM/ctrl-c ([`signal`]).
 //!
 //! The compile path itself ([`compile`]) and the JSON emission helpers
 //! ([`json`]) are the *same modules* `oneqc` and the bench drivers use,
-//! which is what makes the service's contract — `/compile` responses
+//! which is what makes the service's contract — `/v1/compile` responses
 //! byte-identical to `oneqc` JSONL records — hold by construction.
 //!
 //! # Example
@@ -29,14 +37,12 @@
 //!
 //! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
 //! let handle = server.spawn().unwrap();
-//! let resp = oneq_service::http::request(
-//!     handle.addr(),
-//!     "GET",
-//!     "/healthz",
-//!     b"",
-//!     Duration::from_secs(5),
-//! )
-//! .unwrap();
+//! // One keep-alive session, many exchanges.
+//! let mut conn =
+//!     oneq_service::http::ClientConn::connect(handle.addr(), Duration::from_secs(5)).unwrap();
+//! let resp = conn.send("GET", "/v1/healthz", b"").unwrap();
+//! assert_eq!(resp.status, 200);
+//! let resp = conn.send("GET", "/v1/stats", b"").unwrap();
 //! assert_eq!(resp.status, 200);
 //! handle.shutdown().unwrap();
 //! ```
@@ -47,5 +53,6 @@ pub mod corpus;
 pub mod http;
 pub mod json;
 pub mod pool;
+pub mod request;
 pub mod server;
 pub mod signal;

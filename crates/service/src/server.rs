@@ -1,18 +1,33 @@
-//! The `oneqd` server: routing, request accounting, and the accept loop.
+//! The `oneqd` server: the versioned `/v1` API, connection sessions, and
+//! the accept loop.
 //!
-//! Three routes, all JSON:
+//! Routes (all JSON):
 //!
 //! | Route | Purpose |
 //! |---|---|
-//! | `POST /compile` | compile an OpenQASM 2.0 body; knobs as query params |
-//! | `GET /healthz`  | liveness probe |
-//! | `GET /stats`    | request + cache counters |
+//! | `POST /v1/compile` | compile an OpenQASM 2.0 body; knobs as query params |
+//! | `POST /v1/compile-batch` | JSONL in, JSONL out; `oneqc`'s record path per line |
+//! | `GET /v1/healthz`  | liveness probe |
+//! | `GET /v1/stats`    | request + cache + coalescing counters |
 //!
-//! `/compile` responses are byte-identical to `oneqc`'s JSONL records
-//! (one record + `\n`) for the same source and config, and — unless
-//! `timings=1` — are served through the content-addressed
-//! [`CompileCache`], with the outcome exposed in an `X-Oneqd-Cache:
-//! hit|miss|bypass` header.
+//! The unversioned PR-4 routes remain as migration shims for one
+//! release: `GET /healthz` and `GET /stats` answer `308 Permanent
+//! Redirect` to their `/v1` successors, and `POST /compile` is served as
+//! a direct alias (redirecting a POST body is hostile to simple clients)
+//! carrying a `Deprecation` header.
+//!
+//! Connections are *sessions*: a handler reads requests off one socket
+//! until the client sends `Connection: close`, the per-connection request
+//! cap is reached, or the idle timeout expires between requests —
+//! removing the per-request TCP setup constant that dominated `loadgen`'s
+//! p50 under `Connection: close`.
+//!
+//! `/v1/compile` responses are byte-identical to `oneqc`'s JSONL records
+//! (one record + `\n`) for the same source and config, and — unless the
+//! request bypasses — are served through the content-addressed
+//! [`CompileCache`] behind a [`SingleFlight`] coalescing layer, with the
+//! outcome exposed in an `X-Oneqd-Cache: hit|miss|coalesced|bypass`
+//! header.
 //!
 //! The accept loop is poll-based (non-blocking listener + short sleep)
 //! so it can observe a shutdown flag between accepts; accepted
@@ -20,16 +35,16 @@
 //! the workers after draining in-flight requests — that is the whole
 //! graceful-shutdown story.
 
-use crate::cache::{canonicalize_source, CompileCache};
-use crate::compile::{compile_record, CompileConfig, GeometryChoice};
-use crate::http::{read_request, write_response, Request, RequestError};
-use crate::pool::WorkerPool;
-use crate::{compile, json};
+use crate::cache::{sha256, CompileCache, FlightRole, SingleFlight};
+use crate::http::{read_request, write_response, Connection, Request, RequestError};
+use crate::json;
+use crate::pool::{run_indexed, WorkerPool};
+use crate::request::CompileRequest;
 use std::fmt::Write as _;
-use std::io;
+use std::io::{self, BufRead as _, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tunables for a server instance.
@@ -40,40 +55,103 @@ pub struct ServerConfig {
     /// Bounded backlog of accepted-but-unhandled connections; a full
     /// backlog blocks the acceptor (backpressure), it never drops.
     pub backlog: usize,
-    /// Total cached `/compile` responses.
+    /// Total cached compile responses.
     pub cache_capacity: usize,
     /// Mutex stripes in the cache.
     pub cache_shards: usize,
     /// Largest accepted request body in bytes.
     pub max_body: usize,
-    /// Per-connection read/write timeout.
+    /// Per-connection read/write timeout while inside one exchange.
     pub io_timeout: Duration,
+    /// Requests served on one connection before the server closes it
+    /// (`Connection: close` on the final response). Bounds how long one
+    /// client can monopolize a worker.
+    pub keep_alive_requests: usize,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Upper bound on concurrent batch-line compiles — per request *and*
+    /// globally (a shared semaphore budget, so N simultaneous
+    /// `/v1/compile-batch` requests still run at most this many compiles
+    /// at once). Batches use scoped threads, not pool workers, so a
+    /// batch cannot deadlock the connection pool.
+    pub batch_jobs: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let parallelism =
+            std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
         ServerConfig {
-            workers: std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+            workers: parallelism,
             backlog: 64,
             cache_capacity: 256,
             cache_shards: 8,
             max_body: 4 * 1024 * 1024,
             io_timeout: Duration::from_secs(10),
+            keep_alive_requests: 256,
+            idle_timeout: Duration::from_secs(5),
+            batch_jobs: parallelism,
         }
     }
 }
 
-/// Shared request/cache accounting, surfaced through `GET /stats`.
+/// A minimal counting semaphore (std has none): the global budget of
+/// concurrent batch-compile slots. Each `/v1/compile-batch` request
+/// spawns its own scoped threads, so without a *shared* budget N
+/// concurrent batches would run `N × batch_jobs` compiles at once and
+/// oversubscribe every core; with it, total batch compile concurrency is
+/// `batch_jobs` regardless of how many batches are in flight.
+struct Semaphore {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            permits: Mutex::new(permits.max(1)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> SemaphoreGuard<'_> {
+        let mut permits = self.permits.lock().expect("semaphore poisoned");
+        while *permits == 0 {
+            permits = self.cv.wait(permits).expect("semaphore poisoned");
+        }
+        *permits -= 1;
+        SemaphoreGuard(self)
+    }
+}
+
+struct SemaphoreGuard<'a>(&'a Semaphore);
+
+impl Drop for SemaphoreGuard<'_> {
+    fn drop(&mut self) {
+        *self.0.permits.lock().expect("semaphore poisoned") += 1;
+        self.0.cv.notify_one();
+    }
+}
+
+/// Shared request/cache accounting, surfaced through `GET /v1/stats`.
 pub struct ServiceState {
     started: Instant,
     /// The compile cache.
     pub cache: CompileCache,
+    /// The coalescing layer in front of the cache.
+    pub flights: SingleFlight,
+    batch_slots: Semaphore,
+    connections: AtomicU64,
     requests: AtomicU64,
     healthz_requests: AtomicU64,
     stats_requests: AtomicU64,
     compile_requests: AtomicU64,
+    batch_requests: AtomicU64,
+    batch_records: AtomicU64,
     compile_ok: AtomicU64,
     compile_errors: AtomicU64,
+    compile_executions: AtomicU64,
     http_errors: AtomicU64,
     workers: usize,
 }
@@ -83,36 +161,56 @@ impl ServiceState {
         ServiceState {
             started: Instant::now(),
             cache: CompileCache::new(config.cache_capacity, config.cache_shards),
+            flights: SingleFlight::new(),
+            batch_slots: Semaphore::new(config.batch_jobs),
+            connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             healthz_requests: AtomicU64::new(0),
             stats_requests: AtomicU64::new(0),
             compile_requests: AtomicU64::new(0),
+            batch_requests: AtomicU64::new(0),
+            batch_records: AtomicU64::new(0),
             compile_ok: AtomicU64::new(0),
             compile_errors: AtomicU64::new(0),
+            compile_executions: AtomicU64::new(0),
             http_errors: AtomicU64::new(0),
             workers: config.workers.max(1),
         }
     }
 
-    /// Renders the `/stats` body (`oneqd-stats/v1`).
+    /// Compiles actually executed (cache misses + bypasses); the
+    /// difference against `compile_requests + batch_records` is the work
+    /// the cache and the single-flight layer saved.
+    pub fn compile_executions(&self) -> u64 {
+        self.compile_executions.load(Ordering::Relaxed)
+    }
+
+    /// Renders the `/v1/stats` body (`oneqd-stats/v2`).
     pub fn stats_json(&self) -> String {
         let cache = self.cache.stats();
-        let mut out = String::with_capacity(512);
+        let mut out = String::with_capacity(640);
         let _ = write!(
             out,
-            "{{\"schema\": \"oneqd-stats/v1\", \"uptime_ms\": {}, \"workers\": {}, \
-             \"requests\": {}, \"healthz_requests\": {}, \"stats_requests\": {}, \
-             \"compile_requests\": {}, \"compile_ok\": {}, \"compile_errors\": {}, \
-             \"http_errors\": {}, \"cache\": {{\"hits\": {}, \"misses\": {}, \
+            "{{\"schema\": \"oneqd-stats/v2\", \"uptime_ms\": {}, \"workers\": {}, \
+             \"connections\": {}, \"requests\": {}, \"healthz_requests\": {}, \
+             \"stats_requests\": {}, \"compile_requests\": {}, \"batch_requests\": {}, \
+             \"batch_records\": {}, \"compile_ok\": {}, \"compile_errors\": {}, \
+             \"compile_executions\": {}, \"coalesced\": {}, \"http_errors\": {}, \
+             \"cache\": {{\"hits\": {}, \"misses\": {}, \
              \"evictions\": {}, \"entries\": {}, \"capacity\": {}, \"shards\": {}}}}}",
             self.started.elapsed().as_millis(),
             self.workers,
+            self.connections.load(Ordering::Relaxed),
             self.requests.load(Ordering::Relaxed),
             self.healthz_requests.load(Ordering::Relaxed),
             self.stats_requests.load(Ordering::Relaxed),
             self.compile_requests.load(Ordering::Relaxed),
+            self.batch_requests.load(Ordering::Relaxed),
+            self.batch_records.load(Ordering::Relaxed),
             self.compile_ok.load(Ordering::Relaxed),
             self.compile_errors.load(Ordering::Relaxed),
+            self.compile_executions.load(Ordering::Relaxed),
+            self.flights.coalesced(),
             self.http_errors.load(Ordering::Relaxed),
             cache.hits,
             cache.misses,
@@ -147,7 +245,7 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The shared counters (same data `/stats` reports).
+    /// The shared counters (same data `/v1/stats` reports).
     pub fn state(&self) -> &Arc<ServiceState> {
         &self.state
     }
@@ -198,18 +296,22 @@ impl Server {
 
     /// Runs the accept loop until `stop()` returns `true`, then drains
     /// the worker pool and returns. Poll cadence is ~10 ms, so shutdown
-    /// latency is bounded by the slowest in-flight compile, not by an
-    /// accept call blocked forever.
+    /// latency is bounded by the slowest in-flight exchange (plus at most
+    /// one idle-timeout wait), not by an accept call blocked forever:
+    /// once `stop()` fires, the `draining` flag makes every live session
+    /// answer its current request with `Connection: close` instead of
+    /// serving out its keep-alive budget.
     pub fn run_until(self, stop: impl Fn() -> bool) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
         let pool = WorkerPool::new("oneqd-worker", self.config.workers, self.config.backlog);
+        let draining = Arc::new(AtomicBool::new(false));
         while !stop() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     let state = Arc::clone(&self.state);
-                    let max_body = self.config.max_body;
-                    let io_timeout = self.config.io_timeout;
-                    pool.execute(move || handle_connection(stream, &state, max_body, io_timeout));
+                    let config = self.config.clone();
+                    let draining = Arc::clone(&draining);
+                    pool.execute(move || handle_connection(stream, &state, &config, &draining));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(10));
@@ -225,6 +327,7 @@ impl Server {
                 }
             }
         }
+        draining.store(true, Ordering::Relaxed);
         drop(pool); // join workers; queued connections still get served
         Ok(())
     }
@@ -248,205 +351,295 @@ impl Server {
     }
 }
 
-/// Serves one connection: read one request, route it, write one
-/// `Connection: close` response.
+/// Serves one connection as a session: requests are read off the socket
+/// until the client asks to close, the request cap is reached, the idle
+/// timeout expires, a framing error makes the stream unusable, or the
+/// server starts `draining` (shutdown): then the in-flight request is
+/// answered `Connection: close` and the session ends.
 fn handle_connection(
-    mut stream: TcpStream,
+    stream: TcpStream,
     state: &ServiceState,
-    max_body: usize,
-    io_timeout: Duration,
+    config: &ServerConfig,
+    draining: &AtomicBool,
 ) {
     // The listener is non-blocking; put the accepted stream back into
-    // blocking mode with explicit timeouts.
+    // blocking mode with explicit timeouts. TCP_NODELAY because a
+    // keep-alive response must not wait out the client's delayed ACK in
+    // Nagle's buffer.
     let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(io_timeout));
-    let _ = stream.set_write_timeout(Some(io_timeout));
+    let _ = stream.set_read_timeout(Some(config.io_timeout));
+    let _ = stream.set_write_timeout(Some(config.io_timeout));
+    let _ = stream.set_nodelay(true);
+    state.connections.fetch_add(1, Ordering::Relaxed);
 
-    let request = match read_request(&mut stream, max_body) {
-        Ok(request) => request,
-        Err(RequestError::Io(_)) => return, // peer vanished; nothing to say
-        Err(RequestError::Malformed(msg)) => {
-            // Parse failures still count as requests, so `requests` is
-            // reconcilable with `http_errors` + the per-route counters.
-            state.requests.fetch_add(1, Ordering::Relaxed);
-            state.http_errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(&mut stream, 400, &msg);
+    let mut reader = BufReader::new(stream);
+    for served in 1..=config.keep_alive_requests.max(1) {
+        // Shutdown stops the session *between* requests — but never
+        // before the first one: a connection that made it out of the
+        // accept backlog is owed one response (the backlog blocks
+        // instead of dropping precisely so accepted work is served), and
+        // the `keep` check below already answers it `Connection: close`.
+        if served > 1 && draining.load(Ordering::Relaxed) {
             return;
         }
-        Err(RequestError::BodyTooLarge(n)) => {
-            state.requests.fetch_add(1, Ordering::Relaxed);
-            state.http_errors.fetch_add(1, Ordering::Relaxed);
-            // Drain (bounded) what the client is still sending before
-            // responding: closing with unread bytes queued in the receive
-            // buffer triggers a TCP reset that would discard the 413
-            // before the client reads it.
-            drain_body(&mut stream, n);
-            respond_error(
-                &mut stream,
-                413,
-                &format!("body of {n} bytes exceeds limit"),
-            );
+        if served > 1 {
+            // Between requests the clock is the idle timeout. Wait for
+            // the first byte of the next request under it (fill_buf
+            // peeks without consuming), then hand the actual read back
+            // to the in-exchange I/O timeout — a slow upload mid-request
+            // must get the same budget a fresh connection would.
+            let _ = reader.get_ref().set_read_timeout(Some(config.idle_timeout));
+            match reader.fill_buf() {
+                Ok([]) => return, // peer closed between requests
+                Err(_) => return, // idle timeout (or transport error)
+                Ok(_) => {}
+            }
+            let _ = reader.get_ref().set_read_timeout(Some(config.io_timeout));
+        }
+        let request = match read_request(&mut reader, config.max_body) {
+            Ok(request) => request,
+            Err(RequestError::Io(_)) => return, // peer done or idle-timed out
+            Err(RequestError::Malformed(msg)) => {
+                // Parse failures still count as requests, so `requests` is
+                // reconcilable with `http_errors` + the per-route counters.
+                // The stream position is unknown → the session must end.
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                state.http_errors.fetch_add(1, Ordering::Relaxed);
+                respond_error(reader.get_mut(), 400, &msg, Connection::Close);
+                return;
+            }
+            Err(RequestError::BodyTooLarge(n)) => {
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                state.http_errors.fetch_add(1, Ordering::Relaxed);
+                // The oversized body was never read (the limit is checked
+                // against Content-Length before buffering). Drain a
+                // bounded amount so the 413 survives the close — sending
+                // a response and closing with unread bytes queued in the
+                // receive buffer triggers a TCP reset that would discard
+                // it — then end the session: the remaining body bytes
+                // would otherwise be parsed as the next request. The
+                // drain goes through the session BufReader, not the raw
+                // stream: the header read may already have pulled body
+                // bytes into its buffer, and skipping them would both
+                // stall the drain and throw off its byte accounting.
+                drain_body(&mut reader, n);
+                respond_error(
+                    reader.get_mut(),
+                    413,
+                    &format!("body of {n} bytes exceeds limit"),
+                    Connection::Close,
+                );
+                return;
+            }
+        };
+        state.requests.fetch_add(1, Ordering::Relaxed);
+
+        let keep = request.wants_keep_alive()
+            && served < config.keep_alive_requests
+            && !draining.load(Ordering::Relaxed);
+        let conn = if keep {
+            Connection::KeepAlive
+        } else {
+            Connection::Close
+        };
+        route(reader.get_mut(), state, config, &request, conn);
+        if !keep {
             return;
         }
-    };
-    state.requests.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
+/// Routes one parsed request. `/v1` is the real surface; the unversioned
+/// PR-4 routes are migration shims.
+fn route(
+    stream: &mut TcpStream,
+    state: &ServiceState,
+    config: &ServerConfig,
+    request: &Request,
+    conn: Connection,
+) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => {
+        ("GET", "/v1/healthz") => {
             state.healthz_requests.fetch_add(1, Ordering::Relaxed);
             respond(
-                &mut stream,
+                stream,
                 200,
                 &[],
-                "{\"status\": \"ok\", \"service\": \"oneqd\"}\n",
+                "{\"status\": \"ok\", \"service\": \"oneqd\", \"api\": \"v1\"}\n",
+                conn,
             );
+        }
+        ("GET", "/v1/stats") => {
+            state.stats_requests.fetch_add(1, Ordering::Relaxed);
+            let body = state.stats_json();
+            respond(stream, 200, &[], &body, conn);
+        }
+        ("POST", "/v1/compile") => handle_compile(stream, state, request, conn, false),
+        ("POST", "/v1/compile-batch") => handle_batch(stream, state, config, request, conn),
+        // ---- legacy shims (one release): GETs redirect, POST aliases.
+        // Shim traffic still bumps the target route's counter, keeping
+        // the `requests` = per-route + `http_errors` reconciliation
+        // exact through the migration window. ----
+        ("GET", "/healthz") => {
+            state.healthz_requests.fetch_add(1, Ordering::Relaxed);
+            redirect(stream, "/v1/healthz", conn);
         }
         ("GET", "/stats") => {
             state.stats_requests.fetch_add(1, Ordering::Relaxed);
-            let body = state.stats_json();
-            respond(&mut stream, 200, &[], &body);
+            redirect(stream, "/v1/stats", conn);
         }
-        ("POST", "/compile") => handle_compile(&mut stream, state, &request),
-        (_, "/healthz" | "/stats") => {
+        ("POST", "/compile") => handle_compile(stream, state, request, conn, true),
+        (_, "/v1/healthz" | "/v1/stats" | "/healthz" | "/stats") => {
             state.http_errors.fetch_add(1, Ordering::Relaxed);
             respond_error_with(
-                &mut stream,
+                stream,
                 405,
                 "method not allowed",
                 &[("Allow", "GET".to_string())],
+                conn,
             );
         }
-        (_, "/compile") => {
+        (_, "/v1/compile" | "/v1/compile-batch" | "/compile") => {
             state.http_errors.fetch_add(1, Ordering::Relaxed);
             respond_error_with(
-                &mut stream,
+                stream,
                 405,
                 "method not allowed",
                 &[("Allow", "POST".to_string())],
+                conn,
             );
         }
         _ => {
             state.http_errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(&mut stream, 404, "no such endpoint");
+            respond_error(stream, 404, "no such endpoint", conn);
         }
     }
 }
 
-/// Parses `/compile` query parameters into a config + file label,
-/// mirroring `oneqc`'s flag validation.
-fn parse_compile_query(request: &Request) -> Result<(CompileConfig, String), String> {
-    let mut side = None;
-    let mut rows = None;
-    let mut cols = None;
-    let mut config = CompileConfig::default();
-    let mut label = "request.qasm".to_string();
-    for (name, value) in &request.query {
-        match name.as_str() {
-            "side" => side = Some(parse_dim(value, "side")?),
-            "rows" => rows = Some(parse_dim(value, "rows")?),
-            "cols" => cols = Some(parse_dim(value, "cols")?),
-            "extension" => {
-                config.extension = value
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|&v| v >= 1)
-                    .ok_or_else(|| format!("extension must be a positive number, got `{value}`"))?;
-            }
-            "resource" => {
-                config.resource = compile::parse_resource(value)
-                    .ok_or_else(|| format!("unknown resource kind `{value}`"))?;
-            }
-            "timings" => {
-                config.timings = match value.as_str() {
-                    "1" | "true" => true,
-                    "0" | "false" => false,
-                    other => return Err(format!("timings must be 0|1|true|false, got `{other}`")),
-                };
-            }
-            "file" => label = value.clone(),
-            other => return Err(format!("unknown query parameter `{other}`")),
-        }
-    }
-    config.geometry = match (side, rows, cols) {
-        (None, None, None) => GeometryChoice::Auto,
-        (Some(s), None, None) => GeometryChoice::Square(s),
-        (None, Some(r), Some(c)) => GeometryChoice::Rect(r, c),
-        _ => return Err("use either side or both rows and cols".to_string()),
+/// `308 Permanent Redirect` migration shim for the unversioned GETs.
+fn redirect(stream: &mut TcpStream, location: &str, conn: Connection) {
+    let body = format!("{{\"status\": \"moved\", \"location\": \"{location}\"}}\n");
+    respond(
+        stream,
+        308,
+        &[
+            ("Location", location.to_string()),
+            ("Deprecation", "true".to_string()),
+        ],
+        &body,
+        conn,
+    );
+}
+
+/// `X-Oneqd-Cache` label: served from the content-addressed cache.
+pub const OUTCOME_HIT: &str = "hit";
+/// `X-Oneqd-Cache` label: compiled fresh (and cached on success).
+pub const OUTCOME_MISS: &str = "miss";
+/// `X-Oneqd-Cache` label: served from a concurrent leader's in-flight
+/// compile.
+pub const OUTCOME_COALESCED: &str = "coalesced";
+/// `X-Oneqd-Cache` label: cache skipped (`timings=1` or `bypass=1`).
+pub const OUTCOME_BYPASS: &str = "bypass";
+
+/// Serves one [`CompileRequest`] through cache + single-flight. Returns
+/// `(record bytes incl. trailing newline, ok, outcome label)`. This is
+/// the one path behind both `/v1/compile` and each `/v1/compile-batch`
+/// line. `slots` is the global batch-compile budget (None on the single
+/// route, whose concurrency is already bounded by the worker pool): a
+/// permit is held only around an *actual* compile — cache hits and
+/// coalesced followers must not pin the budget while doing no work.
+fn compile_via_cache(
+    state: &ServiceState,
+    req: &CompileRequest,
+    slots: Option<&Semaphore>,
+) -> (Arc<str>, bool, &'static str) {
+    let run = |state: &ServiceState| -> (Arc<str>, bool) {
+        let _slot = slots.map(Semaphore::acquire);
+        state.compile_executions.fetch_add(1, Ordering::Relaxed);
+        let (record, ok) = req.record();
+        (Arc::from(format!("{record}\n").as_str()), ok)
     };
-    Ok((config, label))
+
+    // Timed compiles are inherently non-deterministic and `bypass=1` is
+    // an explicit opt-out: neither reads nor warms the cache.
+    if !req.cacheable() {
+        let (body, ok) = run(state);
+        return (body, ok, OUTCOME_BYPASS);
+    }
+
+    let digest = sha256(req.fingerprint().as_bytes());
+    if let Some(cached) = state.cache.get_digest(&digest) {
+        return (cached, true, OUTCOME_HIT);
+    }
+    match state.flights.join(digest) {
+        FlightRole::Follower(Some((body, ok))) => (body, ok, OUTCOME_COALESCED),
+        FlightRole::Follower(None) => {
+            // The leader aborted without publishing — it hit a compile
+            // error (error bytes are per-source, never shared) or it
+            // panicked. Compile for ourselves rather than re-coalescing
+            // into a failed key.
+            let (body, ok) = run(state);
+            if ok {
+                state.cache.insert_digest(digest, Arc::clone(&body));
+            }
+            (body, ok, OUTCOME_MISS)
+        }
+        FlightRole::Leader(leader) => {
+            // Double-check: a previous leader may have filled the cache
+            // between this thread's miss and its election. `peek` avoids
+            // double-counting the request's one logical cache lookup.
+            if let Some(cached) = state.cache.peek_digest(&digest) {
+                leader.publish(Arc::clone(&cached), true);
+                return (cached, true, OUTCOME_HIT);
+            }
+            let (body, ok) = run(state);
+            if ok {
+                // Error records are cheap to recompute and their spans
+                // depend on pre-canonicalization bytes, so only successes
+                // are cached — and only successes are published: two
+                // sources can share a digest yet differ in raw bytes
+                // (CRLF, trailing whitespace), so handing a follower the
+                // leader's *error* bytes could break the byte-identity
+                // contract for the follower's own source. Dropping the
+                // guard aborts the flight and each follower recompiles
+                // its own error record. The insert MUST precede `publish`
+                // — see the exactly-once note on `SingleFlight`.
+                state.cache.insert_digest(digest, Arc::clone(&body));
+                leader.publish(Arc::clone(&body), ok);
+            } else {
+                drop(leader);
+            }
+            (body, ok, OUTCOME_MISS)
+        }
+    }
 }
 
-fn parse_dim(value: &str, name: &str) -> Result<usize, String> {
-    value
-        .parse::<usize>()
-        .ok()
-        .filter(|&v| v >= 1)
-        .ok_or_else(|| format!("{name} must be a positive number, got `{value}`"))
-}
-
-fn handle_compile(stream: &mut TcpStream, state: &ServiceState, request: &Request) {
+fn handle_compile(
+    stream: &mut TcpStream,
+    state: &ServiceState,
+    request: &Request,
+    conn: Connection,
+    deprecated_route: bool,
+) {
     state.compile_requests.fetch_add(1, Ordering::Relaxed);
-    let (config, label) = match parse_compile_query(request) {
-        Ok(parsed) => parsed,
-        Err(msg) => {
-            state.http_errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(stream, 400, &msg);
-            return;
-        }
-    };
     let source = match std::str::from_utf8(&request.body) {
         Ok(s) => s,
         Err(_) => {
             state.http_errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(stream, 400, "request body is not UTF-8");
+            respond_error(stream, 400, "request body is not UTF-8", conn);
+            return;
+        }
+    };
+    let req = match CompileRequest::from_query(&request.query, source) {
+        Ok(req) => req,
+        Err(msg) => {
+            state.http_errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, 400, &msg, conn);
             return;
         }
     };
 
-    // Timed compiles are inherently non-deterministic, so they bypass
-    // the cache entirely (never read, never written).
-    if config.timings {
-        let (record, ok) = compile_record(&label, source, &config);
-        finish_compile(stream, state, record + "\n", ok, "bypass");
-        return;
-    }
-
-    // Cache key: config fingerprint × file label (it appears in the
-    // response bytes) × canonicalized source. The label's length prefix
-    // keeps the concatenation injective.
-    let key = format!(
-        "{}\n{}:{label}\n{}",
-        config.fingerprint(),
-        label.len(),
-        canonicalize_source(source)
-    );
-    if let Some(cached) = state.cache.get(&key) {
-        state.compile_ok.fetch_add(1, Ordering::Relaxed);
-        respond(
-            stream,
-            200,
-            &[("X-Oneqd-Cache", "hit".to_string())],
-            &cached,
-        );
-        return;
-    }
-    let (record, ok) = compile_record(&label, source, &config);
-    let body = record + "\n";
-    if ok {
-        // Error records are cheap to recompute and their spans depend on
-        // pre-canonicalization bytes, so only successes are cached.
-        state.cache.insert(&key, Arc::from(body.as_str()));
-    }
-    finish_compile(stream, state, body, ok, "miss");
-}
-
-fn finish_compile(
-    stream: &mut TcpStream,
-    state: &ServiceState,
-    body: String,
-    ok: bool,
-    cache_outcome: &str,
-) {
+    let (body, ok, outcome) = compile_via_cache(state, &req, None);
     let counter = if ok {
         &state.compile_ok
     } else {
@@ -454,12 +647,103 @@ fn finish_compile(
     };
     counter.fetch_add(1, Ordering::Relaxed);
     let status = if ok { 200 } else { 422 };
-    respond(
-        stream,
-        status,
-        &[("X-Oneqd-Cache", cache_outcome.to_string())],
-        &body,
-    );
+    let mut headers = vec![("X-Oneqd-Cache", outcome.to_string())];
+    if deprecated_route {
+        headers.push(("Deprecation", "true".to_string()));
+        headers.push((
+            "Link",
+            "</v1/compile>; rel=\"successor-version\"".to_string(),
+        ));
+    }
+    respond(stream, status, &headers, &body, conn);
+}
+
+fn handle_batch(
+    stream: &mut TcpStream,
+    state: &ServiceState,
+    config: &ServerConfig,
+    request: &Request,
+    conn: Connection,
+) {
+    state.batch_requests.fetch_add(1, Ordering::Relaxed);
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(s) => s,
+        Err(_) => {
+            state.http_errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, 400, "request body is not UTF-8", conn);
+            return;
+        }
+    };
+    // Parse every line up front: a malformed line is a framing error for
+    // the whole request (nothing compiles), mirroring how a malformed
+    // single request compiles nothing.
+    let mut requests = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match CompileRequest::from_jsonl_line(line) {
+            Ok(req) => requests.push(req),
+            Err(msg) => {
+                state.http_errors.fetch_add(1, Ordering::Relaxed);
+                respond_error(stream, 400, &format!("batch line {}: {msg}", i + 1), conn);
+                return;
+            }
+        }
+    }
+    if requests.is_empty() {
+        state.http_errors.fetch_add(1, Ordering::Relaxed);
+        respond_error(stream, 400, "batch body holds no request lines", conn);
+        return;
+    }
+
+    // Fan the lines out over scoped worker threads (`run_indexed` — the
+    // same pool shape `oneqc` batches with); results land in their input
+    // slots, so the response preserves request order no matter which
+    // line finishes first. Actual compiles draw on the *global* batch
+    // budget (`state.batch_slots`, sized `batch_jobs`), so concurrent
+    // batches share the compile slots instead of multiplying them.
+    let jobs = config.batch_jobs.max(1);
+    let results = run_indexed(jobs, &requests, |_, req| {
+        compile_via_cache(state, req, Some(&state.batch_slots))
+    });
+
+    state
+        .batch_records
+        .fetch_add(results.len() as u64, Ordering::Relaxed);
+    let mut body = String::new();
+    let mut errors = 0usize;
+    let mut outcomes = [0usize; 4]; // hit, miss, coalesced, bypass
+    for (record, ok, outcome) in &results {
+        body.push_str(record);
+        if *ok {
+            state.compile_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            state.compile_errors.fetch_add(1, Ordering::Relaxed);
+            errors += 1;
+        }
+        let slot = match *outcome {
+            OUTCOME_HIT => 0,
+            OUTCOME_MISS => 1,
+            OUTCOME_COALESCED => 2,
+            _ => 3,
+        };
+        outcomes[slot] += 1;
+    }
+    // Per-line status lives in the records (exactly like an `oneqc` run
+    // with failing files); the HTTP status says the batch was processed.
+    let headers: Vec<(&str, String)> = vec![
+        (
+            "X-Oneqd-Cache",
+            format!(
+                "hit={} miss={} coalesced={} bypass={}",
+                outcomes[0], outcomes[1], outcomes[2], outcomes[3]
+            ),
+        ),
+        ("X-Oneqd-Batch-Records", results.len().to_string()),
+        ("X-Oneqd-Batch-Errors", errors.to_string()),
+    ];
+    respond(stream, 200, &headers, &body, conn);
 }
 
 /// Upper bound on bytes discarded for an oversized request; a client
@@ -467,31 +751,48 @@ fn finish_compile(
 const DRAIN_CAP: usize = 16 * 1024 * 1024;
 
 /// Reads and discards up to `declared` body bytes (capped) so the error
-/// response survives the close. Bounded in time as well as bytes: reads
-/// run under a short timeout, and any error (including that timeout)
-/// stops the drain — the response is then sent on a best-effort basis.
-fn drain_body(stream: &mut TcpStream, declared: usize) {
+/// response survives the close. Takes the session `BufReader` so bytes
+/// the header read already buffered are drained first. Bounded in time
+/// as well as bytes: socket reads run under a short timeout, and any
+/// error (including that timeout) stops the drain — the response is then
+/// sent on a best-effort basis.
+fn drain_body(reader: &mut BufReader<TcpStream>, declared: usize) {
     use std::io::Read as _;
-    let old_timeout = stream.read_timeout().ok().flatten();
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let old_timeout = reader.get_ref().read_timeout().ok().flatten();
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_millis(500)));
     let mut remaining = declared.min(DRAIN_CAP);
     let mut buf = [0u8; 8192];
     while remaining > 0 {
         let want = buf.len().min(remaining);
-        match stream.read(&mut buf[..want]) {
+        match reader.read(&mut buf[..want]) {
             Ok(0) | Err(_) => break,
             Ok(n) => remaining -= n,
         }
     }
-    let _ = stream.set_read_timeout(old_timeout);
+    let _ = reader.get_ref().set_read_timeout(old_timeout);
 }
 
-fn respond(stream: &mut TcpStream, status: u16, extra: &[(&str, String)], body: &str) {
-    let _ = write_response(stream, status, "application/json", extra, body.as_bytes());
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    extra: &[(&str, String)],
+    body: &str,
+    conn: Connection,
+) {
+    let _ = write_response(
+        stream,
+        status,
+        "application/json",
+        extra,
+        body.as_bytes(),
+        conn,
+    );
 }
 
-fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
-    respond_error_with(stream, status, message, &[]);
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str, conn: Connection) {
+    respond_error_with(stream, status, message, &[], conn);
 }
 
 fn respond_error_with(
@@ -499,10 +800,11 @@ fn respond_error_with(
     status: u16,
     message: &str,
     extra: &[(&str, String)],
+    conn: Connection,
 ) {
     let body = format!(
         "{{\"status\": \"error\", \"error\": \"{}\"}}\n",
         json::escape(message)
     );
-    respond(stream, status, extra, &body);
+    respond(stream, status, extra, &body, conn);
 }

@@ -47,18 +47,30 @@ fn send_sigterm(child: &Child) {
 fn daemon_serves_and_shuts_down_gracefully_on_sigterm() {
     let (mut child, addr, _stdout) = spawn_daemon(&["--workers", "2", "--cache-capacity", "16"]);
 
-    let health = http::request(addr, "GET", "/healthz", b"", TIMEOUT).expect("GET /healthz");
+    let health = http::request(addr, "GET", "/v1/healthz", b"", TIMEOUT).expect("GET /v1/healthz");
     assert_eq!(health.status, 200);
 
+    // One keep-alive session through the real daemon process: miss then
+    // hit on a single socket.
     let source = b"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n";
-    let first = http::request(addr, "POST", "/compile?file=bell.qasm", source, TIMEOUT)
-        .expect("POST /compile");
+    let mut conn = http::ClientConn::connect(addr, TIMEOUT).expect("open keep-alive connection");
+    let first = conn
+        .send("POST", "/v1/compile?file=bell.qasm", source)
+        .expect("POST /v1/compile");
     assert_eq!(first.status, 200);
     assert_eq!(first.header("x-oneqd-cache"), Some("miss"));
-    let second = http::request(addr, "POST", "/compile?file=bell.qasm", source, TIMEOUT)
-        .expect("POST /compile again");
+    assert!(first.keep_alive(), "daemon keeps the session open");
+    let second = conn
+        .send("POST", "/v1/compile?file=bell.qasm", source)
+        .expect("POST /v1/compile again on the same socket");
     assert_eq!(second.header("x-oneqd-cache"), Some("hit"));
     assert_eq!(first.body, second.body);
+    drop(conn);
+
+    // Legacy shim: unversioned GET redirects to the /v1 successor.
+    let legacy = http::request(addr, "GET", "/healthz", b"", TIMEOUT).expect("GET /healthz");
+    assert_eq!(legacy.status, 308);
+    assert_eq!(legacy.header("location"), Some("/v1/healthz"));
 
     send_sigterm(&child);
     let status = child.wait().expect("wait for daemon");
@@ -69,11 +81,31 @@ fn daemon_serves_and_shuts_down_gracefully_on_sigterm() {
 fn daemon_sigterm_without_traffic_still_exits_cleanly() {
     let (mut child, addr, _stdout) = spawn_daemon(&[]);
     // Prove it is actually up before killing it.
-    let health = http::request(addr, "GET", "/healthz", b"", TIMEOUT).expect("GET /healthz");
+    let health = http::request(addr, "GET", "/v1/healthz", b"", TIMEOUT).expect("GET /v1/healthz");
     assert_eq!(health.status, 200);
     send_sigterm(&child);
     let status = child.wait().expect("wait for daemon");
     assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn daemon_sigterm_exits_cleanly_with_an_open_keep_alive_connection() {
+    // A held-open idle session must not wedge graceful shutdown: the
+    // worker serving it is released by the idle timeout.
+    let (mut child, addr, _stdout) = spawn_daemon(&["--idle-timeout-ms", "200"]);
+    let mut conn = http::ClientConn::connect(addr, TIMEOUT).expect("open keep-alive connection");
+    let resp = conn
+        .send("GET", "/v1/healthz", b"")
+        .expect("health over session");
+    assert_eq!(resp.status, 200);
+    // Leave the connection open and idle while the daemon is terminated.
+    send_sigterm(&child);
+    let status = child.wait().expect("wait for daemon");
+    assert_eq!(
+        status.code(),
+        Some(0),
+        "idle session does not block shutdown"
+    );
 }
 
 #[test]

@@ -1,16 +1,22 @@
-//! Integration tests for the `oneqd` compile service.
+//! Integration tests for the `oneqd` compile service (`/v1` API).
 //!
-//! The acceptance contract (ISSUE 4): for every fixture in
-//! `tests/fixtures/qasm/`, the daemon's `POST /compile` response is
+//! The acceptance contract (ISSUE 5, extending ISSUE 4): for every
+//! fixture in `tests/fixtures/qasm/`, the daemon's `POST /v1/compile`
+//! response — and its line in a `POST /v1/compile-batch` response — is
 //! byte-identical to `oneqc`'s JSONL record for the same source and
 //! config; a repeated identical request is served from the cache with a
-//! byte-identical body; and `loadgen` emits a well-formed
-//! `BENCH_service.json`. The first property is checked against the real
-//! `oneqc` *binary*, not a shared code path re-run in-process, so a
-//! regression in either front door breaks the diff.
+//! byte-identical body; a ≥32-thread storm on one cold key performs
+//! exactly one compile (single-flight); connections are keep-alive
+//! sessions; the unversioned routes answer as migration shims; and
+//! `loadgen` emits a well-formed two-mode `BENCH_service.json`. The
+//! record-identity properties are checked against the real `oneqc`
+//! *binary*, not a shared code path re-run in-process, so a regression
+//! in either front door breaks the diff.
 
-use oneq_service::http;
+use oneq_service::http::{self, ClientConn};
+use oneq_service::json;
 use oneq_service::server::{Server, ServerConfig, ServerHandle};
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -24,15 +30,37 @@ fn fixture_files() -> Vec<PathBuf> {
 }
 
 fn spawn_server() -> ServerHandle {
-    Server::bind("127.0.0.1:0", ServerConfig::default())
+    spawn_server_with(ServerConfig::default())
+}
+
+fn spawn_server_with(config: ServerConfig) -> ServerHandle {
+    Server::bind("127.0.0.1:0", config)
         .expect("bind loopback")
         .spawn()
         .expect("spawn server thread")
 }
 
 fn post_compile(handle: &ServerHandle, label: &str, source: &[u8]) -> http::ClientResponse {
-    let target = format!("/compile?file={}", http::percent_encode(label));
-    http::request(handle.addr(), "POST", &target, source, TIMEOUT).expect("POST /compile")
+    let target = format!("/v1/compile?file={}", http::percent_encode(label));
+    http::request(handle.addr(), "POST", &target, source, TIMEOUT).expect("POST /v1/compile")
+}
+
+fn get_stats(handle: &ServerHandle) -> String {
+    let stats =
+        http::request(handle.addr(), "GET", "/v1/stats", b"", TIMEOUT).expect("GET /v1/stats");
+    assert_eq!(stats.status, 200);
+    String::from_utf8(stats.body).expect("stats body")
+}
+
+/// Runs the real `oneqc` binary over `paths` (default config) and
+/// returns its JSONL stdout.
+fn oneqc_jsonl(paths: &[&str]) -> String {
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_oneqc"))
+        .args(paths)
+        .output()
+        .expect("run oneqc");
+    assert!(output.status.success(), "oneqc failed: {output:?}");
+    String::from_utf8(output.stdout).expect("oneqc emits UTF-8")
 }
 
 /// Pulls `"name": <integer>` out of a stats body (the workspace has no
@@ -55,12 +83,7 @@ fn json_u64(body: &str, name: &str) -> u64 {
 fn compile_responses_match_oneqc_records_for_every_fixture() {
     // One oneqc batch over the whole corpus, default config.
     let dir = oneq_bench::qasm_fixture_dir();
-    let output = std::process::Command::new(env!("CARGO_BIN_EXE_oneqc"))
-        .arg(&dir)
-        .output()
-        .expect("run oneqc");
-    assert!(output.status.success(), "oneqc failed: {output:?}");
-    let jsonl = String::from_utf8(output.stdout).expect("oneqc emits UTF-8");
+    let jsonl = oneqc_jsonl(&[&dir.display().to_string()]);
     let records: Vec<&str> = jsonl.lines().collect();
     let files = fixture_files();
     assert_eq!(records.len(), files.len());
@@ -88,6 +111,171 @@ fn compile_responses_match_oneqc_records_for_every_fixture() {
 }
 
 #[test]
+fn batch_endpoint_matches_oneqc_jsonl_for_the_whole_corpus() {
+    // The JSONL a batch request returns must be byte-identical to what
+    // the oneqc binary prints for the same files in the same order.
+    let dir = oneq_bench::qasm_fixture_dir();
+    let expected = oneqc_jsonl(&[&dir.display().to_string()]);
+
+    let mut batch = String::new();
+    for path in fixture_files() {
+        let source = std::fs::read_to_string(&path).expect("read fixture");
+        batch.push_str(&format!(
+            "{{\"file\": \"{}\", \"source\": \"{}\"}}\n",
+            json::escape(&path.display().to_string()),
+            json::escape(&source)
+        ));
+    }
+
+    let handle = spawn_server();
+    let response = http::request(
+        handle.addr(),
+        "POST",
+        "/v1/compile-batch",
+        batch.as_bytes(),
+        TIMEOUT,
+    )
+    .expect("POST /v1/compile-batch");
+    assert_eq!(response.status, 200);
+    let records = fixture_files().len().to_string();
+    assert_eq!(
+        response.header("x-oneqd-batch-records"),
+        Some(records.as_str())
+    );
+    assert_eq!(response.header("x-oneqd-batch-errors"), Some("0"));
+    let body = String::from_utf8(response.body).expect("JSONL body");
+    assert_eq!(
+        body, expected,
+        "batch response differs from oneqc JSONL output"
+    );
+
+    // A second identical batch is served from the cache, byte-identical.
+    let again = http::request(
+        handle.addr(),
+        "POST",
+        "/v1/compile-batch",
+        batch.as_bytes(),
+        TIMEOUT,
+    )
+    .expect("second batch");
+    let cache_line = again
+        .header("x-oneqd-cache")
+        .expect("aggregate header")
+        .to_string();
+    assert_eq!(String::from_utf8(again.body).unwrap(), expected);
+    assert!(
+        cache_line.starts_with(&format!("hit={} miss=0", fixture_files().len())),
+        "warm batch is all hits: {cache_line}"
+    );
+
+    let stats = get_stats(&handle);
+    assert_eq!(json_u64(&stats, "batch_requests"), 2);
+    assert_eq!(
+        json_u64(&stats, "batch_records"),
+        2 * fixture_files().len() as u64
+    );
+    assert_eq!(
+        json_u64(&stats, "compile_executions"),
+        fixture_files().len() as u64,
+        "second batch compiled nothing"
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn batch_shares_one_cache_with_single_compiles() {
+    let handle = spawn_server();
+    let path = &fixture_files()[0];
+    let label = path.display().to_string();
+    let source = std::fs::read_to_string(path).expect("read fixture");
+
+    // Warm through the single endpoint…
+    let single = post_compile(&handle, &label, source.as_bytes());
+    assert_eq!(single.header("x-oneqd-cache"), Some("miss"));
+    // …and hit through the batch endpoint: same CompileRequest, same
+    // fingerprint, same cache entry.
+    let line = format!(
+        "{{\"file\": \"{}\", \"source\": \"{}\"}}\n",
+        json::escape(&label),
+        json::escape(&source)
+    );
+    let batch = http::request(
+        handle.addr(),
+        "POST",
+        "/v1/compile-batch",
+        line.as_bytes(),
+        TIMEOUT,
+    )
+    .expect("batch");
+    assert_eq!(
+        batch.header("x-oneqd-cache"),
+        Some("hit=1 miss=0 coalesced=0 bypass=0")
+    );
+    assert_eq!(batch.body, single.body);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn batch_error_handling_and_limits() {
+    let handle = spawn_server();
+
+    // A compile failure is an inline error record, not an HTTP error.
+    let batch = "{\"file\": \"bad.qasm\", \"source\": \"OPENQASM 2.0;\\nnope;\\n\"}\n\
+                 {\"file\": \"empty.qasm\", \"source\": \"OPENQASM 2.0;\\ninclude \\\"qelib1.inc\\\";\\nqreg q[1];\\nh q[0];\\n\"}\n";
+    let response = http::request(
+        handle.addr(),
+        "POST",
+        "/v1/compile-batch",
+        batch.as_bytes(),
+        TIMEOUT,
+    )
+    .expect("batch with failing line");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("x-oneqd-batch-records"), Some("2"));
+    assert_eq!(response.header("x-oneqd-batch-errors"), Some("1"));
+    let body = String::from_utf8(response.body).unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0].starts_with("{\"file\": \"bad.qasm\", \"status\": \"error\""));
+    assert!(lines[1].starts_with("{\"file\": \"empty.qasm\", \"status\": \"ok\""));
+
+    // A malformed line is a framing error for the whole batch, naming
+    // the line.
+    let malformed = "{\"file\": \"a.qasm\", \"source\": \"x\"}\nnot json\n";
+    let response = http::request(
+        handle.addr(),
+        "POST",
+        "/v1/compile-batch",
+        malformed.as_bytes(),
+        TIMEOUT,
+    )
+    .expect("malformed batch");
+    assert_eq!(response.status, 400);
+    assert!(String::from_utf8(response.body)
+        .unwrap()
+        .contains("batch line 2"));
+
+    // An unknown member and a missing source are rejected the same way.
+    for bad in ["{\"source\": \"x\", \"what\": 1}", "{\"file\": \"a.qasm\"}"] {
+        let response = http::request(
+            handle.addr(),
+            "POST",
+            "/v1/compile-batch",
+            bad.as_bytes(),
+            TIMEOUT,
+        )
+        .expect("bad batch line");
+        assert_eq!(response.status, 400, "{bad}");
+    }
+
+    // An empty body holds no request lines.
+    let response = http::request(handle.addr(), "POST", "/v1/compile-batch", b"\n\n", TIMEOUT)
+        .expect("empty batch");
+    assert_eq!(response.status, 400);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
 fn repeated_requests_hit_the_cache_with_identical_bytes() {
     let handle = spawn_server();
     let files = fixture_files();
@@ -110,14 +298,191 @@ fn repeated_requests_hit_the_cache_with_identical_bytes() {
         assert_eq!(&response.body, body, "cached body differs for {label}");
     }
 
-    let stats = http::request(handle.addr(), "GET", "/stats", b"", TIMEOUT).expect("GET /stats");
-    assert_eq!(stats.status, 200);
-    let stats = String::from_utf8(stats.body).expect("stats body");
+    let stats = get_stats(&handle);
+    assert!(stats.contains("\"schema\": \"oneqd-stats/v2\""));
     assert_eq!(json_u64(&stats, "hits"), files.len() as u64);
     assert_eq!(json_u64(&stats, "misses"), files.len() as u64);
     assert_eq!(json_u64(&stats, "entries"), files.len() as u64);
     assert_eq!(json_u64(&stats, "compile_ok"), 2 * files.len() as u64);
     assert_eq!(json_u64(&stats, "compile_errors"), 0);
+    assert_eq!(
+        json_u64(&stats, "compile_executions"),
+        files.len() as u64,
+        "the hit pass compiled nothing"
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn keep_alive_session_serves_many_requests_on_one_socket() {
+    let handle = spawn_server();
+    let files = fixture_files();
+    let mut conn = ClientConn::connect(handle.addr(), TIMEOUT).expect("open session");
+
+    // Interleave misses and hits over one socket: for each fixture, a
+    // cold request then an immediate identical one.
+    for path in &files {
+        let label = path.display().to_string();
+        let source = std::fs::read(path).expect("read fixture");
+        let target = format!("/v1/compile?file={}", http::percent_encode(&label));
+        let cold = conn.send("POST", &target, &source).expect("cold request");
+        assert_eq!(cold.status, 200, "{label}");
+        assert_eq!(cold.header("x-oneqd-cache"), Some("miss"));
+        assert!(cold.keep_alive(), "server keeps the session alive");
+        let warm = conn.send("POST", &target, &source).expect("warm request");
+        assert_eq!(warm.header("x-oneqd-cache"), Some("hit"));
+        assert_eq!(warm.body, cold.body, "hit bytes identical on one socket");
+    }
+    // Health and stats ride the same socket.
+    let health = conn.send("GET", "/v1/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200);
+    let stats = conn.send("GET", "/v1/stats", b"").expect("stats");
+    let stats = String::from_utf8(stats.body).unwrap();
+    assert_eq!(
+        json_u64(&stats, "connections"),
+        1,
+        "the whole session used one connection"
+    );
+    assert_eq!(json_u64(&stats, "requests"), 2 * files.len() as u64 + 2);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn keep_alive_request_cap_closes_the_session() {
+    let config = ServerConfig {
+        keep_alive_requests: 3,
+        ..ServerConfig::default()
+    };
+    let handle = spawn_server_with(config);
+    let mut conn = ClientConn::connect(handle.addr(), TIMEOUT).expect("open session");
+    for i in 0..3 {
+        let resp = conn.send("GET", "/v1/healthz", b"").expect("health");
+        assert_eq!(resp.status, 200);
+        let expect_alive = i < 2;
+        assert_eq!(
+            resp.keep_alive(),
+            expect_alive,
+            "request {} of a 3-request cap",
+            i + 1
+        );
+    }
+    // The server closed the socket; the next exchange fails.
+    assert!(
+        conn.send("GET", "/v1/healthz", b"").is_err(),
+        "capped session is closed"
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn keep_alive_idle_timeout_closes_the_session() {
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(150),
+        ..ServerConfig::default()
+    };
+    let handle = spawn_server_with(config);
+    let mut conn = ClientConn::connect(handle.addr(), TIMEOUT).expect("open session");
+    let resp = conn.send("GET", "/v1/healthz", b"").expect("first request");
+    assert!(resp.keep_alive());
+    std::thread::sleep(Duration::from_millis(600));
+    assert!(
+        conn.send("GET", "/v1/healthz", b"").is_err(),
+        "idle session was reaped"
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn mixed_case_headers_work_over_a_real_socket() {
+    // Regression (RFC 9110): header names and Connection tokens are
+    // case-insensitive. Speak raw bytes so no client normalizes for us.
+    let handle = spawn_server();
+    let mut stream = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(TIMEOUT))
+        .expect("read timeout");
+    let body = b"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nh q[0];\n";
+    write!(
+        stream,
+        "POST /v1/compile?file=mixed.qasm HTTP/1.1\r\nHost: x\r\n\
+         Content-LENGTH: {}\r\nCONNECTION: Keep-ALIVE\r\n\r\n",
+        body.len()
+    )
+    .expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut reader = std::io::BufReader::new(stream);
+    let first = http::read_client_response(&mut reader).expect("first response");
+    assert_eq!(first.status, 200);
+    assert!(
+        first.keep_alive(),
+        "mixed-case Keep-ALIVE token was honored"
+    );
+    // The session survived: a second request flows on the same socket.
+    write!(
+        reader.get_mut(),
+        "GET /v1/healthz HTTP/1.1\r\nHost: x\r\nConnection: CLOSE\r\n\r\n"
+    )
+    .expect("write second");
+    let second = http::read_client_response(&mut reader).expect("second response");
+    assert_eq!(second.status, 200);
+    assert!(!second.keep_alive(), "mixed-case CLOSE token was honored");
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn oversized_bodies_get_413_before_buffering_and_close_the_session() {
+    let config = ServerConfig {
+        max_body: 64,
+        ..ServerConfig::default()
+    };
+    let handle = spawn_server_with(config);
+    let mut conn = ClientConn::connect(handle.addr(), TIMEOUT).expect("open session");
+    let big = vec![b'x'; 4096];
+    let resp = conn
+        .send("POST", "/v1/compile", &big)
+        .expect("413 response arrives despite the unread body");
+    assert_eq!(resp.status, 413);
+    assert!(!resp.keep_alive(), "oversize violation ends the session");
+    assert!(
+        conn.send("GET", "/v1/healthz", b"").is_err(),
+        "session is closed after a 413"
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn legacy_routes_answer_as_migration_shims() {
+    let handle = spawn_server();
+
+    // Unversioned GETs: 308 to the /v1 successor.
+    for (old, new) in [("/healthz", "/v1/healthz"), ("/stats", "/v1/stats")] {
+        let resp = http::request(handle.addr(), "GET", old, b"", TIMEOUT).expect("legacy GET");
+        assert_eq!(resp.status, 308, "{old}");
+        assert_eq!(resp.header("location"), Some(new), "{old}");
+        assert_eq!(resp.header("deprecation"), Some("true"));
+    }
+
+    // Unversioned POST /compile: served as a deprecated alias with bytes
+    // identical to the /v1 route (same cache, so the second call hits).
+    let path = &fixture_files()[0];
+    let label = path.display().to_string();
+    let source = std::fs::read(path).expect("read fixture");
+    let v1 = post_compile(&handle, &label, &source);
+    let legacy = http::request(
+        handle.addr(),
+        "POST",
+        &format!("/compile?file={}", http::percent_encode(&label)),
+        &source,
+        TIMEOUT,
+    )
+    .expect("legacy POST /compile");
+    assert_eq!(legacy.status, 200);
+    assert_eq!(legacy.header("x-oneqd-cache"), Some("hit"));
+    assert_eq!(legacy.header("deprecation"), Some("true"));
+    assert!(legacy
+        .header("link")
+        .is_some_and(|l| l.contains("/v1/compile")));
+    assert_eq!(legacy.body, v1.body);
     handle.shutdown().expect("clean shutdown");
 }
 
@@ -137,7 +502,7 @@ fn cache_distinguishes_configs_and_labels() {
     let c = http::request(
         handle.addr(),
         "POST",
-        "/compile?file=a.qasm&side=25",
+        "/v1/compile?file=a.qasm&side=25",
         &source,
         TIMEOUT,
     )
@@ -161,11 +526,11 @@ fn error_and_edge_responses() {
     let handle = spawn_server();
 
     // healthz
-    let health = http::request(handle.addr(), "GET", "/healthz", b"", TIMEOUT).unwrap();
+    let health = http::request(handle.addr(), "GET", "/v1/healthz", b"", TIMEOUT).unwrap();
     assert_eq!(health.status, 200);
     assert_eq!(
         health.body,
-        b"{\"status\": \"ok\", \"service\": \"oneqd\"}\n"
+        b"{\"status\": \"ok\", \"service\": \"oneqd\", \"api\": \"v1\"}\n"
     );
 
     // Parse failure → 422 with an oneqc-shaped error record, not cached.
@@ -187,80 +552,135 @@ fn error_and_edge_responses() {
     // Unknown endpoint, wrong method, bad params.
     let missing = http::request(handle.addr(), "GET", "/nope", b"", TIMEOUT).unwrap();
     assert_eq!(missing.status, 404);
-    let get_compile = http::request(handle.addr(), "GET", "/compile", b"", TIMEOUT).unwrap();
+    let get_compile = http::request(handle.addr(), "GET", "/v1/compile", b"", TIMEOUT).unwrap();
     assert_eq!(get_compile.status, 405);
     assert_eq!(get_compile.header("allow"), Some("POST"));
-    let post_health = http::request(handle.addr(), "POST", "/healthz", b"", TIMEOUT).unwrap();
+    let get_batch = http::request(handle.addr(), "GET", "/v1/compile-batch", b"", TIMEOUT).unwrap();
+    assert_eq!(get_batch.status, 405);
+    let post_health = http::request(handle.addr(), "POST", "/v1/healthz", b"", TIMEOUT).unwrap();
     assert_eq!(post_health.status, 405);
-    let bad_param = http::request(handle.addr(), "POST", "/compile?side=0", b"x", TIMEOUT).unwrap();
+    let bad_param =
+        http::request(handle.addr(), "POST", "/v1/compile?side=0", b"x", TIMEOUT).unwrap();
     assert_eq!(bad_param.status, 400);
     let unknown_param =
-        http::request(handle.addr(), "POST", "/compile?what=1", b"x", TIMEOUT).unwrap();
+        http::request(handle.addr(), "POST", "/v1/compile?what=1", b"x", TIMEOUT).unwrap();
     assert_eq!(unknown_param.status, 400);
-    let rows_only = http::request(handle.addr(), "POST", "/compile?rows=4", b"x", TIMEOUT).unwrap();
+    let rows_only =
+        http::request(handle.addr(), "POST", "/v1/compile?rows=4", b"x", TIMEOUT).unwrap();
     assert_eq!(rows_only.status, 400);
 
     // Stats accounting for the traffic above.
-    let stats = http::request(handle.addr(), "GET", "/stats", b"", TIMEOUT).unwrap();
-    let stats = String::from_utf8(stats.body).unwrap();
+    let stats = get_stats(&handle);
     assert_eq!(json_u64(&stats, "compile_errors"), 2);
-    assert!(json_u64(&stats, "http_errors") >= 5);
+    assert!(json_u64(&stats, "http_errors") >= 6);
     assert_eq!(json_u64(&stats, "healthz_requests"), 1);
     handle.shutdown().expect("clean shutdown");
 }
 
 #[test]
-fn timings_requests_bypass_the_cache() {
+fn timings_and_bypass_requests_bypass_the_cache() {
     let handle = spawn_server();
     let path = &fixture_files()[0];
     let label = path.display().to_string();
     let source = std::fs::read(path).unwrap();
-    let target = format!("/compile?file={}&timings=1", http::percent_encode(&label));
+    let target = format!(
+        "/v1/compile?file={}&timings=1",
+        http::percent_encode(&label)
+    );
     for _ in 0..2 {
         let r = http::request(handle.addr(), "POST", &target, &source, TIMEOUT).unwrap();
         assert_eq!(r.status, 200);
         assert_eq!(r.header("x-oneqd-cache"), Some("bypass"));
         assert!(String::from_utf8(r.body).unwrap().contains("timings_ns"));
     }
-    // A timed request neither reads nor warms the cache.
+    // Explicit bypass=1 skips the cache without timings.
+    let target = format!("/v1/compile?file={}&bypass=1", http::percent_encode(&label));
+    let r = http::request(handle.addr(), "POST", &target, &source, TIMEOUT).unwrap();
+    assert_eq!(r.header("x-oneqd-cache"), Some("bypass"));
+    assert!(!String::from_utf8(r.body).unwrap().contains("timings_ns"));
+    // A bypassed request neither reads nor warms the cache.
     let plain = post_compile(&handle, &label, &source);
     assert_eq!(plain.header("x-oneqd-cache"), Some("miss"));
     handle.shutdown().expect("clean shutdown");
 }
 
 #[test]
-fn concurrent_identical_requests_converge_to_one_entry() {
-    let handle = spawn_server();
-    let path = &fixture_files()[0];
-    let label = path.display().to_string();
-    let source = std::fs::read(path).unwrap();
+fn single_flight_storm_compiles_once_with_byte_identical_responses() {
+    // ISSUE 5 acceptance: a concurrent-miss burst on one key performs
+    // exactly one compile, and every response is byte-identical to
+    // oneqc's record for the same file.
+    const STORM: usize = 32;
+    let config = ServerConfig {
+        workers: STORM + 4, // every racer gets a live connection
+        backlog: STORM + 4,
+        ..ServerConfig::default()
+    };
+    let handle = spawn_server_with(config);
 
-    let bodies: Vec<Vec<u8>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..8)
+    let files = fixture_files();
+    // bv-100 is the slowest fixture — the widest window for the storm to
+    // overlap the leader's compile.
+    let path = files
+        .iter()
+        .find(|p| p.ends_with("bv-100.qasm"))
+        .unwrap_or(&files[0]);
+    let label = path.display().to_string();
+    let expected = oneqc_jsonl(&[&label]);
+    let source = std::fs::read(path).expect("read fixture");
+
+    let responses: Vec<http::ClientResponse> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..STORM)
             .map(|_| {
                 let handle = &handle;
                 let label = &label;
                 let source = &source;
-                scope.spawn(move || post_compile(handle, label, source).body)
+                scope.spawn(move || post_compile(handle, label, source))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    for body in &bodies[1..] {
-        assert_eq!(body, &bodies[0], "every racer sees the same bytes");
+
+    let mut outcome_counts = std::collections::HashMap::new();
+    for resp in &responses {
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.body,
+            expected.as_bytes(),
+            "every storm response is byte-identical to the oneqc record"
+        );
+        *outcome_counts
+            .entry(resp.header("x-oneqd-cache").unwrap_or("?").to_string())
+            .or_insert(0usize) += 1;
     }
-    let stats = http::request(handle.addr(), "GET", "/stats", b"", TIMEOUT).unwrap();
-    let stats = String::from_utf8(stats.body).unwrap();
     assert_eq!(
-        json_u64(&stats, "entries"),
+        outcome_counts.get("miss").copied().unwrap_or(0),
         1,
-        "racing misses dedupe to one entry"
+        "exactly one leader: {outcome_counts:?}"
+    );
+    assert_eq!(
+        outcome_counts.get("coalesced").copied().unwrap_or(0)
+            + outcome_counts.get("hit").copied().unwrap_or(0),
+        STORM - 1,
+        "everyone else was coalesced or served from cache: {outcome_counts:?}"
+    );
+
+    let stats = get_stats(&handle);
+    assert_eq!(
+        json_u64(&stats, "compile_executions"),
+        1,
+        "the storm ran exactly one compile"
+    );
+    assert_eq!(json_u64(&stats, "entries"), 1);
+    assert_eq!(
+        json_u64(&stats, "coalesced"),
+        outcome_counts.get("coalesced").copied().unwrap_or(0) as u64,
+        "stats counter agrees with the response headers"
     );
     handle.shutdown().expect("clean shutdown");
 }
 
 #[test]
-fn loadgen_emits_a_well_formed_bench_file() {
+fn loadgen_emits_a_well_formed_two_mode_bench_file() {
     let dir = tempdir();
     let out = dir.join("BENCH_service.json");
     let corpus = oneq_bench::qasm_fixture_dir();
@@ -284,19 +704,22 @@ fn loadgen_emits_a_well_formed_bench_file() {
     );
     let body = std::fs::read_to_string(&out).expect("BENCH_service.json written");
     for key in [
-        "\"schema\": \"oneq-bench-service/v1\"",
-        "\"requests\": 14",
+        "\"schema\": \"oneq-bench-service/v2\"",
+        "\"requests_per_mode\": 14",
         "\"concurrency\": 2",
+        "\"close\": {\"mode\": \"close\"",
+        "\"keep_alive\": {\"mode\": \"keep-alive\"",
         "\"throughput_rps\": ",
-        "\"cache_hit_rate\": ",
+        "\"keep_alive_speedup\": ",
+        "\"coalesced\": ",
         "\"p50\": ",
         "\"p99\": ",
         "\"server_stats\": {",
     ] {
         assert!(body.contains(key), "missing {key} in {body}");
     }
-    // 14 requests over 7 files = each file twice = 7 hits.
-    assert!(json_u64(&body, "cache_hits") >= 1, "loadgen saw cache hits");
+    // The warmup pass means every measured request is a cache hit.
+    assert!(json_u64(&body, "hit") >= 1, "loadgen saw cache hits");
     assert_eq!(json_u64(&body, "errors"), 0);
     std::fs::remove_dir_all(&dir).ok();
 }
