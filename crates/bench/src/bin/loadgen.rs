@@ -13,6 +13,12 @@
 //! two side by side plus their throughput ratio — the number that shows
 //! what removing per-request TCP setup buys.
 //!
+//! Self-hosted cacheable runs additionally measure the persistent disk
+//! tier across a restart: a cold server on a fresh `--cache-dir`
+//! compiles the corpus from scratch, a second server on the same
+//! directory replays it as `disk` hits, and the `"warm_restart"` block
+//! records both passes plus their `warm_speedup` ratio.
+//!
 //! Usage:
 //!
 //! ```text
@@ -45,8 +51,8 @@ use oneq_service::json;
 use oneq_service::pool::run_indexed_with;
 use oneq_service::request::CompileRequest;
 use oneq_service::server::{
-    Server, ServerConfig, ServerHandle, OUTCOME_BYPASS, OUTCOME_COALESCED, OUTCOME_HIT,
-    OUTCOME_MISS,
+    Server, ServerConfig, ServerHandle, OUTCOME_BYPASS, OUTCOME_COALESCED, OUTCOME_DISK,
+    OUTCOME_MEMORY, OUTCOME_MISS,
 };
 use std::fmt::Write as _;
 use std::net::{SocketAddr, ToSocketAddrs};
@@ -179,7 +185,8 @@ struct Sample {
 /// error here instead of silently counting as transport failure).
 fn classify_outcome(header: Option<&str>) -> &'static str {
     match header {
-        Some(h) if h == OUTCOME_HIT => OUTCOME_HIT,
+        Some(h) if h == OUTCOME_MEMORY => OUTCOME_MEMORY,
+        Some(h) if h == OUTCOME_DISK => OUTCOME_DISK,
         Some(h) if h == OUTCOME_MISS => OUTCOME_MISS,
         Some(h) if h == OUTCOME_COALESCED => OUTCOME_COALESCED,
         Some(h) if h == OUTCOME_BYPASS => OUTCOME_BYPASS,
@@ -235,6 +242,108 @@ impl ModeRun {
 }
 
 const TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One pass of the warm-restart benchmark: a fresh in-process server on
+/// `cache_dir`, every corpus file compiled once sequentially, then a
+/// clean shutdown (which releases the spill directory's advisory lock
+/// for the next pass).
+struct RestartPass {
+    wall_ns: u128,
+    ok: usize,
+    outcomes: Vec<&'static str>,
+}
+
+impl RestartPass {
+    fn outcome_count(&self, outcome: &str) -> usize {
+        self.outcomes.iter().filter(|o| **o == outcome).count()
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"ok\": {}, \"wall_ns\": {}, \
+             \"cache\": {{\"memory\": {}, \"disk\": {}, \"miss\": {}}}}}",
+            self.ok,
+            self.wall_ns,
+            self.outcome_count(OUTCOME_MEMORY),
+            self.outcome_count(OUTCOME_DISK),
+            self.outcome_count(OUTCOME_MISS),
+        )
+    }
+}
+
+fn restart_pass(cache_dir: &Path, targets: &[(String, Vec<u8>)]) -> Option<RestartPass> {
+    let config = ServerConfig {
+        cache_dir: Some(cache_dir.to_path_buf()),
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", config).ok()?.spawn().ok()?;
+    let addr = handle.addr();
+    let t0 = Instant::now();
+    let mut ok = 0;
+    let mut outcomes = Vec::with_capacity(targets.len());
+    for (target, body) in targets {
+        match http::request(addr, "POST", target, body, TIMEOUT) {
+            Ok(resp) => {
+                if resp.status == 200 {
+                    ok += 1;
+                }
+                outcomes.push(classify_outcome(resp.header("x-oneqd-cache")));
+            }
+            Err(_) => outcomes.push("error"),
+        }
+    }
+    let wall_ns = t0.elapsed().as_nanos();
+    let _ = handle.shutdown();
+    Some(RestartPass {
+        wall_ns,
+        ok,
+        outcomes,
+    })
+}
+
+/// Measures what the persistent disk tier buys across a process
+/// restart: a cold server on a fresh spill directory compiles the whole
+/// corpus from scratch, then a second server on the *same* directory
+/// answers the identical workload from disk. Returns the rendered JSON
+/// block for the `"warm_restart"` key, or `None` when the benchmark
+/// does not apply (external daemon, or a non-cacheable template where
+/// nothing would ever reach the disk tier).
+fn run_warm_restart(opt: &Options, targets: &[(String, Vec<u8>)]) -> Option<String> {
+    if opt.addr.is_some() || !opt.template.cacheable() {
+        return None;
+    }
+    let cache_dir = std::env::temp_dir().join(format!("oneq-loadgen-spill-{}", std::process::id()));
+    // A stale directory from a previous crashed run would turn the cold
+    // pass into a warm one; start from nothing.
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let result = (|| {
+        let cold = restart_pass(&cache_dir, targets)?;
+        let warm = restart_pass(&cache_dir, targets)?;
+        let speedup = if warm.wall_ns > 0 {
+            cold.wall_ns as f64 / warm.wall_ns as f64
+        } else {
+            0.0
+        };
+        println!(
+            "loadgen[warm-restart]: cold {:.2} ms ({} miss) -> warm {:.2} ms \
+             ({} disk hit), {:.2}x",
+            cold.wall_ns as f64 / 1e6,
+            cold.outcome_count(OUTCOME_MISS),
+            warm.wall_ns as f64 / 1e6,
+            warm.outcome_count(OUTCOME_DISK),
+            speedup,
+        );
+        Some(format!(
+            "{{\"files\": {}, \"cold\": {}, \"warm\": {}, \"warm_speedup\": {}}}",
+            targets.len(),
+            cold.json(),
+            warm.json(),
+            json::fmt_f64(speedup),
+        ))
+    })();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    result
+}
 
 /// Replays `requests` round-robin requests over `targets` at
 /// `concurrency`, using one persistent connection per worker
@@ -305,7 +414,8 @@ fn mode_json(run: &ModeRun) -> String {
     let _ = write!(
         out,
         "{{\"mode\": \"{}\", \"requests\": {}, \"ok\": {}, \"errors\": {}, \
-         \"cache\": {{\"hit\": {}, \"miss\": {}, \"coalesced\": {}, \"bypass\": {}}}, \
+         \"cache\": {{\"memory\": {}, \"disk\": {}, \"miss\": {}, \"coalesced\": {}, \
+         \"bypass\": {}}}, \
          \"wall_ns\": {}, \"throughput_rps\": {}, \
          \"latency_ns\": {{\"min\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
          \"max\": {}, \"mean\": {}}}}}",
@@ -313,7 +423,8 @@ fn mode_json(run: &ModeRun) -> String {
         run.samples.len(),
         run.ok(),
         run.errors(),
-        run.outcome_count(OUTCOME_HIT),
+        run.outcome_count(OUTCOME_MEMORY),
+        run.outcome_count(OUTCOME_DISK),
         run.outcome_count(OUTCOME_MISS),
         run.outcome_count(OUTCOME_COALESCED),
         run.outcome_count(OUTCOME_BYPASS),
@@ -406,12 +517,13 @@ fn main() {
         let run = run_mode(mode, addr, &targets, opt.requests, opt.concurrency);
         let latencies = &run.sorted_latency_ns;
         println!(
-            "loadgen[{}]: {}/{} ok, cache hit={} miss={} coalesced={} bypass={}, \
-             {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms",
+            "loadgen[{}]: {}/{} ok, cache memory={} disk={} miss={} coalesced={} \
+             bypass={}, {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms",
             mode.label(),
             run.ok(),
             run.samples.len(),
-            run.outcome_count(OUTCOME_HIT),
+            run.outcome_count(OUTCOME_MEMORY),
+            run.outcome_count(OUTCOME_DISK),
             run.outcome_count(OUTCOME_MISS),
             run.outcome_count(OUTCOME_COALESCED),
             run.outcome_count(OUTCOME_BYPASS),
@@ -447,9 +559,13 @@ fn main() {
         println!("loadgen: keep-alive / close throughput = {speedup:.2}x");
     }
 
+    // Cold-start vs warm-restart: how the persistent spill tier answers
+    // the same corpus across a process restart (self-hosted runs only).
+    let warm_restart = run_warm_restart(&opt, &targets);
+
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"oneq-bench-service/v2\",");
+    let _ = writeln!(out, "  \"schema\": \"oneq-bench-service/v3\",");
     let _ = writeln!(
         out,
         "  \"corpus\": \"{}\",",
@@ -476,6 +592,14 @@ fn main() {
         }
         None => {
             let _ = writeln!(out, "  \"keep_alive_speedup\": null,");
+        }
+    }
+    match &warm_restart {
+        Some(block) => {
+            let _ = writeln!(out, "  \"warm_restart\": {block},");
+        }
+        None => {
+            let _ = writeln!(out, "  \"warm_restart\": null,");
         }
     }
     match &server_stats {

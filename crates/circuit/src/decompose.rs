@@ -1,6 +1,6 @@
 //! Lowering to the `{J(α), CZ}` universal gate set.
 //!
-//! The circuit→measurement-pattern translation (paper §2.2.1, ref [46])
+//! The circuit→measurement-pattern translation (paper §2.2.1, ref \[46\])
 //! requires circuits expressed with `J(α) = H · diag(1, e^{iα})` and CZ
 //! only. This module rewrites every IR gate into that set, using the
 //! identities (gate sequences written left→right in program order):

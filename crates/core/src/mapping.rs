@@ -27,7 +27,7 @@
 //! observed. Tie-breaks are fixed and documented: candidate cells are
 //! scored in coupling-neighbourhood order, BFS frontiers expand in that
 //! same order, and nearest-free-cell searches scan Manhattan rings in
-//! row-major order (see [`Mapper::pick_seed_cell`]).
+//! row-major order (see the private `Mapper::pick_seed_cell`).
 
 use oneq_graph::{biconnected, Edge, Graph, NodeId};
 use oneq_hardware::{BfsScratch, CellGrid, LayerGeometry, Position};

@@ -12,7 +12,7 @@
 //! * the measurement pattern / graph state representation ([`Pattern`])
 //!   with X- and Z-dependency tracking,
 //! * the circuit→pattern translation over the `{J(α), CZ}` set
-//!   ([`translate::from_circuit`], paper §2.2.1 / ref [46]),
+//!   ([`translate::from_circuit`], paper §2.2.1 / ref \[46\]),
 //! * causal-flow analysis: executability layers per the paper's Lemma 1
 //!   ([`flow::dependency_layers`], paper §4).
 //!

@@ -1,6 +1,6 @@
 //! Circuit → measurement-pattern translation over `{J(α), CZ}`.
 //!
-//! The construction (paper §2.2.1, ref [46]): every circuit qubit starts as
+//! The construction (paper §2.2.1, ref \[46\]): every circuit qubit starts as
 //! an input node. A `J(α)` on wire `q` appends a fresh node `v` linked to
 //! the wire's current node `u`, assigns `u` the measurement `E(-α)` and
 //! makes `u → v` the causal flow (so `v` X-depends on `u`). A `CZ` becomes

@@ -15,6 +15,12 @@
 //!   --backlog N               bounded queue of pending connections (default 64)
 //!   --cache-capacity N        cached compile responses (default 256)
 //!   --cache-shards N          cache mutex stripes (default 8)
+//!   --cache-dir PATH          persistent disk spill tier: an append-only
+//!                             CRC-guarded record log surviving restarts
+//!                             (default: off, memory-only). The directory
+//!                             is advisory-locked (flock) while in use.
+//!   --cache-disk-bytes BYTES  byte budget for --cache-dir
+//!                             (default 268435456 = 256 MiB)
 //!   --max-body BYTES          request body limit (default 4194304)
 //!   --keep-alive-requests N   requests served per connection before the
 //!                             server closes it (default 256)
@@ -35,7 +41,8 @@ use oneq_service::signal;
 fn usage() -> ! {
     eprintln!(
         "usage: oneqd [--addr HOST:PORT] [--workers N] [--backlog N] \
-         [--cache-capacity N] [--cache-shards N] [--max-body BYTES] \
+         [--cache-capacity N] [--cache-shards N] [--cache-dir PATH] \
+         [--cache-disk-bytes BYTES] [--max-body BYTES] \
          [--keep-alive-requests N] [--idle-timeout-ms MS] [--batch-jobs N]"
     );
     std::process::exit(2);
@@ -74,6 +81,13 @@ fn parse_args() -> (String, ServerConfig) {
             "--cache-shards" => {
                 config.cache_shards = num(value(&mut i, "--cache-shards"), "--cache-shards", 1);
             }
+            "--cache-dir" => {
+                config.cache_dir = Some(std::path::PathBuf::from(value(&mut i, "--cache-dir")));
+            }
+            "--cache-disk-bytes" => {
+                config.cache_disk_bytes =
+                    num(value(&mut i, "--cache-disk-bytes"), "--cache-disk-bytes", 1) as u64;
+            }
             "--max-body" => config.max_body = num(value(&mut i, "--max-body"), "--max-body", 1),
             "--keep-alive-requests" => {
                 config.keep_alive_requests = num(
@@ -106,8 +120,11 @@ fn parse_args() -> (String, ServerConfig) {
 fn main() {
     let (addr, config) = parse_args();
     signal::install();
+    // Bind also opens the spill tier when --cache-dir is set, so the
+    // failure here may be the listen socket *or* the cache directory
+    // (unwritable, or flocked by another oneqd).
     let server = Server::bind(addr.as_str(), config.clone()).unwrap_or_else(|e| {
-        eprintln!("oneqd: cannot bind {addr}: {e}");
+        eprintln!("oneqd: cannot start on {addr}: {e}");
         std::process::exit(2);
     });
     let local = server
@@ -125,6 +142,13 @@ fn main() {
         config.keep_alive_requests,
         config.idle_timeout.as_millis()
     );
+    if let Some(dir) = &config.cache_dir {
+        println!(
+            "oneqd: disk cache at {} (budget {} bytes)",
+            dir.display(),
+            config.cache_disk_bytes
+        );
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 

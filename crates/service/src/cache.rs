@@ -19,7 +19,14 @@
 //! concurrent misses on one digest elect one leader that compiles while
 //! the followers block on its result, so a thundering herd on a cold key
 //! runs exactly one compile instead of N.
+//!
+//! [`TieredCache`] stacks the persistent disk tier
+//! ([`SpillTier`]) *behind* the LRU: lookups go
+//! memory → disk → (caller compiles), a disk hit is promoted into
+//! memory, and a fill lands in memory immediately and on disk
+//! write-behind.
 
+use crate::spill::{SpillStats, SpillTier};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -277,6 +284,101 @@ impl CompileCache {
             entries: self.len(),
             capacity: self.shard_capacity * self.shards.len(),
             shards: self.shards.len(),
+        }
+    }
+}
+
+/// Which tier satisfied a [`TieredCache`] lookup — reported to clients
+/// verbatim in the `X-Oneqd-Cache` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Served from the in-memory LRU.
+    Memory,
+    /// Served from the disk spill tier (and promoted into memory).
+    Disk,
+}
+
+/// The two-level cache: the in-memory LRU in front, the persistent
+/// [`SpillTier`] (optional — `oneqd --cache-dir`) behind it.
+///
+/// Lookup order is memory → disk; a disk hit is *promoted* (inserted
+/// into the LRU) so a warm key pays the disk read once. Fills via
+/// [`TieredCache::fill`] insert into memory synchronously and enqueue
+/// the disk append write-behind, so the compile path never blocks on
+/// I/O. Without a disk tier this degrades to exactly the PR-5 behavior.
+pub struct TieredCache {
+    memory: CompileCache,
+    disk: Option<SpillTier>,
+    fills: AtomicU64,
+}
+
+impl TieredCache {
+    /// A tiered cache over an LRU of `capacity` entries × `shards`
+    /// stripes, optionally backed by `disk`.
+    pub fn new(capacity: usize, shards: usize, disk: Option<SpillTier>) -> TieredCache {
+        TieredCache {
+            memory: CompileCache::new(capacity, shards),
+            disk,
+            fills: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks `digest` up memory-first, then disk. A disk hit is promoted
+    /// into the memory tier before returning.
+    pub fn get_digest(&self, digest: &[u8; 32]) -> Option<(Arc<str>, Tier)> {
+        if let Some(value) = self.memory.get_digest(digest) {
+            return Some((value, Tier::Memory));
+        }
+        let value = self.disk.as_ref()?.get(digest)?;
+        self.memory.insert_digest(*digest, Arc::clone(&value));
+        Some((value, Tier::Disk))
+    }
+
+    /// Counter-free memory peek, then a disk read: the single-flight
+    /// leader's double-check (see [`CompileCache::peek_digest`]). The
+    /// memory tier's hit/miss counters stay untouched — the request's one
+    /// logical lookup was already counted — but a disk hit still counts
+    /// as a disk hit (it *is* one) and still promotes.
+    pub fn peek_digest(&self, digest: &[u8; 32]) -> Option<(Arc<str>, Tier)> {
+        if let Some(value) = self.memory.peek_digest(digest) {
+            return Some((value, Tier::Memory));
+        }
+        let value = self.disk.as_ref()?.get(digest)?;
+        self.memory.insert_digest(*digest, Arc::clone(&value));
+        Some((value, Tier::Disk))
+    }
+
+    /// Fills `digest → value` after a compile: into memory now, onto
+    /// disk write-behind.
+    pub fn fill(&self, digest: [u8; 32], value: Arc<str>) {
+        self.fills.fetch_add(1, Ordering::Relaxed);
+        self.memory.insert_digest(digest, Arc::clone(&value));
+        if let Some(disk) = &self.disk {
+            disk.append(digest, value);
+        }
+    }
+
+    /// Compile results written into the cache (both tiers fill from the
+    /// same event, so one counter covers them).
+    pub fn fills(&self) -> u64 {
+        self.fills.load(Ordering::Relaxed)
+    }
+
+    /// The in-memory tier's counters.
+    pub fn memory_stats(&self) -> CacheStats {
+        self.memory.stats()
+    }
+
+    /// The disk tier's counters; `None` when running memory-only.
+    pub fn disk_stats(&self) -> Option<SpillStats> {
+        self.disk.as_ref().map(SpillTier::stats)
+    }
+
+    /// Blocks until every write-behind append so far is on disk. A no-op
+    /// without a disk tier; tests and shutdown use this.
+    pub fn flush_disk(&self) {
+        if let Some(disk) = &self.disk {
+            disk.flush();
         }
     }
 }
@@ -599,6 +701,54 @@ mod tests {
         assert_eq!(flights.in_flight(), 1);
         lb.publish(arc("B"), false);
         assert_eq!(flights.in_flight(), 0);
+    }
+
+    #[test]
+    fn tiered_cache_without_disk_is_memory_only() {
+        let tier = TieredCache::new(4, 1, None);
+        let digest = sha256(b"k");
+        assert!(tier.get_digest(&digest).is_none());
+        tier.fill(digest, arc("v"));
+        assert!(matches!(tier.get_digest(&digest), Some((_, Tier::Memory))));
+        assert!(matches!(tier.peek_digest(&digest), Some((_, Tier::Memory))));
+        assert_eq!(tier.fills(), 1);
+        assert!(tier.disk_stats().is_none());
+        tier.flush_disk(); // no-op, must not panic
+    }
+
+    #[test]
+    fn tiered_cache_serves_and_promotes_disk_hits() {
+        use crate::spill::{SpillConfig, SpillTier};
+        let dir = std::env::temp_dir().join(format!(
+            "oneq-tiered-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spill = SpillTier::open(SpillConfig::new(&dir)).unwrap();
+        // Memory capacity 1: the second fill evicts the first from the
+        // LRU, leaving it disk-only.
+        let tier = TieredCache::new(1, 1, Some(spill));
+        let (a, b) = (sha256(b"a"), sha256(b"b"));
+        tier.fill(a, arc("A"));
+        tier.fill(b, arc("B"));
+        tier.flush_disk();
+        assert_eq!(tier.memory_stats().entries, 1);
+
+        let (value, from) = tier.get_digest(&a).expect("disk still holds a");
+        assert_eq!((&*value, from), ("A", Tier::Disk));
+        // Promotion: the same key now answers from memory.
+        let (value, from) = tier.get_digest(&a).expect("promoted");
+        assert_eq!((&*value, from), ("A", Tier::Memory));
+        // And b, evicted by the promotion, comes back from disk too.
+        assert!(matches!(tier.peek_digest(&b), Some((_, Tier::Disk))));
+
+        assert_eq!(tier.fills(), 2);
+        let disk = tier.disk_stats().expect("disk tier attached");
+        assert_eq!(disk.appends, 2);
+        assert_eq!(disk.hits, 2);
+        drop(tier);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

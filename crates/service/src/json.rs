@@ -47,6 +47,93 @@ pub fn fmt_f64(v: f64) -> String {
     }
 }
 
+/// Incremental writer for one JSON object: handles comma placement, key
+/// quoting, and value escaping so deeply nested hand-emitted objects
+/// (the `/v1/stats` body grew three levels in stats v3) cannot drift
+/// into invalid JSON. The rendering matches the repo's hand-written
+/// style exactly — `{"k": v, "k2": v2}` with a space after `:` and `,`.
+///
+/// # Example
+///
+/// ```
+/// use oneq_service::json::ObjWriter;
+/// let mut inner = ObjWriter::new();
+/// inner.field_u64("hits", 3);
+/// let mut out = ObjWriter::new();
+/// out.field_str("schema", "demo/v1").field_raw("cache", &inner.finish());
+/// assert_eq!(out.finish(), r#"{"schema": "demo/v1", "cache": {"hits": 3}}"#);
+/// ```
+#[derive(Debug)]
+pub struct ObjWriter {
+    out: String,
+    needs_comma: bool,
+}
+
+impl Default for ObjWriter {
+    fn default() -> Self {
+        ObjWriter::new()
+    }
+}
+
+impl ObjWriter {
+    /// Starts an empty object.
+    pub fn new() -> ObjWriter {
+        ObjWriter {
+            out: String::from("{"),
+            needs_comma: false,
+        }
+    }
+
+    fn key(&mut self, key: &str) -> &mut Self {
+        if self.needs_comma {
+            self.out.push_str(", ");
+        }
+        self.needs_comma = true;
+        self.out.push('"');
+        escape_into(&mut self.out, key);
+        self.out.push_str("\": ");
+        self
+    }
+
+    /// Appends `"key": value` with an unsigned integer value.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// Appends `"key": value` with a `true`/`false` value.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// Appends `"key": "value"` with the value JSON-escaped.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.out.push('"');
+        escape_into(&mut self.out, value);
+        self.out.push('"');
+        self
+    }
+
+    /// Appends `"key": value` with `value` spliced in verbatim — for
+    /// nesting an already-rendered object (another writer's
+    /// [`finish`](ObjWriter::finish)) or a pre-formatted number.
+    pub fn field_raw(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.out.push_str(value);
+        self
+    }
+
+    /// Closes the object and returns its rendering.
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
 /// Parses one *flat* JSON object (`{"k": v, ...}`) into `(key, value)`
 /// pairs in source order. Values are returned as plain strings: string
 /// literals are unescaped, numbers keep their literal spelling, booleans
@@ -317,6 +404,26 @@ mod tests {
         assert_eq!(fmt_f64(f64::NAN), "null");
         assert_eq!(fmt_f64(f64::INFINITY), "null");
         assert_eq!(fmt_f64(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn obj_writer_matches_the_handwritten_style() {
+        assert_eq!(ObjWriter::new().finish(), "{}");
+        let mut w = ObjWriter::new();
+        w.field_str("schema", "x/v1")
+            .field_u64("n", 7)
+            .field_bool("on", true)
+            .field_raw("nested", "{\"k\": 1}");
+        assert_eq!(
+            w.finish(),
+            r#"{"schema": "x/v1", "n": 7, "on": true, "nested": {"k": 1}}"#
+        );
+        // Escaping runs on both keys and string values.
+        let mut w = ObjWriter::new();
+        w.field_str("a\"b", "line\nbreak");
+        let rendered = w.finish();
+        assert_eq!(rendered, "{\"a\\\"b\": \"line\\nbreak\"}");
+        parse_flat_object(&rendered).expect("rendering is valid JSON");
     }
 
     #[test]

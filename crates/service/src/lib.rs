@@ -22,7 +22,17 @@
 //!   source), fronted by a single-flight coalescing layer
 //!   ([`cache::SingleFlight`]) so N racing misses on one key run one
 //!   compile;
+//! * an optional persistent disk tier behind the LRU
+//!   ([`cache::TieredCache`], [`spill`], [`segment`]): an append-only,
+//!   CRC-guarded record log that survives restarts (`oneqd
+//!   --cache-dir`), so a warm restart answers previously-compiled
+//!   sources from disk instead of recompiling — the on-disk format is
+//!   specified in `docs/CACHE_FORMAT.md`;
 //! * graceful shutdown on SIGTERM/ctrl-c ([`signal`]).
+//!
+//! The crate-level architecture — the dependency DAG and the life of a
+//! `/v1/compile` request through these layers — is documented in
+//! `docs/ARCHITECTURE.md`.
 //!
 //! The compile path itself ([`compile`]) and the JSON emission helpers
 //! ([`json`]) are the *same modules* `oneqc` and the bench drivers use,
@@ -47,6 +57,8 @@
 //! handle.shutdown().unwrap();
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod compile;
 pub mod corpus;
@@ -54,5 +66,7 @@ pub mod http;
 pub mod json;
 pub mod pool;
 pub mod request;
+pub mod segment;
 pub mod server;
 pub mod signal;
+pub mod spill;

@@ -4,7 +4,7 @@
 //! `oneqc`'s flag loop, `oneqd`'s query-parameter loop, and whatever a
 //! future batch line would have grown. They agreed by review, not by
 //! construction. [`CompileRequest`] replaces all of them: one knob table
-//! ([`Knobs::apply`]) is fed by three thin front-ends —
+//! (the private `Knobs::apply`) is fed by three thin front-ends —
 //!
 //! * [`CompileRequest::from_args`] — CLI flags (`oneqc`, `loadgen`,
 //!   `sweep`); unrecognized flags pass through to the caller,

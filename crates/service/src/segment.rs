@@ -1,0 +1,426 @@
+//! The spill log's on-disk segment format: superblock, CRC-guarded
+//! record framing, and the recovery scan.
+//!
+//! One segment file is a superblock followed by append-only records.
+//! The byte-level layout is specified (and versioned) in
+//! `docs/CACHE_FORMAT.md` — this module is the reference implementation
+//! the spec is written against, and every constant here appears there by
+//! name. The contract that matters for crash safety: records are
+//! appended with a single `write(2)` each, so a torn write can only
+//! produce a *truncated tail*, and [`scan`] stops cleanly at the first
+//! record whose header, body, or CRC is incomplete or wrong — everything
+//! before it is intact by construction (each record carries its own
+//! CRC-32 over digest ‖ body).
+//!
+//! # Example
+//!
+//! ```
+//! use oneq_service::segment::{scan, SegmentWriter};
+//! let dir = std::env::temp_dir().join(format!("oneq-seg-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("seg-00000000.log");
+//!
+//! let mut writer = SegmentWriter::create(&path).unwrap();
+//! let digest = [7u8; 32];
+//! writer.append(&digest, b"{\"status\": \"ok\"}\n").unwrap();
+//!
+//! let outcome = scan(&path).unwrap();
+//! assert_eq!(outcome.records.len(), 1);
+//! assert_eq!(outcome.records[0].digest, digest);
+//! assert!(!outcome.truncated);
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Magic bytes opening every segment file (8 bytes, ASCII).
+pub const MAGIC: &[u8; 8] = b"ONEQSPIL";
+/// Current format version; readers must reject anything else.
+pub const VERSION: u8 = 1;
+/// Superblock length: magic ‖ version ‖ 7 reserved zero bytes.
+pub const SUPERBLOCK_LEN: u64 = 16;
+/// Fixed record header length: body length (u32 LE) ‖ CRC-32 (u32 LE) ‖
+/// 32-byte fingerprint digest.
+pub const RECORD_HEADER_LEN: u64 = 40;
+
+/// Total on-disk size of a record with a `body_len`-byte body.
+pub fn record_size(body_len: usize) -> u64 {
+    RECORD_HEADER_LEN + body_len as u64
+}
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven. Guards every
+/// record: the checksum covers the 32-byte digest and the body, so a
+/// record whose bytes rotted — or whose tail a crash tore off — can
+/// never be served.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Renders one record (header + body) into a single buffer, so the
+/// writer can hand it to the OS as one `write` call.
+pub fn encode_record(digest: &[u8; 32], body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(32 + body.len());
+    payload.extend_from_slice(digest);
+    payload.extend_from_slice(body);
+    let crc = crc32(&payload);
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN as usize + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// One intact record found by [`scan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScannedRecord {
+    /// The record's 32-byte fingerprint digest.
+    pub digest: [u8; 32],
+    /// Byte offset of the record *header* within the segment file.
+    pub offset: u64,
+    /// Body length in bytes.
+    pub body_len: u32,
+}
+
+/// What a recovery [`scan`] found in one segment file.
+#[derive(Debug)]
+pub struct ScanOutcome {
+    /// Every intact record, in file order (later records supersede
+    /// earlier ones for the same digest; the caller applies last-wins).
+    pub records: Vec<ScannedRecord>,
+    /// Offset one past the last intact record: the file's recoverable
+    /// prefix. Appending may resume here after truncating to this length.
+    pub valid_len: u64,
+    /// The file's actual length on disk.
+    pub file_len: u64,
+    /// `true` when `file_len > valid_len`: a torn or corrupt tail was
+    /// found (and ignored).
+    pub truncated: bool,
+}
+
+/// Scans a segment file, tolerating a truncated or corrupt tail.
+///
+/// Returns an error only when the file cannot be read or its superblock
+/// is not a version-[`VERSION`] `ONEQSPIL` block — a file that is not a
+/// segment at all must not be silently treated as an empty one. Past the
+/// superblock, any framing damage ends the scan at the last intact
+/// record instead of failing.
+pub fn scan(path: &Path) -> io::Result<ScanOutcome> {
+    let bytes = std::fs::read(path)?;
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if bytes.len() < SUPERBLOCK_LEN as usize || &bytes[..8] != MAGIC {
+        return Err(bad("not a spill segment (bad magic)"));
+    }
+    if bytes[8] != VERSION {
+        return Err(bad(&format!(
+            "unsupported spill segment version {}",
+            bytes[8]
+        )));
+    }
+    let file_len = bytes.len() as u64;
+    let mut records = Vec::new();
+    let mut pos = SUPERBLOCK_LEN as usize;
+    // A missing header slice is a torn mid-header tail (or clean EOF
+    // when pos == len); either way the scan stops there.
+    while let Some(header) = bytes.get(pos..pos + RECORD_HEADER_LEN as usize) {
+        let body_len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let payload_start = pos + 8;
+        let Some(payload) = bytes.get(payload_start..payload_start + 32 + body_len) else {
+            break; // torn mid-body
+        };
+        if crc32(payload) != crc {
+            break; // corrupt record: trust nothing at or past it
+        }
+        records.push(ScannedRecord {
+            digest: payload[..32].try_into().expect("32-byte digest"),
+            offset: pos as u64,
+            body_len: body_len as u32,
+        });
+        pos = payload_start + 32 + body_len;
+    }
+    let valid_len = pos as u64;
+    Ok(ScanOutcome {
+        records,
+        valid_len,
+        file_len,
+        truncated: file_len > valid_len,
+    })
+}
+
+/// Reads and verifies the record at `offset` (as located by a previous
+/// [`scan`]) through a shared read handle. Returns the body bytes.
+///
+/// Verification is repeated on every read — the index only remembers
+/// where a record *was* intact at startup; bytes that rotted since, or an
+/// index slot gone stale across a compaction, must fail here, not get
+/// served. The check covers the length, the CRC, and that the record
+/// still belongs to `digest`.
+pub fn read_record(
+    file: &std::sync::Mutex<File>,
+    offset: u64,
+    body_len: u32,
+    digest: &[u8; 32],
+) -> io::Result<Vec<u8>> {
+    let mut buf = vec![0u8; RECORD_HEADER_LEN as usize + body_len as usize];
+    {
+        let mut file = file.lock().expect("segment read handle poisoned");
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(&mut buf)?;
+    }
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let stored_len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    if stored_len != body_len {
+        return Err(bad("record length changed under the index"));
+    }
+    let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if crc32(&buf[8..]) != crc {
+        return Err(bad("record failed its CRC"));
+    }
+    if &buf[8..40] != digest {
+        return Err(bad("record belongs to a different digest"));
+    }
+    Ok(buf.split_off(RECORD_HEADER_LEN as usize))
+}
+
+/// Appends records to one segment file. Each record leaves in a single
+/// `write` call, so a crash can only tear the *tail* of the file — the
+/// damage class [`scan`] is built to recover from.
+pub struct SegmentWriter {
+    file: File,
+    len: u64,
+}
+
+impl SegmentWriter {
+    /// Creates a fresh segment at `path` and writes its superblock.
+    pub fn create(path: &Path) -> io::Result<SegmentWriter> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(path)?;
+        let mut superblock = [0u8; SUPERBLOCK_LEN as usize];
+        superblock[..8].copy_from_slice(MAGIC);
+        superblock[8] = VERSION;
+        file.write_all(&superblock)?;
+        file.flush()?;
+        Ok(SegmentWriter {
+            file,
+            len: SUPERBLOCK_LEN,
+        })
+    }
+
+    /// Reopens an existing segment for appending, first truncating it to
+    /// `valid_len` (the recoverable prefix a [`scan`] reported) so a torn
+    /// tail from a previous crash is physically dropped before any new
+    /// record lands after it.
+    pub fn open_for_append(path: &Path, valid_len: u64) -> io::Result<SegmentWriter> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::Start(valid_len))?;
+        Ok(SegmentWriter {
+            file,
+            len: valid_len,
+        })
+    }
+
+    /// Appends one record; returns the offset its header landed at.
+    pub fn append(&mut self, digest: &[u8; 32], body: &[u8]) -> io::Result<u64> {
+        let record = encode_record(digest, body);
+        let offset = self.len;
+        self.file.write_all(&record)?;
+        self.file.flush()?;
+        self.len += record.len() as u64;
+        Ok(offset)
+    }
+
+    /// Current file length (superblock + every appended record).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when no record has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len <= SUPERBLOCK_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "oneq-segment-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // The classic check value plus a couple of published vectors.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+    }
+
+    #[test]
+    fn write_then_scan_round_trips() {
+        let dir = tempdir("roundtrip");
+        let path = dir.join("seg-00000000.log");
+        let mut writer = SegmentWriter::create(&path).unwrap();
+        let bodies: Vec<(u8, &[u8])> = vec![(1, b"alpha\n"), (2, b""), (3, b"gamma record\n")];
+        let mut offsets = Vec::new();
+        for (tag, body) in &bodies {
+            offsets.push(writer.append(&[*tag; 32], body).unwrap());
+        }
+        let outcome = scan(&path).unwrap();
+        assert!(!outcome.truncated);
+        assert_eq!(outcome.valid_len, outcome.file_len);
+        assert_eq!(outcome.records.len(), bodies.len());
+        let file = std::sync::Mutex::new(File::open(&path).unwrap());
+        for ((record, offset), (tag, body)) in outcome.records.iter().zip(&offsets).zip(&bodies) {
+            assert_eq!(record.offset, *offset);
+            assert_eq!(record.digest, [*tag; 32]);
+            let read = read_record(&file, record.offset, record.body_len, &record.digest).unwrap();
+            assert_eq!(read, *body);
+            assert!(
+                read_record(&file, record.offset, record.body_len, &[0xaa; 32]).is_err(),
+                "a digest mismatch is refused"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_tolerates_a_torn_tail_everywhere_it_can_tear() {
+        let dir = tempdir("torn");
+        let path = dir.join("seg-00000000.log");
+        let mut writer = SegmentWriter::create(&path).unwrap();
+        writer.append(&[1; 32], b"intact one\n").unwrap();
+        writer.append(&[2; 32], b"intact two\n").unwrap();
+        let intact_len = writer.len();
+        drop(writer);
+        let full = std::fs::read(&path).unwrap();
+
+        // Tear at every byte position of a third record: mid-header,
+        // mid-digest, mid-body. The two intact records must survive all
+        // of them.
+        let third = encode_record(&[3; 32], b"torn away\n");
+        for cut in 1..third.len() {
+            let mut bytes = full.clone();
+            bytes.extend_from_slice(&third[..cut]);
+            std::fs::write(&path, &bytes).unwrap();
+            let outcome = scan(&path).unwrap();
+            assert_eq!(outcome.records.len(), 2, "cut at {cut}");
+            assert_eq!(outcome.valid_len, intact_len, "cut at {cut}");
+            assert!(outcome.truncated, "cut at {cut}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_stops_at_a_corrupt_record() {
+        let dir = tempdir("corrupt");
+        let path = dir.join("seg-00000000.log");
+        let mut writer = SegmentWriter::create(&path).unwrap();
+        writer.append(&[1; 32], b"good\n").unwrap();
+        let second_at = writer.append(&[2; 32], b"will rot\n").unwrap();
+        writer.append(&[3; 32], b"shadowed by the rot\n").unwrap();
+        drop(writer);
+        // Flip one body byte of the middle record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let body_pos = second_at as usize + RECORD_HEADER_LEN as usize;
+        bytes[body_pos] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let outcome = scan(&path).unwrap();
+        assert_eq!(outcome.records.len(), 1, "nothing past the rot is trusted");
+        assert_eq!(outcome.valid_len, second_at);
+        assert!(outcome.truncated);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_rejects_bad_magic_and_versions() {
+        let dir = tempdir("magic");
+        let path = dir.join("seg-00000000.log");
+        std::fs::write(&path, b"definitely not a segment file").unwrap();
+        assert!(scan(&path).is_err());
+        let mut superblock = [0u8; SUPERBLOCK_LEN as usize];
+        superblock[..8].copy_from_slice(MAGIC);
+        superblock[8] = VERSION + 1;
+        std::fs::write(&path, superblock).unwrap();
+        assert!(scan(&path).is_err(), "future versions are rejected");
+        std::fs::write(&path, &superblock[..4]).unwrap();
+        assert!(scan(&path).is_err(), "shorter than a superblock");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_for_append_truncates_the_torn_tail() {
+        let dir = tempdir("reopen");
+        let path = dir.join("seg-00000000.log");
+        let mut writer = SegmentWriter::create(&path).unwrap();
+        writer.append(&[1; 32], b"keep me\n").unwrap();
+        drop(writer);
+        // Simulate a torn write.
+        {
+            let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+            file.write_all(&encode_record(&[9; 32], b"torn\n")[..7])
+                .unwrap();
+        }
+        let outcome = scan(&path).unwrap();
+        assert!(outcome.truncated);
+        let mut writer = SegmentWriter::open_for_append(&path, outcome.valid_len).unwrap();
+        writer.append(&[2; 32], b"after recovery\n").unwrap();
+        drop(writer);
+        let healed = scan(&path).unwrap();
+        assert!(!healed.truncated, "tail was physically dropped");
+        assert_eq!(healed.records.len(), 2);
+        assert_eq!(healed.records[1].digest, [2; 32]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_size_matches_encoding() {
+        for body in [&b""[..], b"x", b"a longer body with content\n"] {
+            assert_eq!(
+                encode_record(&[0; 32], body).len() as u64,
+                record_size(body.len())
+            );
+        }
+    }
+}

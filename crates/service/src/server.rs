@@ -10,11 +10,9 @@
 //! | `GET /v1/healthz`  | liveness probe |
 //! | `GET /v1/stats`    | request + cache + coalescing counters |
 //!
-//! The unversioned PR-4 routes remain as migration shims for one
-//! release: `GET /healthz` and `GET /stats` answer `308 Permanent
-//! Redirect` to their `/v1` successors, and `POST /compile` is served as
-//! a direct alias (redirecting a POST body is hostile to simple clients)
-//! carrying a `Deprecation` header.
+//! (The unversioned PR-4 shims — `/compile`, `/healthz`, `/stats` —
+//! served their one promised migration release and are gone; they now
+//! answer 404 like any other unknown path.)
 //!
 //! Connections are *sessions*: a handler reads requests off one socket
 //! until the client sends `Connection: close`, the per-connection request
@@ -24,9 +22,10 @@
 //!
 //! `/v1/compile` responses are byte-identical to `oneqc`'s JSONL records
 //! (one record + `\n`) for the same source and config, and — unless the
-//! request bypasses — are served through the content-addressed
-//! [`CompileCache`] behind a [`SingleFlight`] coalescing layer, with the
-//! outcome exposed in an `X-Oneqd-Cache: hit|miss|coalesced|bypass`
+//! request bypasses — are served through the tiered content-addressed
+//! cache ([`TieredCache`]: in-memory LRU, then the optional disk spill
+//! tier) behind a [`SingleFlight`] coalescing layer, with the outcome
+//! exposed in an `X-Oneqd-Cache: memory|disk|miss|coalesced|bypass`
 //! header.
 //!
 //! The accept loop is poll-based (non-blocking listener + short sleep)
@@ -35,14 +34,15 @@
 //! the workers after draining in-flight requests — that is the whole
 //! graceful-shutdown story.
 
-use crate::cache::{sha256, CompileCache, FlightRole, SingleFlight};
+use crate::cache::{sha256, FlightRole, SingleFlight, Tier, TieredCache};
 use crate::http::{read_request, write_response, Connection, Request, RequestError};
-use crate::json;
+use crate::json::{self, ObjWriter};
 use crate::pool::{run_indexed, WorkerPool};
 use crate::request::CompileRequest;
-use std::fmt::Write as _;
+use crate::spill::{SpillConfig, SpillTier};
 use std::io::{self, BufRead as _, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -76,6 +76,13 @@ pub struct ServerConfig {
     /// at once). Batches use scoped threads, not pool workers, so a
     /// batch cannot deadlock the connection pool.
     pub batch_jobs: usize,
+    /// Directory for the persistent disk spill tier (`oneqd
+    /// --cache-dir`). `None` (the default) runs memory-only, exactly the
+    /// pre-spill behavior.
+    pub cache_dir: Option<PathBuf>,
+    /// Byte budget for the spill directory (`oneqd --cache-disk-bytes`);
+    /// ignored without `cache_dir`.
+    pub cache_disk_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +99,8 @@ impl Default for ServerConfig {
             keep_alive_requests: 256,
             idle_timeout: Duration::from_secs(5),
             batch_jobs: parallelism,
+            cache_dir: None,
+            cache_disk_bytes: 256 * 1024 * 1024,
         }
     }
 }
@@ -137,8 +146,8 @@ impl Drop for SemaphoreGuard<'_> {
 /// Shared request/cache accounting, surfaced through `GET /v1/stats`.
 pub struct ServiceState {
     started: Instant,
-    /// The compile cache.
-    pub cache: CompileCache,
+    /// The tiered compile cache (memory LRU + optional disk spill).
+    pub cache: TieredCache,
     /// The coalescing layer in front of the cache.
     pub flights: SingleFlight,
     batch_slots: Semaphore,
@@ -157,10 +166,20 @@ pub struct ServiceState {
 }
 
 impl ServiceState {
-    fn new(config: &ServerConfig) -> ServiceState {
-        ServiceState {
+    /// Fallible because opening the spill tier can fail: the directory
+    /// may be unwritable or flocked by another daemon.
+    fn new(config: &ServerConfig) -> io::Result<ServiceState> {
+        let disk = match &config.cache_dir {
+            Some(dir) => {
+                let mut spill = SpillConfig::new(dir);
+                spill.max_bytes = config.cache_disk_bytes;
+                Some(SpillTier::open(spill)?)
+            }
+            None => None,
+        };
+        Ok(ServiceState {
             started: Instant::now(),
-            cache: CompileCache::new(config.cache_capacity, config.cache_shards),
+            cache: TieredCache::new(config.cache_capacity, config.cache_shards, disk),
             flights: SingleFlight::new(),
             batch_slots: Semaphore::new(config.batch_jobs),
             connections: AtomicU64::new(0),
@@ -175,7 +194,7 @@ impl ServiceState {
             compile_executions: AtomicU64::new(0),
             http_errors: AtomicU64::new(0),
             workers: config.workers.max(1),
-        }
+        })
     }
 
     /// Compiles actually executed (cache misses + bypasses); the
@@ -185,42 +204,86 @@ impl ServiceState {
         self.compile_executions.load(Ordering::Relaxed)
     }
 
-    /// Renders the `/v1/stats` body (`oneqd-stats/v2`).
+    /// Renders the `/v1/stats` body (`oneqd-stats/v3`): flat request
+    /// counters, then a nested `cache` object with per-tier blocks —
+    /// `memory` always, `disk` carrying its counters when a spill tier
+    /// is attached (`"enabled": false` otherwise).
     pub fn stats_json(&self) -> String {
-        let cache = self.cache.stats();
-        let mut out = String::with_capacity(640);
-        let _ = write!(
-            out,
-            "{{\"schema\": \"oneqd-stats/v2\", \"uptime_ms\": {}, \"workers\": {}, \
-             \"connections\": {}, \"requests\": {}, \"healthz_requests\": {}, \
-             \"stats_requests\": {}, \"compile_requests\": {}, \"batch_requests\": {}, \
-             \"batch_records\": {}, \"compile_ok\": {}, \"compile_errors\": {}, \
-             \"compile_executions\": {}, \"coalesced\": {}, \"http_errors\": {}, \
-             \"cache\": {{\"hits\": {}, \"misses\": {}, \
-             \"evictions\": {}, \"entries\": {}, \"capacity\": {}, \"shards\": {}}}}}",
-            self.started.elapsed().as_millis(),
-            self.workers,
-            self.connections.load(Ordering::Relaxed),
-            self.requests.load(Ordering::Relaxed),
-            self.healthz_requests.load(Ordering::Relaxed),
-            self.stats_requests.load(Ordering::Relaxed),
-            self.compile_requests.load(Ordering::Relaxed),
-            self.batch_requests.load(Ordering::Relaxed),
-            self.batch_records.load(Ordering::Relaxed),
-            self.compile_ok.load(Ordering::Relaxed),
-            self.compile_errors.load(Ordering::Relaxed),
-            self.compile_executions.load(Ordering::Relaxed),
-            self.flights.coalesced(),
-            self.http_errors.load(Ordering::Relaxed),
-            cache.hits,
-            cache.misses,
-            cache.evictions,
-            cache.entries,
-            cache.capacity,
-            cache.shards,
-        );
-        out.push('\n');
-        out
+        let memory = self.cache.memory_stats();
+        let mut mem = ObjWriter::new();
+        mem.field_u64("hits", memory.hits)
+            .field_u64("misses", memory.misses)
+            .field_u64("evictions", memory.evictions)
+            .field_u64("entries", memory.entries as u64)
+            .field_u64("capacity", memory.capacity as u64)
+            .field_u64("shards", memory.shards as u64);
+
+        let mut disk = ObjWriter::new();
+        match self.cache.disk_stats() {
+            Some(spill) => {
+                disk.field_bool("enabled", true)
+                    .field_u64("hits", spill.hits)
+                    .field_u64("appends", spill.appends)
+                    .field_u64("entries", spill.entries as u64)
+                    .field_u64("segments", spill.segments as u64)
+                    .field_u64("live_bytes", spill.live_bytes)
+                    .field_u64("dead_bytes", spill.dead_bytes)
+                    .field_u64("capacity_bytes", spill.capacity_bytes)
+                    .field_u64("evicted_segments", spill.evicted_segments)
+                    .field_u64("compactions", spill.compactions)
+                    .field_u64("crc_dropped", spill.crc_dropped)
+                    .field_u64("recovered_records", spill.recovered_records)
+                    .field_u64("truncated_tails", spill.truncated_tails);
+            }
+            None => {
+                disk.field_bool("enabled", false);
+            }
+        }
+
+        let mut cache = ObjWriter::new();
+        cache
+            .field_u64("fills", self.cache.fills())
+            .field_raw("memory", &mem.finish())
+            .field_raw("disk", &disk.finish());
+
+        let mut out = ObjWriter::new();
+        out.field_str("schema", "oneqd-stats/v3")
+            .field_u64("uptime_ms", self.started.elapsed().as_millis() as u64)
+            .field_u64("workers", self.workers as u64)
+            .field_u64("connections", self.connections.load(Ordering::Relaxed))
+            .field_u64("requests", self.requests.load(Ordering::Relaxed))
+            .field_u64(
+                "healthz_requests",
+                self.healthz_requests.load(Ordering::Relaxed),
+            )
+            .field_u64(
+                "stats_requests",
+                self.stats_requests.load(Ordering::Relaxed),
+            )
+            .field_u64(
+                "compile_requests",
+                self.compile_requests.load(Ordering::Relaxed),
+            )
+            .field_u64(
+                "batch_requests",
+                self.batch_requests.load(Ordering::Relaxed),
+            )
+            .field_u64("batch_records", self.batch_records.load(Ordering::Relaxed))
+            .field_u64("compile_ok", self.compile_ok.load(Ordering::Relaxed))
+            .field_u64(
+                "compile_errors",
+                self.compile_errors.load(Ordering::Relaxed),
+            )
+            .field_u64(
+                "compile_executions",
+                self.compile_executions.load(Ordering::Relaxed),
+            )
+            .field_u64("coalesced", self.flights.coalesced())
+            .field_u64("http_errors", self.http_errors.load(Ordering::Relaxed))
+            .field_raw("cache", &cache.finish());
+        let mut body = out.finish();
+        body.push('\n');
+        body
     }
 }
 
@@ -273,10 +336,11 @@ impl Drop for ServerHandle {
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:7878`, or port 0 for an ephemeral
-    /// port).
+    /// port) and — when `config.cache_dir` is set — opens (locking,
+    /// scanning, recovering) the disk spill tier.
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let state = Arc::new(ServiceState::new(&config));
+        let state = Arc::new(ServiceState::new(&config)?);
         Ok(Server {
             listener,
             state,
@@ -449,8 +513,7 @@ fn handle_connection(
     }
 }
 
-/// Routes one parsed request. `/v1` is the real surface; the unversioned
-/// PR-4 routes are migration shims.
+/// Routes one parsed request over the `/v1` surface.
 fn route(
     stream: &mut TcpStream,
     state: &ServiceState,
@@ -474,22 +537,9 @@ fn route(
             let body = state.stats_json();
             respond(stream, 200, &[], &body, conn);
         }
-        ("POST", "/v1/compile") => handle_compile(stream, state, request, conn, false),
+        ("POST", "/v1/compile") => handle_compile(stream, state, request, conn),
         ("POST", "/v1/compile-batch") => handle_batch(stream, state, config, request, conn),
-        // ---- legacy shims (one release): GETs redirect, POST aliases.
-        // Shim traffic still bumps the target route's counter, keeping
-        // the `requests` = per-route + `http_errors` reconciliation
-        // exact through the migration window. ----
-        ("GET", "/healthz") => {
-            state.healthz_requests.fetch_add(1, Ordering::Relaxed);
-            redirect(stream, "/v1/healthz", conn);
-        }
-        ("GET", "/stats") => {
-            state.stats_requests.fetch_add(1, Ordering::Relaxed);
-            redirect(stream, "/v1/stats", conn);
-        }
-        ("POST", "/compile") => handle_compile(stream, state, request, conn, true),
-        (_, "/v1/healthz" | "/v1/stats" | "/healthz" | "/stats") => {
+        (_, "/v1/healthz" | "/v1/stats") => {
             state.http_errors.fetch_add(1, Ordering::Relaxed);
             respond_error_with(
                 stream,
@@ -499,7 +549,7 @@ fn route(
                 conn,
             );
         }
-        (_, "/v1/compile" | "/v1/compile-batch" | "/compile") => {
+        (_, "/v1/compile" | "/v1/compile-batch") => {
             state.http_errors.fetch_add(1, Ordering::Relaxed);
             respond_error_with(
                 stream,
@@ -516,23 +566,11 @@ fn route(
     }
 }
 
-/// `308 Permanent Redirect` migration shim for the unversioned GETs.
-fn redirect(stream: &mut TcpStream, location: &str, conn: Connection) {
-    let body = format!("{{\"status\": \"moved\", \"location\": \"{location}\"}}\n");
-    respond(
-        stream,
-        308,
-        &[
-            ("Location", location.to_string()),
-            ("Deprecation", "true".to_string()),
-        ],
-        &body,
-        conn,
-    );
-}
-
-/// `X-Oneqd-Cache` label: served from the content-addressed cache.
-pub const OUTCOME_HIT: &str = "hit";
+/// `X-Oneqd-Cache` label: served from the in-memory tier.
+pub const OUTCOME_MEMORY: &str = "memory";
+/// `X-Oneqd-Cache` label: served from the disk spill tier (and promoted
+/// into memory).
+pub const OUTCOME_DISK: &str = "disk";
 /// `X-Oneqd-Cache` label: compiled fresh (and cached on success).
 pub const OUTCOME_MISS: &str = "miss";
 /// `X-Oneqd-Cache` label: served from a concurrent leader's in-flight
@@ -568,8 +606,8 @@ fn compile_via_cache(
     }
 
     let digest = sha256(req.fingerprint().as_bytes());
-    if let Some(cached) = state.cache.get_digest(&digest) {
-        return (cached, true, OUTCOME_HIT);
+    if let Some((cached, tier)) = state.cache.get_digest(&digest) {
+        return (cached, true, tier_label(tier));
     }
     match state.flights.join(digest) {
         FlightRole::Follower(Some((body, ok))) => (body, ok, OUTCOME_COALESCED),
@@ -580,17 +618,18 @@ fn compile_via_cache(
             // into a failed key.
             let (body, ok) = run(state);
             if ok {
-                state.cache.insert_digest(digest, Arc::clone(&body));
+                state.cache.fill(digest, Arc::clone(&body));
             }
             (body, ok, OUTCOME_MISS)
         }
         FlightRole::Leader(leader) => {
             // Double-check: a previous leader may have filled the cache
             // between this thread's miss and its election. `peek` avoids
-            // double-counting the request's one logical cache lookup.
-            if let Some(cached) = state.cache.peek_digest(&digest) {
+            // double-counting the request's one logical lookup in the
+            // memory tier (a disk hit here still counts — it is one).
+            if let Some((cached, tier)) = state.cache.peek_digest(&digest) {
                 leader.publish(Arc::clone(&cached), true);
-                return (cached, true, OUTCOME_HIT);
+                return (cached, true, tier_label(tier));
             }
             let (body, ok) = run(state);
             if ok {
@@ -602,9 +641,9 @@ fn compile_via_cache(
                 // leader's *error* bytes could break the byte-identity
                 // contract for the follower's own source. Dropping the
                 // guard aborts the flight and each follower recompiles
-                // its own error record. The insert MUST precede `publish`
+                // its own error record. The fill MUST precede `publish`
                 // — see the exactly-once note on `SingleFlight`.
-                state.cache.insert_digest(digest, Arc::clone(&body));
+                state.cache.fill(digest, Arc::clone(&body));
                 leader.publish(Arc::clone(&body), ok);
             } else {
                 drop(leader);
@@ -614,12 +653,19 @@ fn compile_via_cache(
     }
 }
 
+/// The `X-Oneqd-Cache` token for a cache hit's tier.
+fn tier_label(tier: Tier) -> &'static str {
+    match tier {
+        Tier::Memory => OUTCOME_MEMORY,
+        Tier::Disk => OUTCOME_DISK,
+    }
+}
+
 fn handle_compile(
     stream: &mut TcpStream,
     state: &ServiceState,
     request: &Request,
     conn: Connection,
-    deprecated_route: bool,
 ) {
     state.compile_requests.fetch_add(1, Ordering::Relaxed);
     let source = match std::str::from_utf8(&request.body) {
@@ -647,14 +693,7 @@ fn handle_compile(
     };
     counter.fetch_add(1, Ordering::Relaxed);
     let status = if ok { 200 } else { 422 };
-    let mut headers = vec![("X-Oneqd-Cache", outcome.to_string())];
-    if deprecated_route {
-        headers.push(("Deprecation", "true".to_string()));
-        headers.push((
-            "Link",
-            "</v1/compile>; rel=\"successor-version\"".to_string(),
-        ));
-    }
+    let headers = vec![("X-Oneqd-Cache", outcome.to_string())];
     respond(stream, status, &headers, &body, conn);
 }
 
@@ -713,7 +752,7 @@ fn handle_batch(
         .fetch_add(results.len() as u64, Ordering::Relaxed);
     let mut body = String::new();
     let mut errors = 0usize;
-    let mut outcomes = [0usize; 4]; // hit, miss, coalesced, bypass
+    let mut outcomes = [0usize; 5]; // memory, disk, miss, coalesced, bypass
     for (record, ok, outcome) in &results {
         body.push_str(record);
         if *ok {
@@ -723,10 +762,11 @@ fn handle_batch(
             errors += 1;
         }
         let slot = match *outcome {
-            OUTCOME_HIT => 0,
-            OUTCOME_MISS => 1,
-            OUTCOME_COALESCED => 2,
-            _ => 3,
+            OUTCOME_MEMORY => 0,
+            OUTCOME_DISK => 1,
+            OUTCOME_MISS => 2,
+            OUTCOME_COALESCED => 3,
+            _ => 4,
         };
         outcomes[slot] += 1;
     }
@@ -736,8 +776,8 @@ fn handle_batch(
         (
             "X-Oneqd-Cache",
             format!(
-                "hit={} miss={} coalesced={} bypass={}",
-                outcomes[0], outcomes[1], outcomes[2], outcomes[3]
+                "memory={} disk={} miss={} coalesced={} bypass={}",
+                outcomes[0], outcomes[1], outcomes[2], outcomes[3], outcomes[4]
             ),
         ),
         ("X-Oneqd-Batch-Records", results.len().to_string()),

@@ -6,10 +6,12 @@
 #![cfg(unix)]
 
 use oneq_service::http;
-use std::io::{BufRead, BufReader};
+use oneq_service::segment;
+use std::io::{BufRead, BufReader, Write as _};
 use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const TIMEOUT: Duration = Duration::from_secs(30);
 
@@ -35,12 +37,59 @@ fn spawn_daemon(extra_args: &[&str]) -> (Child, SocketAddr, BufReader<std::proce
     (child, addr, stdout)
 }
 
-fn send_sigterm(child: &Child) {
+fn send_signal(child: &Child, signal: &str) {
     let status = Command::new("kill")
-        .args(["-TERM", &child.id().to_string()])
+        .args([signal, &child.id().to_string()])
         .status()
         .expect("run kill");
-    assert!(status.success(), "kill -TERM delivered");
+    assert!(status.success(), "kill {signal} delivered");
+}
+
+fn send_sigterm(child: &Child) {
+    send_signal(child, "-TERM");
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oneqd-daemon-test-{tag}-{}", std::process::id()));
+    // A fresh directory every run: stale segments from an earlier failed
+    // run would change which pass is cold.
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Polls `/v1/stats` until the disk tier reports `want` stored entries.
+/// The spill tier is write-behind, so a 200 on `/v1/compile` does not
+/// yet mean the record is durable; this barrier does.
+fn wait_for_disk_entries(addr: SocketAddr, want: usize) {
+    let deadline = Instant::now() + TIMEOUT;
+    loop {
+        let stats = http::request(addr, "GET", "/v1/stats", b"", TIMEOUT).expect("GET /v1/stats");
+        let body = String::from_utf8_lossy(&stats.body).into_owned();
+        let disk = body.find("\"disk\"").map(|at| &body[at..]);
+        if disk.is_some_and(|d| d.contains(&format!("\"entries\": {want}"))) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "disk tier never reached {want} entries: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The highest-numbered `seg-*.log` in a spill directory — the segment
+/// the daemon was appending to when it died.
+fn newest_segment(dir: &Path) -> PathBuf {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read spill dir")
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| path.extension().is_some_and(|ext| ext == "log"))
+        .collect();
+    segments.sort();
+    segments
+        .pop()
+        .expect("spill dir holds at least one segment")
 }
 
 #[test]
@@ -63,14 +112,9 @@ fn daemon_serves_and_shuts_down_gracefully_on_sigterm() {
     let second = conn
         .send("POST", "/v1/compile?file=bell.qasm", source)
         .expect("POST /v1/compile again on the same socket");
-    assert_eq!(second.header("x-oneqd-cache"), Some("hit"));
+    assert_eq!(second.header("x-oneqd-cache"), Some("memory"));
     assert_eq!(first.body, second.body);
     drop(conn);
-
-    // Legacy shim: unversioned GET redirects to the /v1 successor.
-    let legacy = http::request(addr, "GET", "/healthz", b"", TIMEOUT).expect("GET /healthz");
-    assert_eq!(legacy.status, 308);
-    assert_eq!(legacy.header("location"), Some("/v1/healthz"));
 
     send_sigterm(&child);
     let status = child.wait().expect("wait for daemon");
@@ -106,6 +150,89 @@ fn daemon_sigterm_exits_cleanly_with_an_open_keep_alive_connection() {
         Some(0),
         "idle session does not block shutdown"
     );
+}
+
+#[test]
+fn daemon_survives_sigkill_and_serves_the_disk_tier_after_a_torn_write() {
+    let dir = tempdir("sigkill");
+    let cache_dir = dir.join("spill");
+    let dir_arg = cache_dir.display().to_string();
+    let source: &[u8] =
+        b"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n";
+
+    let (mut child, addr, _stdout) = spawn_daemon(&["--cache-dir", &dir_arg]);
+    let first = http::request(addr, "POST", "/v1/compile?file=bell.qasm", source, TIMEOUT)
+        .expect("POST /v1/compile");
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("x-oneqd-cache"), Some("miss"));
+    // The append is write-behind; make sure it landed before the crash.
+    wait_for_disk_entries(addr, 1);
+    // SIGKILL: no signal handler, no Drop, no flush — the hard case.
+    send_signal(&child, "-KILL");
+    let _ = child.wait();
+
+    // Stand in for the record the daemon would have been mid-write
+    // through when it died: append a torn record (header promising more
+    // body than the file holds) to the active segment.
+    let torn = segment::encode_record(&[0xAB; 32], b"never finished");
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(newest_segment(&cache_dir))
+        .expect("open active segment");
+    file.write_all(&torn[..torn.len() - 5])
+        .expect("append torn tail");
+    drop(file);
+
+    // Restart on the same directory: the torn tail is dropped, the
+    // intact record is served byte-identically from disk.
+    let (mut child, addr, _stdout) = spawn_daemon(&["--cache-dir", &dir_arg]);
+    let replay = http::request(addr, "POST", "/v1/compile?file=bell.qasm", source, TIMEOUT)
+        .expect("POST /v1/compile after restart");
+    assert_eq!(replay.status, 200);
+    assert_eq!(replay.header("x-oneqd-cache"), Some("disk"));
+    assert_eq!(
+        replay.body, first.body,
+        "disk hit is byte-identical across the crash"
+    );
+    let stats = http::request(addr, "GET", "/v1/stats", b"", TIMEOUT).expect("GET /v1/stats");
+    let stats = String::from_utf8(stats.body).expect("stats is utf-8");
+    let disk = &stats[stats.find("\"disk\"").expect("stats carries a disk block")..];
+    assert!(
+        disk.contains("\"truncated_tails\": 1"),
+        "recovery counted the torn tail: {stats}"
+    );
+    assert!(
+        disk.contains("\"recovered_records\": 1"),
+        "recovery kept the intact record: {stats}"
+    );
+
+    send_sigterm(&child);
+    assert_eq!(child.wait().expect("wait for daemon").code(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn daemon_refuses_a_cache_dir_held_by_another_daemon() {
+    let dir = tempdir("flock");
+    let dir_arg = dir.join("spill").display().to_string();
+    let (mut child, _addr, _stdout) = spawn_daemon(&["--cache-dir", &dir_arg]);
+
+    // A second daemon on the same spill directory must fail fast at
+    // startup instead of corrupting the first one's segments.
+    let output = Command::new(env!("CARGO_BIN_EXE_oneqd"))
+        .args(["--addr", "127.0.0.1:0", "--cache-dir", &dir_arg])
+        .output()
+        .expect("run second oneqd");
+    assert_eq!(output.status.code(), Some(2), "second daemon exits 2");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("locked by another process"),
+        "stderr names the lock conflict: {stderr}"
+    );
+
+    send_sigterm(&child);
+    assert_eq!(child.wait().expect("wait for daemon").code(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_service.json files: previous vs current.
+
+Usage: compare_bench.py PREVIOUS.json CURRENT.json [--fail-pct P]
+
+Prints a per-mode markdown table of throughput and latency percentiles
+with the relative change, plus the keep-alive and warm-restart speedup
+ratios when both files carry them. Exit code is 0 unless `--fail-pct P`
+is given and some mode's throughput regressed by more than P percent —
+CI runs it without the flag, as an informational trend line (shared
+runners are too noisy for a hard perf gate).
+
+Schema tolerant: modes/metrics present in only one file are reported as
+`n/a` instead of failing, so the comparison survives its own schema
+bumps (v2 -> v3 renamed cache outcome keys but kept mode metrics).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"compare_bench: cannot read {path}: {e}")
+
+
+def dig(obj, *keys):
+    for key in keys:
+        if not isinstance(obj, dict) or key not in obj:
+            return None
+        obj = obj[key]
+    return obj
+
+
+def fmt(value, unit=""):
+    if value is None:
+        return "n/a"
+    if unit == "ms":
+        return f"{value / 1e6:.2f} ms"
+    if unit == "x":
+        return f"{value:.2f}x"
+    return f"{value:.1f}"
+
+
+def delta_pct(prev, curr):
+    if prev is None or curr is None or prev == 0:
+        return None
+    return 100.0 * (curr - prev) / prev
+
+
+def fmt_delta(pct, higher_is_better):
+    if pct is None:
+        return "n/a"
+    arrow = ""
+    if abs(pct) >= 0.05:
+        improved = (pct > 0) == higher_is_better
+        arrow = " ✓" if improved else " ✗"
+    return f"{pct:+.1f}%{arrow}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("previous")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--fail-pct",
+        type=float,
+        default=None,
+        metavar="P",
+        help="exit 1 if any mode's throughput drops more than P percent",
+    )
+    args = parser.parse_args()
+
+    prev, curr = load(args.previous), load(args.current)
+    print("### Served-axis bench: previous vs current\n")
+    print(
+        f"previous schema `{prev.get('schema')}`, "
+        f"current schema `{curr.get('schema')}`, "
+        f"{curr.get('requests_per_mode')} requests/mode "
+        f"at concurrency {curr.get('concurrency')}\n"
+    )
+
+    # (label, path-within-mode, unit, higher_is_better)
+    metrics = [
+        ("throughput (req/s)", ("throughput_rps",), "", True),
+        ("latency p50", ("latency_ns", "p50"), "ms", False),
+        ("latency p99", ("latency_ns", "p99"), "ms", False),
+    ]
+    modes = sorted(
+        set(dig(prev, "modes") or {}) | set(dig(curr, "modes") or {})
+    )
+    regressed = []
+    print("| mode | metric | previous | current | change |")
+    print("|---|---|---|---|---|")
+    for mode in modes:
+        for label, path, unit, higher_is_better in metrics:
+            p = dig(prev, "modes", mode, *path)
+            c = dig(curr, "modes", mode, *path)
+            pct = delta_pct(p, c)
+            print(
+                f"| {mode} | {label} | {fmt(p, unit)} | {fmt(c, unit)} "
+                f"| {fmt_delta(pct, higher_is_better)} |"
+            )
+            if (
+                label.startswith("throughput")
+                and pct is not None
+                and args.fail_pct is not None
+                and pct < -args.fail_pct
+            ):
+                regressed.append((mode, pct))
+
+    for label, keys in [
+        ("keep_alive_speedup", ("keep_alive_speedup",)),
+        ("warm_restart speedup", ("warm_restart", "warm_speedup")),
+    ]:
+        p, c = dig(prev, *keys), dig(curr, *keys)
+        if p is not None or c is not None:
+            print(f"| — | {label} | {fmt(p, 'x')} | {fmt(c, 'x')} | |")
+
+    if regressed:
+        worst = ", ".join(f"{m} {pct:+.1f}%" for m, pct in regressed)
+        print(f"\nthroughput regression beyond --fail-pct: {worst}")
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,17 +1,20 @@
 //! Integration tests for the `oneqd` compile service (`/v1` API).
 //!
-//! The acceptance contract (ISSUE 5, extending ISSUE 4): for every
+//! The acceptance contract (ISSUE 6, extending ISSUE 4–5): for every
 //! fixture in `tests/fixtures/qasm/`, the daemon's `POST /v1/compile`
 //! response — and its line in a `POST /v1/compile-batch` response — is
 //! byte-identical to `oneqc`'s JSONL record for the same source and
-//! config; a repeated identical request is served from the cache with a
-//! byte-identical body; a ≥32-thread storm on one cold key performs
-//! exactly one compile (single-flight); connections are keep-alive
-//! sessions; the unversioned routes answer as migration shims; and
-//! `loadgen` emits a well-formed two-mode `BENCH_service.json`. The
-//! record-identity properties are checked against the real `oneqc`
-//! *binary*, not a shared code path re-run in-process, so a regression
-//! in either front door breaks the diff.
+//! config; a repeated identical request is served from the memory tier
+//! with a byte-identical body; a server restarted onto the same
+//! `--cache-dir` serves it from the disk tier, still byte-identical; a
+//! ≥32-thread storm on one cold key performs exactly one compile
+//! (single-flight); connections are keep-alive sessions; and `loadgen`
+//! emits a well-formed `BENCH_service.json` with the cold-vs-warm
+//! restart comparison. The record-identity properties are checked
+//! against the real `oneqc` *binary*, not a shared code path re-run
+//! in-process, so a regression in either front door breaks the diff.
+//! (The unversioned PR-4 shims served their one promised release and
+//! are gone: `/healthz`, `/stats`, and `/compile` now 404.)
 
 use oneq_service::http::{self, ClientConn};
 use oneq_service::json;
@@ -164,8 +167,8 @@ fn batch_endpoint_matches_oneqc_jsonl_for_the_whole_corpus() {
         .to_string();
     assert_eq!(String::from_utf8(again.body).unwrap(), expected);
     assert!(
-        cache_line.starts_with(&format!("hit={} miss=0", fixture_files().len())),
-        "warm batch is all hits: {cache_line}"
+        cache_line.starts_with(&format!("memory={} disk=0 miss=0", fixture_files().len())),
+        "warm batch is all memory-tier hits: {cache_line}"
     );
 
     let stats = get_stats(&handle);
@@ -209,7 +212,7 @@ fn batch_shares_one_cache_with_single_compiles() {
     .expect("batch");
     assert_eq!(
         batch.header("x-oneqd-cache"),
-        Some("hit=1 miss=0 coalesced=0 bypass=0")
+        Some("memory=1 disk=0 miss=0 coalesced=0 bypass=0")
     );
     assert_eq!(batch.body, single.body);
     handle.shutdown().expect("clean shutdown");
@@ -292,14 +295,17 @@ fn repeated_requests_hit_the_cache_with_identical_bytes() {
         assert_eq!(response.status, 200);
         assert_eq!(
             response.header("x-oneqd-cache"),
-            Some("hit"),
-            "second request for {label} must be served from cache"
+            Some("memory"),
+            "second request for {label} must be served from the memory tier"
         );
         assert_eq!(&response.body, body, "cached body differs for {label}");
     }
 
     let stats = get_stats(&handle);
-    assert!(stats.contains("\"schema\": \"oneqd-stats/v2\""));
+    assert!(stats.contains("\"schema\": \"oneqd-stats/v3\""));
+    // Memory-only server: the disk block reports itself disabled.
+    assert!(stats.contains("\"disk\": {\"enabled\": false}"));
+    assert_eq!(json_u64(&stats, "fills"), files.len() as u64);
     assert_eq!(json_u64(&stats, "hits"), files.len() as u64);
     assert_eq!(json_u64(&stats, "misses"), files.len() as u64);
     assert_eq!(json_u64(&stats, "entries"), files.len() as u64);
@@ -330,7 +336,7 @@ fn keep_alive_session_serves_many_requests_on_one_socket() {
         assert_eq!(cold.header("x-oneqd-cache"), Some("miss"));
         assert!(cold.keep_alive(), "server keeps the session alive");
         let warm = conn.send("POST", &target, &source).expect("warm request");
-        assert_eq!(warm.header("x-oneqd-cache"), Some("hit"));
+        assert_eq!(warm.header("x-oneqd-cache"), Some("memory"));
         assert_eq!(warm.body, cold.body, "hit bytes identical on one socket");
     }
     // Health and stats ride the same socket.
@@ -451,39 +457,87 @@ fn oversized_bodies_get_413_before_buffering_and_close_the_session() {
 }
 
 #[test]
-fn legacy_routes_answer_as_migration_shims() {
+fn legacy_unversioned_routes_are_gone() {
+    // The PR-4 shims were promised exactly one migration release (PR 5);
+    // the unversioned paths are now plain 404s like any unknown route.
     let handle = spawn_server();
+    for (method, path) in [
+        ("GET", "/healthz"),
+        ("GET", "/stats"),
+        ("POST", "/compile"),
+        ("POST", "/compile?file=a.qasm"),
+    ] {
+        let resp = http::request(handle.addr(), method, path, b"x", TIMEOUT).expect("request");
+        assert_eq!(resp.status, 404, "{method} {path}");
+        assert_eq!(resp.header("deprecation"), None, "{method} {path}");
+        assert_eq!(resp.header("location"), None, "{method} {path}");
+    }
+    handle.shutdown().expect("clean shutdown");
+}
 
-    // Unversioned GETs: 308 to the /v1 successor.
-    for (old, new) in [("/healthz", "/v1/healthz"), ("/stats", "/v1/stats")] {
-        let resp = http::request(handle.addr(), "GET", old, b"", TIMEOUT).expect("legacy GET");
-        assert_eq!(resp.status, 308, "{old}");
-        assert_eq!(resp.header("location"), Some(new), "{old}");
-        assert_eq!(resp.header("deprecation"), Some("true"));
+#[test]
+fn warm_restart_serves_from_the_disk_tier_byte_identically() {
+    // ISSUE 6 acceptance (in-process variant; the daemon-level test
+    // lives in crates/service/tests/daemon.rs): a server restarted onto
+    // the same cache dir answers a previously-compiled fixture as a
+    // disk-tier hit with a byte-identical body.
+    let dir = tempdir().join("spill");
+    let config = ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    let files = fixture_files();
+    let mut first = Vec::new();
+    {
+        let handle = spawn_server_with(config.clone());
+        for path in &files {
+            let label = path.display().to_string();
+            let source = std::fs::read(path).expect("read fixture");
+            let response = post_compile(&handle, &label, &source);
+            assert_eq!(response.status, 200);
+            assert_eq!(response.header("x-oneqd-cache"), Some("miss"));
+            first.push((label, source, response.body));
+        }
+        handle.shutdown().expect("clean shutdown");
+        // shutdown() consumed the handle: the spill tier has flushed its
+        // write-behind queue and released the directory lock.
     }
 
-    // Unversioned POST /compile: served as a deprecated alias with bytes
-    // identical to the /v1 route (same cache, so the second call hits).
-    let path = &fixture_files()[0];
-    let label = path.display().to_string();
-    let source = std::fs::read(path).expect("read fixture");
-    let v1 = post_compile(&handle, &label, &source);
-    let legacy = http::request(
-        handle.addr(),
-        "POST",
-        &format!("/compile?file={}", http::percent_encode(&label)),
-        &source,
-        TIMEOUT,
-    )
-    .expect("legacy POST /compile");
-    assert_eq!(legacy.status, 200);
-    assert_eq!(legacy.header("x-oneqd-cache"), Some("hit"));
-    assert_eq!(legacy.header("deprecation"), Some("true"));
-    assert!(legacy
-        .header("link")
-        .is_some_and(|l| l.contains("/v1/compile")));
-    assert_eq!(legacy.body, v1.body);
+    let handle = spawn_server_with(config);
+    for (label, source, body) in &first {
+        let response = post_compile(&handle, label, source);
+        assert_eq!(response.status, 200, "{label}");
+        assert_eq!(
+            response.header("x-oneqd-cache"),
+            Some("disk"),
+            "restarted server serves {label} from the disk tier"
+        );
+        assert_eq!(
+            &response.body, body,
+            "disk-tier body differs from the original compile for {label}"
+        );
+        // Promotion: the next identical request answers from memory.
+        let again = post_compile(&handle, label, source);
+        assert_eq!(again.header("x-oneqd-cache"), Some("memory"), "{label}");
+        assert_eq!(&again.body, body, "{label}");
+    }
+
+    let stats = get_stats(&handle);
+    assert!(stats.contains("\"enabled\": true"));
+    assert_eq!(
+        json_u64(&stats, "compile_executions"),
+        0,
+        "the warm restart compiled nothing"
+    );
+    // The memory block comes first in the body, so slice past it before
+    // pulling disk-tier counters by name.
+    let disk = &stats[stats.find("\"disk\"").expect("disk block")..];
+    assert_eq!(json_u64(disk, "hits"), files.len() as u64);
+    assert_eq!(json_u64(disk, "recovered_records"), files.len() as u64);
+    assert_eq!(json_u64(disk, "truncated_tails"), 0);
     handle.shutdown().expect("clean shutdown");
+    std::fs::remove_dir_all(dir.parent().unwrap()).ok();
 }
 
 #[test]
@@ -514,7 +568,7 @@ fn cache_distinguishes_configs_and_labels() {
     let d = post_compile(&handle, "a.qasm", padded.as_bytes());
     assert_eq!(
         d.header("x-oneqd-cache"),
-        Some("hit"),
+        Some("memory"),
         "trailing whitespace must not defeat content addressing"
     );
     assert_eq!(d.body, a.body);
@@ -659,7 +713,7 @@ fn single_flight_storm_compiles_once_with_byte_identical_responses() {
     );
     assert_eq!(
         outcome_counts.get("coalesced").copied().unwrap_or(0)
-            + outcome_counts.get("hit").copied().unwrap_or(0),
+            + outcome_counts.get("memory").copied().unwrap_or(0),
         STORM - 1,
         "everyone else was coalesced or served from cache: {outcome_counts:?}"
     );
@@ -704,7 +758,7 @@ fn loadgen_emits_a_well_formed_two_mode_bench_file() {
     );
     let body = std::fs::read_to_string(&out).expect("BENCH_service.json written");
     for key in [
-        "\"schema\": \"oneq-bench-service/v2\"",
+        "\"schema\": \"oneq-bench-service/v3\"",
         "\"requests_per_mode\": 14",
         "\"concurrency\": 2",
         "\"close\": {\"mode\": \"close\"",
@@ -715,12 +769,19 @@ fn loadgen_emits_a_well_formed_two_mode_bench_file() {
         "\"p50\": ",
         "\"p99\": ",
         "\"server_stats\": {",
+        "\"warm_restart\": {",
+        "\"warm_speedup\": ",
     ] {
         assert!(body.contains(key), "missing {key} in {body}");
     }
-    // The warmup pass means every measured request is a cache hit.
-    assert!(json_u64(&body, "hit") >= 1, "loadgen saw cache hits");
+    // The warmup pass means every measured request is a memory hit.
+    assert!(json_u64(&body, "memory") >= 1, "loadgen saw cache hits");
     assert_eq!(json_u64(&body, "errors"), 0);
+    // The warm-restart block's second pass answered purely from disk:
+    // same files, zero fresh compiles.
+    let warm = &body[body.find("\"warm\": {").expect("warm pass recorded")..];
+    assert!(json_u64(warm, "disk") >= 1, "warm pass hit the disk tier");
+    assert_eq!(json_u64(warm, "miss"), 0, "warm pass recompiled nothing");
     std::fs::remove_dir_all(&dir).ok();
 }
 

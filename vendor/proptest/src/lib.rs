@@ -223,7 +223,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Lengths acceptable to [`vec`]: a fixed `usize` or a `Range<usize>`.
+    /// Lengths acceptable to [`vec()`]: a fixed `usize` or a `Range<usize>`.
     pub trait SizeRange {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
