@@ -19,6 +19,17 @@
 //! directory replays it as `disk` hits, and the `"warm_restart"` block
 //! records both passes plus their `warm_speedup` ratio.
 //!
+//! `--connections N` switches on the *adversarial event-loop mode* that
+//! exercises the daemon's readiness-driven core: N keep-alive sockets
+//! are opened and held simultaneously (proving open connections cost a
+//! file descriptor, not a thread), `--slow-clients K` byte-tricklers
+//! loiter mid-request until the server evicts them by deadline, and the
+//! measured requests are spread across the whole fleet with every
+//! response checked byte-for-byte against the warmup pass. The run is
+//! recorded in the `"event_loop"` block (`null` otherwise). Given
+//! `--connections` without an explicit `--mode`, the close/keep-alive
+//! comparison and the warm-restart benchmark are skipped.
+//!
 //! Usage:
 //!
 //! ```text
@@ -31,6 +42,10 @@
 //!   --requests N       requests per mode (default 64)
 //!   --concurrency N    client worker threads (default 4)
 //!   --mode M           both|keep-alive|close (default both)
+//!   --connections N    adversarial mode: hold N concurrent keep-alive
+//!                      sockets open for the whole run
+//!   --slow-clients K   adversarial mode: K slow-loris clients trickling
+//!                      one byte at a time until evicted (default 0)
 //!   --out PATH         output path (default BENCH_service.json)
 //!
 //! plus the shared compile knobs (--side, --rows, --cols, --extension,
@@ -87,6 +102,12 @@ struct Options {
     requests: usize,
     concurrency: usize,
     modes: Vec<Mode>,
+    /// Adversarial event-loop mode: hold this many keep-alive sockets
+    /// open at once while the measured requests run.
+    connections: Option<usize>,
+    /// Slow-loris clients trickling bytes until evicted (adversarial
+    /// mode only).
+    slow_clients: usize,
     template: CompileRequest,
     out: PathBuf,
 }
@@ -94,7 +115,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--corpus DIR] [--requests N] \
-         [--concurrency N] [--mode both|keep-alive|close] [--out PATH] \
+         [--concurrency N] [--mode both|keep-alive|close] [--connections N] \
+         [--slow-clients K] [--out PATH] \
          [compile knobs: --side N | --rows R --cols C, --extension N, \
          --resource KIND, --timings, --bypass]"
     );
@@ -113,9 +135,12 @@ fn parse_args() -> Options {
         requests: 64,
         concurrency: 4,
         modes: vec![Mode::Close, Mode::KeepAlive],
+        connections: None,
+        slow_clients: 0,
         template,
         out: PathBuf::from("BENCH_service.json"),
     };
+    let mut explicit_mode = false;
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> String {
         *i += 1;
@@ -142,6 +167,7 @@ fn parse_args() -> Options {
                 opt.concurrency = num(value(&mut i, "--concurrency"), "--concurrency")
             }
             "--mode" => {
+                explicit_mode = true;
                 opt.modes = match value(&mut i, "--mode").as_str() {
                     "both" => vec![Mode::Close, Mode::KeepAlive],
                     "keep-alive" => vec![Mode::KeepAlive],
@@ -152,6 +178,16 @@ fn parse_args() -> Options {
                     }
                 }
             }
+            "--connections" => {
+                opt.connections = Some(num(value(&mut i, "--connections"), "--connections"));
+            }
+            "--slow-clients" => {
+                let s = value(&mut i, "--slow-clients");
+                opt.slow_clients = s.parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("loadgen: --slow-clients expects a number >= 0, got `{s}`");
+                    usage();
+                });
+            }
             "--out" => opt.out = PathBuf::from(value(&mut i, "--out")),
             "--help" | "-h" => usage(),
             flag => {
@@ -160,6 +196,16 @@ fn parse_args() -> Options {
             }
         }
         i += 1;
+    }
+    // An adversarial run without an explicit --mode is adversarial-only:
+    // the two-discipline comparison would just pad the run, and its
+    // results would be polluted by the held-open fleet anyway.
+    if opt.connections.is_some() && !explicit_mode {
+        opt.modes.clear();
+    }
+    if opt.slow_clients > 0 && opt.connections.is_none() {
+        eprintln!("loadgen: --slow-clients needs --connections (adversarial mode)");
+        usage();
     }
     opt
 }
@@ -309,7 +355,7 @@ fn restart_pass(cache_dir: &Path, targets: &[(String, Vec<u8>)]) -> Option<Resta
 /// does not apply (external daemon, or a non-cacheable template where
 /// nothing would ever reach the disk tier).
 fn run_warm_restart(opt: &Options, targets: &[(String, Vec<u8>)]) -> Option<String> {
-    if opt.addr.is_some() || !opt.template.cacheable() {
+    if opt.addr.is_some() || !opt.template.cacheable() || opt.modes.is_empty() {
         return None;
     }
     let cache_dir = std::env::temp_dir().join(format!("oneq-loadgen-spill-{}", std::process::id()));
@@ -343,6 +389,264 @@ fn run_warm_restart(opt: &Options, targets: &[(String, Vec<u8>)]) -> Option<Stri
     })();
     let _ = std::fs::remove_dir_all(&cache_dir);
     result
+}
+
+/// Reads the first `"key": <digits>` occurrence out of a stats snapshot.
+/// Both keys this file needs (`open`, `evicted_slow_read`) appear exactly
+/// once in the `oneqd-stats/v4` document.
+fn stats_u64(stats: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\": ");
+    stats
+        .find(&pat)
+        .map(|i| {
+            stats[i + pat.len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+        })
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or(0)
+}
+
+/// One `/v1/stats` snapshot as text, or `None` on any failure.
+fn fetch_stats(addr: SocketAddr) -> Option<String> {
+    http::request(addr, "GET", "/v1/stats", b"", TIMEOUT)
+        .ok()
+        .filter(|r| r.status == 200)
+        .map(|r| String::from_utf8_lossy(&r.body).into_owned())
+}
+
+/// A slow-loris client: connects, then trickles one byte of a request
+/// every 250 ms without ever completing it. Returns `true` when the
+/// server hung up on us — the eviction the event loop's per-state
+/// deadline exists to deliver.
+fn slow_client(addr: SocketAddr) -> bool {
+    use std::io::{Read as _, Write as _};
+    let Ok(mut stream) = std::net::TcpStream::connect(addr) else {
+        return false;
+    };
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return false;
+    }
+    // Never finished: no blank line, one byte per step. Long enough that
+    // any sane --io-timeout-ms expires well before we run out of bytes.
+    let preamble = b"POST /v1/compile?side=3 HTTP/1.1\r\nx-slow: yes\r\n";
+    let mut probe = [0u8; 16];
+    for byte in preamble {
+        if stream.write_all(std::slice::from_ref(byte)).is_err() {
+            return true; // already hung up; the write surfaced it
+        }
+        // A live server stays silent (read times out); an eviction shows
+        // up as EOF or reset.
+        match stream.read(&mut probe) {
+            Ok(0) => return true,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return true,
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
+    // Preamble exhausted without an observed hangup: wait out the
+    // server's deadline directly.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    !matches!(stream.read(&mut probe), Ok(n) if n > 0)
+}
+
+/// Per-worker tallies from the adversarial run.
+#[derive(Default)]
+struct Tally {
+    ok: usize,
+    errors: usize,
+    timeouts: usize,
+    resets: usize,
+    reconnects: usize,
+}
+
+/// The adversarial event-loop measurement: what happened while
+/// `connections` keep-alive sockets were held open simultaneously.
+struct EventLoopRun {
+    connections: usize,
+    connected: usize,
+    slow_clients: usize,
+    /// The server's own `conns.open` gauge observed while the fleet was
+    /// up — the proof the daemon held them all at once.
+    open_during_run: u64,
+    requests: usize,
+    tally: Tally,
+    wall_ns: u128,
+    /// Growth of the server's `evicted_slow_read` counter over the run.
+    slow_evicted: u64,
+}
+
+impl EventLoopRun {
+    fn throughput_rps(&self) -> f64 {
+        self.requests as f64 / (self.wall_ns as f64 / 1e9).max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"connections\": {}, \"connected\": {}, \"slow_clients\": {}, \
+             \"open_during_run\": {}, \"requests\": {}, \"ok\": {}, \
+             \"errors\": {}, \"timeouts\": {}, \"resets\": {}, \
+             \"reconnects\": {}, \"wall_ns\": {}, \"throughput_rps\": {}, \
+             \"slow_evicted\": {}}}",
+            self.connections,
+            self.connected,
+            self.slow_clients,
+            self.open_during_run,
+            self.requests,
+            self.tally.ok,
+            self.tally.errors,
+            self.tally.timeouts,
+            self.tally.resets,
+            self.tally.reconnects,
+            self.wall_ns,
+            json::fmt_f64(self.throughput_rps()),
+            self.slow_evicted,
+        )
+    }
+}
+
+/// Runs the adversarial event-loop mode: opens `connections` keep-alive
+/// sockets and holds every one open for the whole run, launches
+/// `opt.slow_clients` tricklers, then spreads `opt.requests` requests
+/// across the entire fleet from `opt.concurrency` workers — each response
+/// must be 200 and (for cacheable templates) byte-identical to the warmup
+/// pass.
+fn run_event_loop(
+    addr: SocketAddr,
+    targets: &[(String, Vec<u8>)],
+    expected: &[Vec<u8>],
+    connections: usize,
+    opt: &Options,
+) -> EventLoopRun {
+    let slow_clients = opt.slow_clients;
+    let requests = opt.requests;
+    let concurrency = opt.concurrency;
+    let check_bytes = opt.template.cacheable();
+    let slow_before = fetch_stats(addr)
+        .as_deref()
+        .map_or(0, |s| stats_u64(s, "evicted_slow_read"));
+    let slow_handles: Vec<_> = (0..slow_clients)
+        .map(|_| std::thread::spawn(move || slow_client(addr)))
+        .collect();
+
+    let mut fleet: Vec<ClientConn> = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        if let Ok(conn) = ClientConn::connect(addr, TIMEOUT) {
+            fleet.push(conn);
+        }
+    }
+    let connected = fleet.len();
+    // Give the event loop one gauge-refresh cycle, then read its own
+    // view of how many sockets it holds.
+    std::thread::sleep(Duration::from_millis(60));
+    let open_during_run = fetch_stats(addr)
+        .as_deref()
+        .map_or(0, |s| stats_u64(s, "open"));
+
+    let workers = concurrency.min(connected.max(1));
+    let t0 = Instant::now();
+    let mut tally = Tally::default();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut rest = fleet.as_mut_slice();
+        for w in 0..workers {
+            // Each worker owns an even slice of the fleet and an even
+            // share of the request budget.
+            let share_len = rest.len() / (workers - w);
+            let (share, remainder) = rest.split_at_mut(share_len);
+            rest = remainder;
+            let my_requests = requests / workers + usize::from(w < requests % workers);
+            handles.push(scope.spawn(move || {
+                let mut t = Tally::default();
+                for r in 0..my_requests {
+                    if share.is_empty() {
+                        t.errors += 1;
+                        continue;
+                    }
+                    let slot = &mut share[r % share.len()];
+                    let target_i = (w + r * workers) % targets.len();
+                    let (target, body) = &targets[target_i];
+                    match slot.send("POST", target, body) {
+                        Ok(resp) => {
+                            let identical = !check_bytes || resp.body == expected[target_i];
+                            if resp.status == 200 && identical {
+                                t.ok += 1;
+                            } else {
+                                t.errors += 1;
+                            }
+                            // The server retires sockets after its
+                            // keep-alive budget; replace retired ones so
+                            // the fleet stays at full strength.
+                            if !resp.keep_alive() {
+                                if let Ok(fresh) = ClientConn::connect(addr, TIMEOUT) {
+                                    *slot = fresh;
+                                    t.reconnects += 1;
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            t.errors += 1;
+                            match http::classify_io_error(&e) {
+                                http::IoFailureKind::Timeout => t.timeouts += 1,
+                                http::IoFailureKind::Reset => t.resets += 1,
+                                http::IoFailureKind::Other => {}
+                            }
+                            if let Ok(fresh) = ClientConn::connect(addr, TIMEOUT) {
+                                *slot = fresh;
+                                t.reconnects += 1;
+                            }
+                        }
+                    }
+                }
+                t
+            }));
+        }
+        for handle in handles {
+            let t = handle.join().expect("event-loop worker panicked");
+            tally.ok += t.ok;
+            tally.errors += t.errors;
+            tally.timeouts += t.timeouts;
+            tally.resets += t.resets;
+            tally.reconnects += t.reconnects;
+        }
+    });
+    let wall_ns = t0.elapsed().as_nanos();
+
+    // The tricklers end on their own once the server evicts them; their
+    // return values and the server counter must agree.
+    let trickled_out = slow_handles
+        .into_iter()
+        .filter_map(|h| h.join().ok())
+        .filter(|evicted| *evicted)
+        .count();
+    drop(fleet);
+    let slow_evicted = fetch_stats(addr)
+        .as_deref()
+        .map_or(0, |s| stats_u64(s, "evicted_slow_read"))
+        .saturating_sub(slow_before);
+    if slow_clients > 0 {
+        println!(
+            "loadgen[event-loop]: {trickled_out}/{slow_clients} slow clients \
+             saw the server hang up; server evicted {slow_evicted}"
+        );
+    }
+    EventLoopRun {
+        connections,
+        connected,
+        slow_clients,
+        open_during_run,
+        requests,
+        tally,
+        wall_ns,
+        slow_evicted,
+    }
 }
 
 /// Replays `requests` round-robin requests over `targets` at
@@ -482,8 +786,17 @@ fn main() {
                 usage();
             }),
         None => {
-            let server = Server::bind("127.0.0.1:0", ServerConfig::default())
-                .expect("bind ephemeral loopback port");
+            let mut config = ServerConfig::default();
+            if let Some(n) = opt.connections {
+                // Headroom for the fleet plus the harness's own one-shot
+                // stats/warmup requests; a long idle budget so held-open
+                // sockets survive the run; a short io budget so the
+                // slow-loris eviction is observable within the run.
+                config.max_connections = n + 64;
+                config.idle_timeout = Duration::from_secs(120);
+                config.io_timeout = Duration::from_secs(3);
+            }
+            let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral loopback port");
             let handle = server.spawn().expect("spawn in-process oneqd");
             let addr = handle.addr();
             self_hosted = Some(handle);
@@ -507,9 +820,14 @@ fn main() {
     // the same steady state and the keep-alive/close comparison isolates
     // the connection discipline instead of who paid the cold compiles.
     // (With --timings or --bypass nothing is cacheable; the pass is then
-    // just a harmless preflight.)
+    // just a harmless preflight.) Adversarial runs also capture each
+    // response body here as the byte-identity reference.
+    let mut expected: Vec<Vec<u8>> = Vec::new();
     for (target, body) in &targets {
-        let _ = http::request(addr, "POST", target, body, TIMEOUT);
+        let response = http::request(addr, "POST", target, body, TIMEOUT);
+        if opt.connections.is_some() {
+            expected.push(response.map(|r| r.body).unwrap_or_default());
+        }
     }
 
     let mut runs = Vec::new();
@@ -533,6 +851,33 @@ fn main() {
         );
         runs.push(run);
     }
+
+    // The adversarial event-loop run, after the mode comparison so the
+    // held-open fleet cannot distort those measurements.
+    let event_loop = opt.connections.map(|connections| {
+        println!(
+            "loadgen[event-loop]: opening {connections} concurrent keep-alive \
+             connection(s), {} slow client(s)",
+            opt.slow_clients
+        );
+        let run = run_event_loop(addr, &targets, &expected, connections, &opt);
+        println!(
+            "loadgen[event-loop]: {}/{} connected, server held {} open, \
+             {}/{} ok ({} errors: {} timeouts, {} resets), {} reconnects, \
+             {:.1} req/s",
+            run.connected,
+            run.connections,
+            run.open_during_run,
+            run.tally.ok,
+            run.requests,
+            run.tally.errors,
+            run.tally.timeouts,
+            run.tally.resets,
+            run.tally.reconnects,
+            run.throughput_rps(),
+        );
+        run
+    });
 
     // One final /v1/stats snapshot, embedded verbatim (it is already
     // JSON).
@@ -565,7 +910,7 @@ fn main() {
 
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"oneq-bench-service/v3\",");
+    let _ = writeln!(out, "  \"schema\": \"oneq-bench-service/v4\",");
     let _ = writeln!(
         out,
         "  \"corpus\": \"{}\",",
@@ -594,6 +939,14 @@ fn main() {
             let _ = writeln!(out, "  \"keep_alive_speedup\": null,");
         }
     }
+    match &event_loop {
+        Some(run) => {
+            let _ = writeln!(out, "  \"event_loop\": {},", run.json());
+        }
+        None => {
+            let _ = writeln!(out, "  \"event_loop\": null,");
+        }
+    }
     match &warm_restart {
         Some(block) => {
             let _ = writeln!(out, "  \"warm_restart\": {block},");
@@ -617,7 +970,10 @@ fn main() {
         std::process::exit(2);
     });
     println!("loadgen: wrote {}", opt.out.display());
-    if runs.iter().any(|r| r.errors() > 0) {
+    let adversarial_failed = event_loop
+        .as_ref()
+        .is_some_and(|run| run.tally.errors > 0 || run.connected < run.connections);
+    if runs.iter().any(|r| r.errors() > 0) || adversarial_failed {
         std::process::exit(1);
     }
 }

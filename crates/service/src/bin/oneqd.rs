@@ -26,6 +26,14 @@
 //!                             server closes it (default 256)
 //!   --idle-timeout-ms MS      idle time allowed between requests on a
 //!                             kept-alive connection (default 5000)
+//!   --io-timeout-ms MS        whole-exchange deadline: the budget a client
+//!                             has to deliver a complete request once its
+//!                             first byte arrives, and the budget the server
+//!                             has to write the response (default 10000).
+//!                             This is the slow-loris eviction knob.
+//!   --max-connections N       open sockets the event loop will hold at
+//!                             once (default 4096); excess connections
+//!                             wait in the kernel accept backlog
 //!   --batch-jobs N            threads compiling one /v1/compile-batch
 //!                             request (default: available parallelism)
 //! ```
@@ -43,7 +51,8 @@ fn usage() -> ! {
         "usage: oneqd [--addr HOST:PORT] [--workers N] [--backlog N] \
          [--cache-capacity N] [--cache-shards N] [--cache-dir PATH] \
          [--cache-disk-bytes BYTES] [--max-body BYTES] \
-         [--keep-alive-requests N] [--idle-timeout-ms MS] [--batch-jobs N]"
+         [--keep-alive-requests N] [--idle-timeout-ms MS] [--io-timeout-ms MS] \
+         [--max-connections N] [--batch-jobs N]"
     );
     std::process::exit(2);
 }
@@ -103,6 +112,17 @@ fn parse_args() -> (String, ServerConfig) {
                     1,
                 ) as u64);
             }
+            "--io-timeout-ms" => {
+                config.io_timeout = std::time::Duration::from_millis(num(
+                    value(&mut i, "--io-timeout-ms"),
+                    "--io-timeout-ms",
+                    1,
+                ) as u64);
+            }
+            "--max-connections" => {
+                config.max_connections =
+                    num(value(&mut i, "--max-connections"), "--max-connections", 1);
+            }
             "--batch-jobs" => {
                 config.batch_jobs = num(value(&mut i, "--batch-jobs"), "--batch-jobs", 1);
             }
@@ -134,13 +154,16 @@ fn main() {
     println!("oneqd: listening on http://{local}");
     println!(
         "oneqd: {} workers, backlog {}, cache capacity {} over {} shard(s), \
-         keep-alive {} req/conn, idle timeout {} ms",
+         keep-alive {} req/conn, idle timeout {} ms, io timeout {} ms, \
+         max connections {}",
         config.workers,
         config.backlog,
         config.cache_capacity,
         config.cache_shards,
         config.keep_alive_requests,
-        config.idle_timeout.as_millis()
+        config.idle_timeout.as_millis(),
+        config.io_timeout.as_millis(),
+        config.max_connections
     );
     if let Some(dir) = &config.cache_dir {
         println!(

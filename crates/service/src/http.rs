@@ -9,11 +9,17 @@
 //! limits on line, header, and body sizes.
 //!
 //! Since the `/v1` redesign, connections are sessions: the server reads
-//! many requests off one socket (see `server::handle_connection`) and the
-//! client side has a matching reusable [`ClientConn`] that `loadgen`
-//! drives. The one-shot [`request`] helper remains for tests and scripts;
-//! it opens a connection, sends `Connection: close`, and reads one
-//! response.
+//! many requests off one socket and the client side has a matching
+//! reusable [`ClientConn`] that `loadgen` drives. The one-shot
+//! [`request`] helper remains for tests and scripts; it opens a
+//! connection, sends `Connection: close`, and reads one response.
+//!
+//! Since the readiness-loop rewrite the server never blocks on a socket,
+//! so request parsing is *resumable*: [`RequestParser`] accepts bytes as
+//! they arrive (in whatever chunks the kernel delivers) and yields
+//! [`Parse::NeedMore`] until a complete `Content-Length`-framed request
+//! has been assembled. The blocking [`read_request`] helper is a thin
+//! loop over the same parser, so the two entrypoints cannot drift.
 //!
 //! Header *names* are matched case-insensitively (RFC 9110 §5.1), and so
 //! are the connection-option tokens in `Connection` values (`Keep-Alive`
@@ -120,6 +126,277 @@ impl From<std::io::Error> for RequestError {
     }
 }
 
+/// Coarse classification of a transport failure, so callers can report
+/// "the server was slow" separately from "the server hung up on us".
+/// `loadgen`'s adversarial mode uses this to count timeouts and resets
+/// as distinct outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFailureKind {
+    /// The operation ran out of time (`TimedOut`, or `WouldBlock` — the
+    /// kind Unix read timeouts surface as).
+    Timeout,
+    /// The peer dropped the connection: reset, aborted, broken pipe, or
+    /// a clean-but-premature EOF.
+    Reset,
+    /// Any other I/O failure.
+    Other,
+}
+
+/// Classifies an I/O error into an [`IoFailureKind`].
+pub fn classify_io_error(e: &std::io::Error) -> IoFailureKind {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::TimedOut | ErrorKind::WouldBlock => IoFailureKind::Timeout,
+        ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::BrokenPipe
+        | ErrorKind::UnexpectedEof => IoFailureKind::Reset,
+        _ => IoFailureKind::Other,
+    }
+}
+
+/// Outcome of feeding bytes to a [`RequestParser`].
+#[derive(Debug)]
+pub enum Parse {
+    /// The bytes so far do not complete a request; feed more when they
+    /// arrive.
+    NeedMore,
+    /// One complete request was assembled. Bytes past its end were left
+    /// unconsumed (see the `consumed` count) — they belong to the next
+    /// pipelined request.
+    Request(Request),
+}
+
+/// Which part of the message the parser is currently assembling.
+enum ParseState {
+    /// Accumulating the request line.
+    RequestLine,
+    /// Accumulating header lines.
+    Headers,
+    /// Accumulating `Content-Length` body bytes.
+    Body,
+}
+
+/// An incremental HTTP/1.1 request parser: feed it bytes in whatever
+/// chunks the transport delivers and it yields a [`Request`] once the
+/// `Content-Length`-framed message is complete.
+///
+/// This is the parser the readiness loop runs on nonblocking sockets —
+/// it never pulls from a stream itself, so a peer that trickles one byte
+/// at a time costs one buffered fd, not a blocked thread. The blocking
+/// [`read_request`] is a loop over this same type, so both entrypoints
+/// enforce identical limits (`MAX_LINE`, `MAX_HEADERS`, `max_body`) and
+/// produce identical errors.
+///
+/// After yielding a request the parser resets itself, ready for the next
+/// message on the same connection.
+///
+/// # Examples
+///
+/// ```
+/// use oneq_service::http::{Parse, RequestParser};
+///
+/// let mut parser = RequestParser::new(1024);
+/// // The request arrives split across two reads.
+/// let first: &[u8] = b"POST /v1/compile HTTP/1.1\r\nContent-";
+/// let (consumed, parse) = parser.feed(first);
+/// assert_eq!(consumed, first.len());
+/// assert!(matches!(parse.unwrap(), Parse::NeedMore));
+///
+/// let (_, parse) = parser.feed(b"Length: 5\r\n\r\nhello");
+/// match parse.unwrap() {
+///     Parse::Request(req) => {
+///         assert_eq!(req.method, "POST");
+///         assert_eq!(req.path, "/v1/compile");
+///         assert_eq!(req.body, b"hello");
+///     }
+///     Parse::NeedMore => unreachable!("the request is complete"),
+/// }
+/// ```
+pub struct RequestParser {
+    max_body: usize,
+    state: ParseState,
+    /// The line being accumulated (request line or header line), without
+    /// its terminator.
+    line: Vec<u8>,
+    method: String,
+    target: String,
+    http10: bool,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+    /// Declared `Content-Length`; meaningful in `ParseState::Body`.
+    need: usize,
+    /// Whether any byte of the current request has been consumed — lets
+    /// the server tell an idle keep-alive close (clean) from a peer that
+    /// died mid-request.
+    started: bool,
+}
+
+impl RequestParser {
+    /// Creates a parser enforcing `max_body` on the declared
+    /// `Content-Length` (checked before any body byte is buffered).
+    pub fn new(max_body: usize) -> RequestParser {
+        RequestParser {
+            max_body,
+            state: ParseState::RequestLine,
+            line: Vec::with_capacity(128),
+            method: String::new(),
+            target: String::new(),
+            http10: false,
+            headers: Vec::new(),
+            body: Vec::new(),
+            need: 0,
+            started: false,
+        }
+    }
+
+    /// Whether the parser holds a partially assembled request. `false`
+    /// between messages — at that point a peer disconnect is a normal
+    /// end-of-session, not an error.
+    pub fn mid_request(&self) -> bool {
+        self.started
+    }
+
+    /// Feeds `bytes` to the parser. Always reports how many bytes were
+    /// consumed — even on error, so the caller knows exactly where the
+    /// stream position stands (the 413 drain path depends on the header
+    /// bytes having been consumed). Unconsumed bytes after a complete
+    /// request belong to the next message; feed them again.
+    pub fn feed(&mut self, bytes: &[u8]) -> (usize, Result<Parse, RequestError>) {
+        let mut used = 0;
+        while used < bytes.len() {
+            if matches!(self.state, ParseState::Body) {
+                let take = (self.need - self.body.len()).min(bytes.len() - used);
+                self.body.extend_from_slice(&bytes[used..used + take]);
+                used += take;
+                if self.body.len() == self.need {
+                    return (used, Ok(Parse::Request(self.finish())));
+                }
+                break;
+            }
+            let byte = bytes[used];
+            used += 1;
+            self.started = true;
+            if byte != b'\n' {
+                self.line.push(byte);
+                if self.line.len() > MAX_LINE {
+                    return (
+                        used,
+                        Err(RequestError::Malformed("header line too long".into())),
+                    );
+                }
+                continue;
+            }
+            match self.take_line() {
+                Ok(None) => {}
+                Ok(Some(request)) => return (used, Ok(Parse::Request(request))),
+                Err(e) => return (used, Err(e)),
+            }
+        }
+        (used, Ok(Parse::NeedMore))
+    }
+
+    /// Handles one completed line (terminator already consumed). Returns
+    /// a request when the line completes a body-less message.
+    fn take_line(&mut self) -> Result<Option<Request>, RequestError> {
+        if self.line.last() == Some(&b'\r') {
+            self.line.pop();
+        }
+        let line = String::from_utf8(std::mem::take(&mut self.line))
+            .map_err(|_| RequestError::Malformed("header line not UTF-8".into()))?;
+        match self.state {
+            ParseState::RequestLine => {
+                if line.is_empty() {
+                    return Err(RequestError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "empty request",
+                    )));
+                }
+                let mut parts = line.split(' ');
+                let (method, target, version) =
+                    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => {
+                            (m, t, v)
+                        }
+                        _ => return Err(RequestError::Malformed("bad request line".into())),
+                    };
+                if !version.starts_with("HTTP/1.") {
+                    return Err(RequestError::Malformed(format!(
+                        "unsupported version {version}"
+                    )));
+                }
+                self.http10 = version == "HTTP/1.0";
+                self.method = method.to_string();
+                self.target = target.to_string();
+                self.state = ParseState::Headers;
+                Ok(None)
+            }
+            ParseState::Headers => {
+                if !line.is_empty() {
+                    if self.headers.len() >= MAX_HEADERS {
+                        return Err(RequestError::Malformed("too many headers".into()));
+                    }
+                    let Some((name, value)) = line.split_once(':') else {
+                        return Err(RequestError::Malformed("header without colon".into()));
+                    };
+                    self.headers
+                        .push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+                    return Ok(None);
+                }
+                // Blank line: headers are complete.
+                if header_lookup(&self.headers, "transfer-encoding").is_some() {
+                    return Err(RequestError::Malformed(
+                        "chunked transfer encoding is not supported".into(),
+                    ));
+                }
+                let content_length = match header_lookup(&self.headers, "content-length") {
+                    None => 0,
+                    Some(v) => v
+                        .parse::<usize>()
+                        .map_err(|_| RequestError::Malformed("bad content-length".into()))?,
+                };
+                // Enforce the limit from the declared length alone — the
+                // body is neither allocated nor read when the client
+                // announces too much.
+                if content_length > self.max_body {
+                    return Err(RequestError::BodyTooLarge(content_length));
+                }
+                if content_length == 0 {
+                    return Ok(Some(self.finish()));
+                }
+                self.need = content_length;
+                self.body = Vec::with_capacity(content_length);
+                self.state = ParseState::Body;
+                Ok(None)
+            }
+            ParseState::Body => unreachable!("body bytes are not line-parsed"),
+        }
+    }
+
+    /// Builds the finished [`Request`] and resets the parser for the next
+    /// message on the connection.
+    fn finish(&mut self) -> Request {
+        let target = std::mem::take(&mut self.target);
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p, parse_query(q)),
+            None => (target.as_str(), Vec::new()),
+        };
+        let request = Request {
+            method: std::mem::take(&mut self.method),
+            path: percent_decode(path),
+            query,
+            headers: std::mem::take(&mut self.headers),
+            body: std::mem::take(&mut self.body),
+            http10: self.http10,
+        };
+        self.state = ParseState::RequestLine;
+        self.http10 = false;
+        self.need = 0;
+        self.started = false;
+        request
+    }
+}
+
 /// Reads one line (LF-terminated, CR stripped) with a length cap. EOF
 /// before the terminator is a transport error, never a silently accepted
 /// truncated line: a peer that dies mid-header must not have its partial
@@ -156,73 +433,26 @@ fn read_line(reader: &mut impl BufRead) -> Result<String, RequestError> {
 ///
 /// Takes the session's persistent `BufRead` (not the raw stream): under
 /// keep-alive, bytes of the *next* request may already sit in the buffer,
-/// so the reader must outlive any single call.
+/// so the reader must outlive any single call. This is a blocking loop
+/// over [`RequestParser`]: it fills the reader's buffer, feeds the bytes
+/// to the parser, and consumes exactly what the parser used — bytes past
+/// the request's end stay buffered for the next call.
 pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, RequestError> {
-    let request_line = read_line(reader)?;
-    if request_line.is_empty() {
-        return Err(RequestError::Io(std::io::Error::new(
-            std::io::ErrorKind::UnexpectedEof,
-            "empty request",
-        )));
-    }
-    let mut parts = request_line.split(' ');
-    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
-        _ => return Err(RequestError::Malformed("bad request line".into())),
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(RequestError::Malformed(format!(
-            "unsupported version {version}"
-        )));
-    }
-    let http10 = version == "HTTP/1.0";
-
-    let mut headers = Vec::new();
+    let mut parser = RequestParser::new(max_body);
     loop {
-        let line = read_line(reader)?;
-        if line.is_empty() {
-            break;
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Err(RequestError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-line",
+            )));
         }
-        if headers.len() >= MAX_HEADERS {
-            return Err(RequestError::Malformed("too many headers".into()));
+        let (consumed, parse) = parser.feed(buf);
+        reader.consume(consumed);
+        if let Parse::Request(request) = parse? {
+            return Ok(request);
         }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(RequestError::Malformed("header without colon".into()));
-        };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-
-    if header_lookup(&headers, "transfer-encoding").is_some() {
-        return Err(RequestError::Malformed(
-            "chunked transfer encoding is not supported".into(),
-        ));
-    }
-    let content_length = match header_lookup(&headers, "content-length") {
-        None => 0,
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| RequestError::Malformed("bad content-length".into()))?,
-    };
-    // Enforce the limit from the declared length alone — the body is
-    // neither allocated nor read when the client announces too much.
-    if content_length > max_body {
-        return Err(RequestError::BodyTooLarge(content_length));
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p, parse_query(q)),
-        None => (target, Vec::new()),
-    };
-    Ok(Request {
-        method: method.to_string(),
-        path: percent_decode(path),
-        query,
-        headers,
-        body,
-        http10,
-    })
 }
 
 /// Decodes `name=value&…` with percent-decoding and `+` → space.
@@ -607,6 +837,91 @@ mod tests {
         assert!(parse_raw_request(raw, 0).unwrap().wants_keep_alive());
         let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
         assert!(!parse_raw_request(raw, 0).unwrap().wants_keep_alive());
+    }
+
+    #[test]
+    fn resumable_parser_survives_byte_at_a_time_delivery() {
+        // The slow-loris arrival order: every byte in its own feed call.
+        let raw = b"POST /v1/compile?file=a%20b.qasm HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut parser = RequestParser::new(1024);
+        for (i, byte) in raw.iter().enumerate() {
+            let (consumed, parse) = parser.feed(std::slice::from_ref(byte));
+            assert_eq!(consumed, 1);
+            match parse.expect("no error mid-request") {
+                Parse::NeedMore => {
+                    assert!(i < raw.len() - 1, "request must complete on the last byte");
+                    assert!(parser.mid_request());
+                }
+                Parse::Request(req) => {
+                    assert_eq!(i, raw.len() - 1);
+                    assert_eq!(req.method, "POST");
+                    assert_eq!(req.path, "/v1/compile");
+                    assert_eq!(req.query_param("file"), Some("a b.qasm"));
+                    assert_eq!(req.body, b"hello");
+                    assert!(!parser.mid_request(), "parser reset after completion");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resumable_parser_leaves_pipelined_bytes_unconsumed() {
+        let raw = b"GET /v1/healthz HTTP/1.1\r\n\r\nGET /v1/stats HTTP/1.1\r\n\r\n";
+        let mut parser = RequestParser::new(1024);
+        let (consumed, parse) = parser.feed(raw);
+        let Ok(Parse::Request(first)) = parse else {
+            panic!("first request parses");
+        };
+        assert_eq!(first.path, "/v1/healthz");
+        assert_eq!(consumed, 28, "stops exactly at the first request's end");
+        let (rest, parse) = parser.feed(&raw[consumed..]);
+        let Ok(Parse::Request(second)) = parse else {
+            panic!("second request parses from the leftover bytes");
+        };
+        assert_eq!(second.path, "/v1/stats");
+        assert_eq!(consumed + rest, raw.len());
+    }
+
+    #[test]
+    fn resumable_parser_reports_consumed_bytes_on_error() {
+        // BodyTooLarge fires at the end of headers; the consumed count
+        // must cover the full head so a caller draining the body knows
+        // the stream position.
+        let raw: &[u8] = b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\nbody-bytes";
+        let head_len = raw.len() - b"body-bytes".len();
+        let mut parser = RequestParser::new(16);
+        let (consumed, parse) = parser.feed(raw);
+        assert!(matches!(parse, Err(RequestError::BodyTooLarge(9999))));
+        assert_eq!(consumed, head_len, "exactly the head was consumed");
+    }
+
+    #[test]
+    fn io_errors_classify_into_timeouts_and_resets() {
+        use std::io::{Error, ErrorKind};
+        assert_eq!(
+            classify_io_error(&Error::new(ErrorKind::TimedOut, "t")),
+            IoFailureKind::Timeout
+        );
+        assert_eq!(
+            classify_io_error(&Error::new(ErrorKind::WouldBlock, "t")),
+            IoFailureKind::Timeout,
+            "unix read timeouts surface as WouldBlock"
+        );
+        for kind in [
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionAborted,
+            ErrorKind::BrokenPipe,
+            ErrorKind::UnexpectedEof,
+        ] {
+            assert_eq!(
+                classify_io_error(&Error::new(kind, "r")),
+                IoFailureKind::Reset
+            );
+        }
+        assert_eq!(
+            classify_io_error(&Error::new(ErrorKind::PermissionDenied, "o")),
+            IoFailureKind::Other
+        );
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //!   `std::net::TcpListener` with persistent (keep-alive) connection
 //!   sessions on both sides — no external dependencies, consistent with
 //!   the workspace's vendored-offline policy;
+//! * a readiness-driven connection core ([`poll`], [`conn`]): one event
+//!   loop owns every socket via `poll(2)`, feeding nonblocking reads
+//!   through the resumable [`http::RequestParser`], so open connections
+//!   cost a file descriptor each — never a thread — and a slow-loris
+//!   client is evicted by deadline instead of pinning a worker;
 //! * one shared request model ([`request`]): the same
 //!   [`request::CompileRequest`] is built from CLI flags (`oneqc`,
 //!   `loadgen`, `sweep`), from `/v1/compile` query parameters, and from
@@ -61,9 +66,11 @@
 
 pub mod cache;
 pub mod compile;
+pub mod conn;
 pub mod corpus;
 pub mod http;
 pub mod json;
+pub mod poll;
 pub mod pool;
 pub mod request;
 pub mod segment;

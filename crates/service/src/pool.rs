@@ -75,7 +75,10 @@ where
         .collect()
 }
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A boxed unit of work for a [`WorkerPool`]. Public so the event loop
+/// can hold jobs it failed to enqueue (the pool was full) and retry them
+/// without re-boxing.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// A bounded pool of long-lived worker threads draining a job queue.
 pub struct WorkerPool {
@@ -110,6 +113,20 @@ impl WorkerPool {
         match &self.tx {
             Some(tx) => tx.send(Box::new(job)).is_ok(),
             None => false,
+        }
+    }
+
+    /// Enqueues a boxed job without blocking. On a full (or shut-down)
+    /// queue the job is handed back so the caller can retry later — the
+    /// event loop must never block on dispatch, or a saturated pool
+    /// would stall every other connection.
+    pub fn try_execute_boxed(&self, job: Job) -> Result<(), Job> {
+        use std::sync::mpsc::TrySendError;
+        match &self.tx {
+            Some(tx) => tx.try_send(job).map_err(|e| match e {
+                TrySendError::Full(job) | TrySendError::Disconnected(job) => job,
+            }),
+            None => Err(job),
         }
     }
 
@@ -196,6 +213,48 @@ mod tests {
             *max = (*max).max(handled);
         }
         assert_eq!(per_worker.values().sum::<u64>(), items.len() as u64);
+    }
+
+    #[test]
+    fn try_execute_hands_the_job_back_when_the_queue_is_full() {
+        // One worker parked on a barrier job + a 1-slot queue: the first
+        // try fills the queue, the second must bounce without blocking.
+        let gate = Arc::new(Mutex::new(()));
+        let hold = gate.lock().unwrap();
+        let mut pool = WorkerPool::new("test-try", 1, 1);
+        let gate_for_worker = Arc::clone(&gate);
+        assert!(pool.execute(move || {
+            let _held = gate_for_worker.lock();
+        }));
+        // Wait until the worker has dequeued the blocker so the queue
+        // slot is genuinely free for the next job.
+        let queued = Arc::new(AtomicU64::new(0));
+        let queued_for_job = Arc::clone(&queued);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match pool.try_execute_boxed(Box::new({
+                let queued = Arc::clone(&queued_for_job);
+                move || {
+                    queued.fetch_add(1, Ordering::SeqCst);
+                }
+            })) {
+                Ok(()) => break,
+                Err(_) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err(_) => panic!("queue never freed a slot"),
+            }
+        }
+        // Queue now holds one job while the worker is blocked: full.
+        let bounced = pool.try_execute_boxed(Box::new(|| {}));
+        assert!(bounced.is_err(), "full queue hands the job back");
+        drop(hold);
+        pool.shutdown();
+        assert_eq!(queued.load(Ordering::SeqCst), 1);
+        assert!(
+            pool.try_execute_boxed(Box::new(|| {})).is_err(),
+            "after shutdown the job comes back too"
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The `oneqd` server: the versioned `/v1` API, connection sessions, and
-//! the accept loop.
+//! The `oneqd` server: the versioned `/v1` API, the readiness-driven
+//! connection core, and the worker dispatch behind it.
 //!
 //! Routes (all JSON):
 //!
@@ -8,40 +8,57 @@
 //! | `POST /v1/compile` | compile an OpenQASM 2.0 body; knobs as query params |
 //! | `POST /v1/compile-batch` | JSONL in, JSONL out; `oneqc`'s record path per line |
 //! | `GET /v1/healthz`  | liveness probe |
-//! | `GET /v1/stats`    | request + cache + coalescing counters |
+//! | `GET /v1/stats`    | request + connection + cache + coalescing counters |
 //!
 //! (The unversioned PR-4 shims — `/compile`, `/healthz`, `/stats` —
 //! served their one promised migration release and are gone; they now
 //! answer 404 like any other unknown path.)
 //!
-//! Connections are *sessions*: a handler reads requests off one socket
-//! until the client sends `Connection: close`, the per-connection request
-//! cap is reached, or the idle timeout expires between requests —
-//! removing the per-request TCP setup constant that dominated `loadgen`'s
-//! p50 under `Connection: close`.
+//! # The event loop
 //!
-//! `/v1/compile` responses are byte-identical to `oneqc`'s JSONL records
-//! (one record + `\n`) for the same source and config, and — unless the
-//! request bypasses — are served through the tiered content-addressed
-//! cache ([`TieredCache`]: in-memory LRU, then the optional disk spill
-//! tier) behind a [`SingleFlight`] coalescing layer, with the outcome
-//! exposed in an `X-Oneqd-Cache: memory|disk|miss|coalesced|bypass`
-//! header.
+//! One thread owns every socket. It runs `poll(2)` ([`crate::poll`])
+//! over the listener, a wake pipe, and all open connections
+//! ([`crate::conn::Conn`]), so an open connection costs a file
+//! descriptor — never a thread. Reads are nonblocking and feed the
+//! resumable [`crate::http::RequestParser`]; only once a request is
+//! *complete* is it dispatched to the bounded [`WorkerPool`], whose
+//! completion comes back over a channel (plus a waker nudge) as fully
+//! rendered response bytes the loop writes out as the socket accepts
+//! them. Trivial routes (`healthz`, `stats`, 404/405) are answered on
+//! the loop itself.
 //!
-//! The accept loop is poll-based (non-blocking listener + short sleep)
-//! so it can observe a shutdown flag between accepts; accepted
-//! connections are handed to a bounded [`WorkerPool`], whose drop joins
-//! the workers after draining in-flight requests — that is the whole
-//! graceful-shutdown story.
+//! Connections are *sessions*: requests are read off one socket until
+//! the client sends `Connection: close`, the per-connection request cap
+//! is reached, or the idle timeout expires between requests. Each state
+//! carries a deadline — `idle_timeout` between requests, `io_timeout`
+//! from a request's first byte to its last and for writing a response —
+//! so a slow-loris client trickling one byte per second is evicted when
+//! its whole-request budget runs out (the per-read timeouts of the old
+//! thread-per-connection core never fired for such a client; it pinned
+//! a worker forever). Evictions and connection-state gauges are
+//! surfaced in `GET /v1/stats` (`oneqd-stats/v4`).
+//!
+//! `/v1/compile` responses are byte-identical to `oneqc`'s JSONL
+//! records (one record + `\n`) for the same source and config, and —
+//! unless the request bypasses — are served through the tiered
+//! content-addressed cache ([`TieredCache`]: in-memory LRU, then the
+//! optional disk spill tier) behind a [`SingleFlight`] coalescing
+//! layer, with the outcome exposed in an
+//! `X-Oneqd-Cache: memory|disk|miss|coalesced|bypass` header.
+//!
+//! Shutdown: once the stop flag fires the loop stops accepting, closes
+//! idle sessions, lets in-flight requests finish writing, and joins the
+//! worker pool — bounded by the slowest in-flight exchange, not by an
+//! accept call blocked forever.
 
 use crate::cache::{sha256, FlightRole, SingleFlight, Tier, TieredCache};
-use crate::http::{read_request, write_response, Connection, Request, RequestError};
+use crate::http::{write_response, Connection, Request};
 use crate::json::{self, ObjWriter};
 use crate::pool::{run_indexed, WorkerPool};
 use crate::request::CompileRequest;
 use crate::spill::{SpillConfig, SpillTier};
-use std::io::{self, BufRead as _, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -50,10 +67,11 @@ use std::time::{Duration, Instant};
 /// Tunables for a server instance.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads handling connections.
+    /// Worker threads compiling dispatched requests.
     pub workers: usize,
-    /// Bounded backlog of accepted-but-unhandled connections; a full
-    /// backlog blocks the acceptor (backpressure), it never drops.
+    /// Bounded backlog of dispatched-but-unstarted requests in the
+    /// worker pool; when full, further dispatches wait on the event
+    /// loop's retry queue (the loop itself never blocks).
     pub backlog: usize,
     /// Total cached compile responses.
     pub cache_capacity: usize,
@@ -61,11 +79,13 @@ pub struct ServerConfig {
     pub cache_shards: usize,
     /// Largest accepted request body in bytes.
     pub max_body: usize,
-    /// Per-connection read/write timeout while inside one exchange.
+    /// Whole-exchange deadline: a request gets this long from its first
+    /// byte to its last, and a response gets this long to flush. The
+    /// slow-loris budget.
     pub io_timeout: Duration,
     /// Requests served on one connection before the server closes it
     /// (`Connection: close` on the final response). Bounds how long one
-    /// client can monopolize a worker.
+    /// client can monopolize a connection slot.
     pub keep_alive_requests: usize,
     /// How long a kept-alive connection may sit idle between requests
     /// before the server closes it.
@@ -83,6 +103,10 @@ pub struct ServerConfig {
     /// Byte budget for the spill directory (`oneqd --cache-disk-bytes`);
     /// ignored without `cache_dir`.
     pub cache_disk_bytes: u64,
+    /// Cap on concurrently open connections; the listener is simply not
+    /// polled while at the cap, so excess clients wait in the kernel
+    /// accept backlog instead of being dropped.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +125,7 @@ impl Default for ServerConfig {
             batch_jobs: parallelism,
             cache_dir: None,
             cache_disk_bytes: 256 * 1024 * 1024,
+            max_connections: 4096,
         }
     }
 }
@@ -143,7 +168,8 @@ impl Drop for SemaphoreGuard<'_> {
     }
 }
 
-/// Shared request/cache accounting, surfaced through `GET /v1/stats`.
+/// Shared request/connection/cache accounting, surfaced through
+/// `GET /v1/stats`.
 pub struct ServiceState {
     started: Instant,
     /// The tiered compile cache (memory LRU + optional disk spill).
@@ -163,6 +189,19 @@ pub struct ServiceState {
     compile_executions: AtomicU64,
     http_errors: AtomicU64,
     workers: usize,
+    max_connections: usize,
+    // Connection-state gauges, refreshed by the event loop every
+    // iteration (so an externally rendered stats body is at most one
+    // poll cadence stale).
+    conns_open: AtomicU64,
+    conns_reading: AtomicU64,
+    conns_dispatched: AtomicU64,
+    conns_writing: AtomicU64,
+    conns_draining: AtomicU64,
+    conns_idle: AtomicU64,
+    evicted_slow_read: AtomicU64,
+    evicted_slow_write: AtomicU64,
+    idle_closed: AtomicU64,
 }
 
 impl ServiceState {
@@ -194,6 +233,16 @@ impl ServiceState {
             compile_executions: AtomicU64::new(0),
             http_errors: AtomicU64::new(0),
             workers: config.workers.max(1),
+            max_connections: config.max_connections.max(1),
+            conns_open: AtomicU64::new(0),
+            conns_reading: AtomicU64::new(0),
+            conns_dispatched: AtomicU64::new(0),
+            conns_writing: AtomicU64::new(0),
+            conns_draining: AtomicU64::new(0),
+            conns_idle: AtomicU64::new(0),
+            evicted_slow_read: AtomicU64::new(0),
+            evicted_slow_write: AtomicU64::new(0),
+            idle_closed: AtomicU64::new(0),
         })
     }
 
@@ -204,10 +253,18 @@ impl ServiceState {
         self.compile_executions.load(Ordering::Relaxed)
     }
 
-    /// Renders the `/v1/stats` body (`oneqd-stats/v3`): flat request
-    /// counters, then a nested `cache` object with per-tier blocks —
-    /// `memory` always, `disk` carrying its counters when a spill tier
-    /// is attached (`"enabled": false` otherwise).
+    /// Slow-client evictions so far (read-side: slow-loris uploads and
+    /// stalled drains). Tests and `loadgen`'s adversarial gate read this
+    /// without parsing the stats body.
+    pub fn evicted_slow_read(&self) -> u64 {
+        self.evicted_slow_read.load(Ordering::Relaxed)
+    }
+
+    /// Renders the `/v1/stats` body (`oneqd-stats/v4`): flat request
+    /// counters, then a nested `conns` object with connection-state
+    /// gauges and eviction counters, then a nested `cache` object with
+    /// per-tier blocks — `memory` always, `disk` carrying its counters
+    /// when a spill tier is attached (`"enabled": false` otherwise).
     pub fn stats_json(&self) -> String {
         let memory = self.cache.memory_stats();
         let mut mem = ObjWriter::new();
@@ -246,8 +303,27 @@ impl ServiceState {
             .field_raw("memory", &mem.finish())
             .field_raw("disk", &disk.finish());
 
+        let mut conns = ObjWriter::new();
+        conns
+            .field_u64("open", self.conns_open.load(Ordering::Relaxed))
+            .field_u64("reading", self.conns_reading.load(Ordering::Relaxed))
+            .field_u64("dispatched", self.conns_dispatched.load(Ordering::Relaxed))
+            .field_u64("writing", self.conns_writing.load(Ordering::Relaxed))
+            .field_u64("draining", self.conns_draining.load(Ordering::Relaxed))
+            .field_u64("idle_keep_alive", self.conns_idle.load(Ordering::Relaxed))
+            .field_u64("max_connections", self.max_connections as u64)
+            .field_u64(
+                "evicted_slow_read",
+                self.evicted_slow_read.load(Ordering::Relaxed),
+            )
+            .field_u64(
+                "evicted_slow_write",
+                self.evicted_slow_write.load(Ordering::Relaxed),
+            )
+            .field_u64("idle_closed", self.idle_closed.load(Ordering::Relaxed));
+
         let mut out = ObjWriter::new();
-        out.field_str("schema", "oneqd-stats/v3")
+        out.field_str("schema", "oneqd-stats/v4")
             .field_u64("uptime_ms", self.started.elapsed().as_millis() as u64)
             .field_u64("workers", self.workers as u64)
             .field_u64("connections", self.connections.load(Ordering::Relaxed))
@@ -280,6 +356,7 @@ impl ServiceState {
             )
             .field_u64("coalesced", self.flights.coalesced())
             .field_u64("http_errors", self.http_errors.load(Ordering::Relaxed))
+            .field_raw("conns", &conns.finish())
             .field_raw("cache", &cache.finish());
         let mut body = out.finish();
         body.push('\n');
@@ -358,45 +435,28 @@ impl Server {
         &self.state
     }
 
-    /// Runs the accept loop until `stop()` returns `true`, then drains
-    /// the worker pool and returns. Poll cadence is ~10 ms, so shutdown
-    /// latency is bounded by the slowest in-flight exchange (plus at most
-    /// one idle-timeout wait), not by an accept call blocked forever:
-    /// once `stop()` fires, the `draining` flag makes every live session
-    /// answer its current request with `Connection: close` instead of
-    /// serving out its keep-alive budget.
+    /// Runs the event loop until `stop()` returns `true`, then drains:
+    /// accepting stops, idle sessions close, in-flight requests finish
+    /// writing, and the worker pool joins. The stop closure is checked
+    /// at least every poll cadence (~25 ms), so shutdown latency is
+    /// bounded by the slowest in-flight exchange, never by a blocked
+    /// accept.
     pub fn run_until(self, stop: impl Fn() -> bool) -> io::Result<()> {
-        self.listener.set_nonblocking(true)?;
-        let pool = WorkerPool::new("oneqd-worker", self.config.workers, self.config.backlog);
-        let draining = Arc::new(AtomicBool::new(false));
-        while !stop() {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let state = Arc::clone(&self.state);
-                    let config = self.config.clone();
-                    let draining = Arc::clone(&draining);
-                    pool.execute(move || handle_connection(stream, &state, &config, &draining));
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => {
-                    // Transient accept failures — a peer that RSTs before
-                    // we accept (ECONNABORTED), fd exhaustion under a
-                    // spike (EMFILE) — must not kill the daemon. Log,
-                    // back off briefly, keep serving.
-                    eprintln!("oneqd: accept failed (retrying): {e}");
-                    std::thread::sleep(Duration::from_millis(100));
-                }
-            }
+        #[cfg(unix)]
+        {
+            event_loop::run(self, &stop)
         }
-        draining.store(true, Ordering::Relaxed);
-        drop(pool); // join workers; queued connections still get served
-        Ok(())
+        #[cfg(not(unix))]
+        {
+            let _ = stop;
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "the oneqd event loop requires a Unix target (poll(2))",
+            ))
+        }
     }
 
-    /// Spawns the accept loop on a background thread and returns a
+    /// Spawns the event loop on a background thread and returns a
     /// handle exposing the bound address and a shutdown switch.
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
@@ -404,7 +464,7 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
-            .name("oneqd-accept".to_string())
+            .name("oneqd-loop".to_string())
             .spawn(move || self.run_until(|| stop_flag.load(Ordering::Relaxed)))?;
         Ok(ServerHandle {
             addr,
@@ -415,153 +475,507 @@ impl Server {
     }
 }
 
-/// Serves one connection as a session: requests are read off the socket
-/// until the client asks to close, the request cap is reached, the idle
-/// timeout expires, a framing error makes the stream unusable, or the
-/// server starts `draining` (shutdown): then the in-flight request is
-/// answered `Connection: close` and the session ends.
-fn handle_connection(
-    stream: TcpStream,
-    state: &ServiceState,
-    config: &ServerConfig,
-    draining: &AtomicBool,
-) {
-    // The listener is non-blocking; put the accepted stream back into
-    // blocking mode with explicit timeouts. TCP_NODELAY because a
-    // keep-alive response must not wait out the client's delayed ACK in
-    // Nagle's buffer.
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(config.io_timeout));
-    let _ = stream.set_write_timeout(Some(config.io_timeout));
-    let _ = stream.set_nodelay(true);
-    state.connections.fetch_add(1, Ordering::Relaxed);
+#[cfg(unix)]
+mod event_loop {
+    use super::*;
+    use crate::conn::{Conn, ConnState, FillOutcome};
+    use crate::http::RequestError;
+    use crate::poll::{poll, PollFd, Waker, POLLIN, POLLOUT};
+    use crate::pool::Job;
+    use std::collections::VecDeque;
+    use std::os::fd::AsRawFd as _;
+    use std::sync::mpsc::{channel, Receiver, Sender};
 
-    let mut reader = BufReader::new(stream);
-    for served in 1..=config.keep_alive_requests.max(1) {
-        // Shutdown stops the session *between* requests — but never
-        // before the first one: a connection that made it out of the
-        // accept backlog is owed one response (the backlog blocks
-        // instead of dropping precisely so accepted work is served), and
-        // the `keep` check below already answers it `Connection: close`.
-        if served > 1 && draining.load(Ordering::Relaxed) {
-            return;
-        }
-        if served > 1 {
-            // Between requests the clock is the idle timeout. Wait for
-            // the first byte of the next request under it (fill_buf
-            // peeks without consuming), then hand the actual read back
-            // to the in-exchange I/O timeout — a slow upload mid-request
-            // must get the same budget a fresh connection would.
-            let _ = reader.get_ref().set_read_timeout(Some(config.idle_timeout));
-            match reader.fill_buf() {
-                Ok([]) => return, // peer closed between requests
-                Err(_) => return, // idle timeout (or transport error)
-                Ok(_) => {}
-            }
-            let _ = reader.get_ref().set_read_timeout(Some(config.io_timeout));
-        }
-        let request = match read_request(&mut reader, config.max_body) {
-            Ok(request) => request,
-            Err(RequestError::Io(_)) => return, // peer done or idle-timed out
-            Err(RequestError::Malformed(msg)) => {
-                // Parse failures still count as requests, so `requests` is
-                // reconcilable with `http_errors` + the per-route counters.
-                // The stream position is unknown → the session must end.
-                state.requests.fetch_add(1, Ordering::Relaxed);
-                state.http_errors.fetch_add(1, Ordering::Relaxed);
-                respond_error(reader.get_mut(), 400, &msg, Connection::Close);
-                return;
-            }
-            Err(RequestError::BodyTooLarge(n)) => {
-                state.requests.fetch_add(1, Ordering::Relaxed);
-                state.http_errors.fetch_add(1, Ordering::Relaxed);
-                // The oversized body was never read (the limit is checked
-                // against Content-Length before buffering). Drain a
-                // bounded amount so the 413 survives the close — sending
-                // a response and closing with unread bytes queued in the
-                // receive buffer triggers a TCP reset that would discard
-                // it — then end the session: the remaining body bytes
-                // would otherwise be parsed as the next request. The
-                // drain goes through the session BufReader, not the raw
-                // stream: the header read may already have pulled body
-                // bytes into its buffer, and skipping them would both
-                // stall the drain and throw off its byte accounting.
-                drain_body(&mut reader, n);
-                respond_error(
-                    reader.get_mut(),
-                    413,
-                    &format!("body of {n} bytes exceeds limit"),
-                    Connection::Close,
-                );
-                return;
-            }
-        };
-        state.requests.fetch_add(1, Ordering::Relaxed);
+    /// Upper bound on one poll wait: the stop closure (a signal flag, or
+    /// a test's shutdown switch) is re-checked at least this often.
+    const CADENCE: Duration = Duration::from_millis(25);
+    /// How long the listener sits out of the poll set after a
+    /// non-transient accept failure (fd exhaustion under a spike).
+    const ACCEPT_BACKOFF: Duration = Duration::from_millis(100);
 
-        let keep = request.wants_keep_alive()
-            && served < config.keep_alive_requests
-            && !draining.load(Ordering::Relaxed);
-        let conn = if keep {
-            Connection::KeepAlive
-        } else {
-            Connection::Close
+    /// A worker's finished response, keyed back to its connection. The
+    /// `id` guards against slot recycling: if the connection was evicted
+    /// and its slot reused while the worker ran, the ids disagree and
+    /// the stale bytes are dropped.
+    struct Completion {
+        slot: usize,
+        id: u64,
+        bytes: Vec<u8>,
+        close: bool,
+    }
+
+    /// What a poll-set entry maps back to.
+    enum Owner {
+        Waker,
+        Listener,
+        Slot(usize),
+    }
+
+    pub(super) fn run(server: super::Server, stop: &dyn Fn() -> bool) -> io::Result<()> {
+        server.listener.set_nonblocking(true)?;
+        let pool = WorkerPool::new("oneqd-worker", server.config.workers, server.config.backlog);
+        let (done_tx, done_rx) = channel();
+        let mut lp = Loop {
+            listener: server.listener,
+            state: server.state,
+            config: Arc::new(server.config),
+            pool,
+            conns: Vec::new(),
+            free: Vec::new(),
+            open_count: 0,
+            next_id: 1,
+            pending_jobs: VecDeque::new(),
+            done_tx,
+            done_rx,
+            waker: Arc::new(Waker::new()?),
+            draining: false,
+            accept_backoff_until: None,
         };
-        route(reader.get_mut(), state, config, &request, conn);
-        if !keep {
-            return;
+        lp.run(stop)
+    }
+
+    struct Loop {
+        listener: TcpListener,
+        state: Arc<ServiceState>,
+        config: Arc<ServerConfig>,
+        pool: WorkerPool,
+        /// Slab of connections; `None` slots are free (tracked in
+        /// `free`) so fds keep stable slots across iterations.
+        conns: Vec<Option<Conn>>,
+        free: Vec<usize>,
+        open_count: usize,
+        next_id: u64,
+        /// Jobs that bounced off a full worker queue, retried each
+        /// iteration — the loop never blocks on dispatch.
+        pending_jobs: VecDeque<Job>,
+        done_tx: Sender<Completion>,
+        done_rx: Receiver<Completion>,
+        waker: Arc<Waker>,
+        draining: bool,
+        accept_backoff_until: Option<Instant>,
+    }
+
+    impl Loop {
+        fn run(&mut self, stop: &dyn Fn() -> bool) -> io::Result<()> {
+            loop {
+                if !self.draining && stop() {
+                    self.draining = true;
+                    // Nothing is owed on a between-requests session.
+                    for slot in 0..self.conns.len() {
+                        if self.conns[slot]
+                            .as_ref()
+                            .is_some_and(|c| c.state() == ConnState::Idle)
+                        {
+                            self.close(slot);
+                        }
+                    }
+                }
+                if self.draining && self.open_count == 0 {
+                    break;
+                }
+                self.sweep_deadlines();
+                self.refresh_gauges();
+                self.retry_pending_jobs();
+
+                let now = Instant::now();
+                let mut fds = Vec::with_capacity(self.conns.len() + 2);
+                let mut owners = Vec::with_capacity(self.conns.len() + 2);
+                fds.push(PollFd::new(self.waker.fd(), POLLIN));
+                owners.push(Owner::Waker);
+                let backing_off = self.accept_backoff_until.is_some_and(|t| t > now);
+                if !self.draining && !backing_off && self.open_count < self.config.max_connections {
+                    fds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
+                    owners.push(Owner::Listener);
+                }
+                let mut timeout = CADENCE;
+                for (slot, conn) in self.conns.iter().enumerate() {
+                    let Some(conn) = conn else { continue };
+                    if let Some(deadline) = conn.deadline() {
+                        timeout = timeout.min(deadline.saturating_duration_since(now));
+                    }
+                    let events = match conn.state() {
+                        ConnState::Idle | ConnState::Reading | ConnState::Draining => POLLIN,
+                        ConnState::Writing => POLLOUT,
+                        // A worker owns the request; nothing to poll
+                        // until its completion comes back.
+                        ConnState::Dispatched => continue,
+                    };
+                    fds.push(PollFd::new(conn.fd(), events));
+                    owners.push(Owner::Slot(slot));
+                }
+                poll(&mut fds, Some(timeout))?;
+
+                let mut accept_ready = false;
+                let mut ready = Vec::new();
+                for (fd, owner) in fds.iter().zip(&owners) {
+                    if fd.revents == 0 {
+                        continue;
+                    }
+                    match owner {
+                        Owner::Waker => self.waker.drain(),
+                        Owner::Listener => accept_ready = true,
+                        Owner::Slot(slot) => ready.push(*slot),
+                    }
+                }
+                // Completions first: they free Dispatched connections
+                // (and pool slots) before new work is pumped in.
+                self.collect_completions();
+                if accept_ready {
+                    self.accept_ready();
+                }
+                for slot in ready {
+                    self.pump(slot);
+                }
+            }
+            Ok(())
+        }
+
+        /// Closes `slot` and recycles it.
+        fn close(&mut self, slot: usize) {
+            if self.conns[slot].take().is_some() {
+                self.open_count -= 1;
+                self.free.push(slot);
+            }
+        }
+
+        /// Evicts connections whose state deadline has passed, counting
+        /// each by state.
+        fn sweep_deadlines(&mut self) {
+            let now = Instant::now();
+            for slot in 0..self.conns.len() {
+                let Some(conn) = self.conns[slot].as_ref() else {
+                    continue;
+                };
+                let Some(deadline) = conn.deadline() else {
+                    continue;
+                };
+                if deadline > now {
+                    continue;
+                }
+                match conn.state() {
+                    ConnState::Idle => {
+                        self.state.idle_closed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ConnState::Reading | ConnState::Draining => {
+                        self.state.evicted_slow_read.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ConnState::Writing => {
+                        self.state
+                            .evicted_slow_write
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    ConnState::Dispatched => continue,
+                }
+                self.close(slot);
+            }
+        }
+
+        /// Recounts the connection-state gauges into the shared state.
+        fn refresh_gauges(&self) {
+            let (mut reading, mut dispatched, mut writing, mut draining, mut idle) =
+                (0u64, 0u64, 0u64, 0u64, 0u64);
+            for conn in self.conns.iter().flatten() {
+                match conn.state() {
+                    ConnState::Idle => idle += 1,
+                    ConnState::Reading => reading += 1,
+                    ConnState::Dispatched => dispatched += 1,
+                    ConnState::Writing => writing += 1,
+                    ConnState::Draining => draining += 1,
+                }
+            }
+            let s = &self.state;
+            s.conns_open
+                .store(self.open_count as u64, Ordering::Relaxed);
+            s.conns_reading.store(reading, Ordering::Relaxed);
+            s.conns_dispatched.store(dispatched, Ordering::Relaxed);
+            s.conns_writing.store(writing, Ordering::Relaxed);
+            s.conns_draining.store(draining, Ordering::Relaxed);
+            s.conns_idle.store(idle, Ordering::Relaxed);
+        }
+
+        /// Re-offers bounced jobs to the pool, preserving order.
+        fn retry_pending_jobs(&mut self) {
+            while let Some(job) = self.pending_jobs.pop_front() {
+                if let Err(job) = self.pool.try_execute_boxed(job) {
+                    self.pending_jobs.push_front(job);
+                    return;
+                }
+            }
+        }
+
+        /// Drains the completion channel, attaching each finished
+        /// response to its (still-matching) connection and flushing
+        /// optimistically.
+        fn collect_completions(&mut self) {
+            while let Ok(done) = self.done_rx.try_recv() {
+                let matches = self
+                    .conns
+                    .get(done.slot)
+                    .and_then(|c| c.as_ref())
+                    .is_some_and(|c| c.id() == done.id && c.state() == ConnState::Dispatched);
+                if !matches {
+                    continue; // the connection died while the worker ran
+                }
+                let io_timeout = self.config.io_timeout;
+                let conn = self.conns[done.slot].as_mut().expect("matched above");
+                conn.queue_response(done.bytes, done.close);
+                conn.set_state(ConnState::Writing);
+                conn.set_deadline(Some(Instant::now() + io_timeout));
+                self.pump(done.slot);
+            }
+        }
+
+        /// Accepts everything the listener has, up to the connection
+        /// cap; excess waits in the kernel backlog.
+        fn accept_ready(&mut self) {
+            while self.open_count < self.config.max_connections {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let Ok(mut conn) = Conn::new(stream, self.next_id, self.config.max_body)
+                        else {
+                            continue; // fcntl failed; drop the socket
+                        };
+                        self.next_id += 1;
+                        // A fresh connection's first clock is the idle
+                        // timeout; the whole-request io_timeout arms
+                        // once its first byte arrives.
+                        conn.set_deadline(Some(Instant::now() + self.config.idle_timeout));
+                        self.state.connections.fetch_add(1, Ordering::Relaxed);
+                        let slot = match self.free.pop() {
+                            Some(slot) => {
+                                self.conns[slot] = Some(conn);
+                                slot
+                            }
+                            None => {
+                                self.conns.push(Some(conn));
+                                self.conns.len() - 1
+                            }
+                        };
+                        self.open_count += 1;
+                        // Its request bytes may already be in flight.
+                        self.pump(slot);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        // Transient accept failures — a peer that RSTs
+                        // before we accept (ECONNABORTED), fd exhaustion
+                        // under a spike (EMFILE) — must not kill the
+                        // daemon: log and sit the listener out briefly.
+                        eprintln!("oneqd: accept failed (backing off): {e}");
+                        self.accept_backoff_until = Some(Instant::now() + ACCEPT_BACKOFF);
+                        return;
+                    }
+                }
+            }
+        }
+
+        /// Advances one connection as far as it can go without blocking:
+        /// read → parse → (dispatch | inline response) → write → next
+        /// pipelined request, stopping at the first `WouldBlock` (or
+        /// when a worker takes over).
+        fn pump(&mut self, slot: usize) {
+            loop {
+                let Some(conn) = self.conns.get_mut(slot).and_then(|c| c.as_mut()) else {
+                    return;
+                };
+                match conn.state() {
+                    ConnState::Idle | ConnState::Reading => match conn.fill() {
+                        Ok(FillOutcome::Request(request)) => {
+                            if !self.on_request(slot, request) {
+                                return; // dispatched: a worker owns it now
+                            }
+                        }
+                        Ok(FillOutcome::NeedMore) => {
+                            if conn.state() == ConnState::Idle && conn.mid_request() {
+                                // First byte of a request: start the
+                                // whole-request clock. A trickler gets
+                                // exactly this budget, total.
+                                conn.set_state(ConnState::Reading);
+                                conn.set_deadline(Some(Instant::now() + self.config.io_timeout));
+                            }
+                            return;
+                        }
+                        Ok(FillOutcome::Closed) => {
+                            self.close(slot);
+                            return;
+                        }
+                        Err(RequestError::Io(_)) => {
+                            self.close(slot);
+                            return;
+                        }
+                        Err(RequestError::Malformed(msg)) => {
+                            // Parse failures still count as requests, so
+                            // `requests` is reconcilable with
+                            // `http_errors` + the per-route counters.
+                            // The stream position is unknown → the
+                            // session must end after the 400.
+                            self.state.requests.fetch_add(1, Ordering::Relaxed);
+                            self.state.http_errors.fetch_add(1, Ordering::Relaxed);
+                            let io_timeout = self.config.io_timeout;
+                            let conn = self.conns[slot].as_mut().expect("conn is live");
+                            conn.queue_response(
+                                render_error(400, &msg, &[], Connection::Close),
+                                true,
+                            );
+                            conn.set_state(ConnState::Writing);
+                            conn.set_deadline(Some(Instant::now() + io_timeout));
+                        }
+                        Err(RequestError::BodyTooLarge(n)) => {
+                            self.state.requests.fetch_add(1, Ordering::Relaxed);
+                            self.state.http_errors.fetch_add(1, Ordering::Relaxed);
+                            // The oversized body was never buffered (the
+                            // limit is checked against Content-Length).
+                            // Drain a bounded amount before writing so
+                            // the 413 survives the close — closing with
+                            // unread bytes queued in the receive buffer
+                            // triggers a TCP reset that would discard
+                            // the response.
+                            let io_timeout = self.config.io_timeout;
+                            let conn = self.conns[slot].as_mut().expect("conn is live");
+                            conn.queue_response(
+                                render_error(
+                                    413,
+                                    &format!("body of {n} bytes exceeds limit"),
+                                    &[],
+                                    Connection::Close,
+                                ),
+                                true,
+                            );
+                            conn.begin_drain(n.min(DRAIN_CAP));
+                            conn.set_deadline(Some(Instant::now() + io_timeout));
+                        }
+                    },
+                    ConnState::Writing => match conn.flush() {
+                        Ok(true) => {
+                            if conn.close_after_write() || self.draining {
+                                self.close(slot);
+                                return;
+                            }
+                            conn.set_state(ConnState::Idle);
+                            conn.set_deadline(Some(Instant::now() + self.config.idle_timeout));
+                            // Loop on: pipelined bytes may already hold
+                            // the next request.
+                        }
+                        Ok(false) => return, // wait for POLLOUT
+                        Err(_) => {
+                            self.close(slot);
+                            return;
+                        }
+                    },
+                    ConnState::Draining => match conn.drain_step() {
+                        Ok(true) => {
+                            // Remainder discarded (or peer gone): now
+                            // the buffered error response can go out.
+                            conn.set_state(ConnState::Writing);
+                            conn.set_deadline(Some(Instant::now() + self.config.io_timeout));
+                        }
+                        Ok(false) => return,
+                        Err(_) => {
+                            self.close(slot);
+                            return;
+                        }
+                    },
+                    ConnState::Dispatched => return,
+                }
+            }
+        }
+
+        /// Handles one complete request: answers trivial routes on the
+        /// loop, dispatches compile work to the pool. Returns `false`
+        /// when the connection is now owned by a worker (stop pumping).
+        fn on_request(&mut self, slot: usize, request: Request) -> bool {
+            self.state.requests.fetch_add(1, Ordering::Relaxed);
+            let conn = self.conns[slot].as_mut().expect("conn is live");
+            conn.mark_served();
+            let keep = request.wants_keep_alive()
+                && conn.served() < self.config.keep_alive_requests.max(1)
+                && !self.draining;
+            let disposition = if keep {
+                Connection::KeepAlive
+            } else {
+                Connection::Close
+            };
+            if request.method == "POST"
+                && (request.path == "/v1/compile" || request.path == "/v1/compile-batch")
+            {
+                conn.set_state(ConnState::Dispatched);
+                conn.set_deadline(None);
+                let id = conn.id();
+                let state = Arc::clone(&self.state);
+                let config = Arc::clone(&self.config);
+                let done = self.done_tx.clone();
+                let waker = Arc::clone(&self.waker);
+                let job: Job = Box::new(move || {
+                    let bytes = if request.path == "/v1/compile" {
+                        handle_compile(&state, &request, disposition)
+                    } else {
+                        handle_batch(&state, &config, &request, disposition)
+                    };
+                    // The loop may have dropped the receiver during
+                    // shutdown; a dead letter is fine.
+                    let _ = done.send(Completion {
+                        slot,
+                        id,
+                        bytes,
+                        close: !keep,
+                    });
+                    waker.wake();
+                });
+                if let Err(job) = self.pool.try_execute_boxed(job) {
+                    self.pending_jobs.push_back(job);
+                }
+                return false;
+            }
+            let bytes = route_inline(&self.state, &request, disposition);
+            let io_timeout = self.config.io_timeout;
+            let conn = self.conns[slot].as_mut().expect("conn is live");
+            conn.queue_response(bytes, !keep);
+            conn.set_state(ConnState::Writing);
+            conn.set_deadline(Some(Instant::now() + io_timeout));
+            true
         }
     }
-}
 
-/// Routes one parsed request over the `/v1` surface.
-fn route(
-    stream: &mut TcpStream,
-    state: &ServiceState,
-    config: &ServerConfig,
-    request: &Request,
-    conn: Connection,
-) {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/v1/healthz") => {
-            state.healthz_requests.fetch_add(1, Ordering::Relaxed);
-            respond(
-                stream,
-                200,
-                &[],
-                "{\"status\": \"ok\", \"service\": \"oneqd\", \"api\": \"v1\"}\n",
-                conn,
-            );
-        }
-        ("GET", "/v1/stats") => {
-            state.stats_requests.fetch_add(1, Ordering::Relaxed);
-            let body = state.stats_json();
-            respond(stream, 200, &[], &body, conn);
-        }
-        ("POST", "/v1/compile") => handle_compile(stream, state, request, conn),
-        ("POST", "/v1/compile-batch") => handle_batch(stream, state, config, request, conn),
-        (_, "/v1/healthz" | "/v1/stats") => {
-            state.http_errors.fetch_add(1, Ordering::Relaxed);
-            respond_error_with(
-                stream,
-                405,
-                "method not allowed",
-                &[("Allow", "GET".to_string())],
-                conn,
-            );
-        }
-        (_, "/v1/compile" | "/v1/compile-batch") => {
-            state.http_errors.fetch_add(1, Ordering::Relaxed);
-            respond_error_with(
-                stream,
-                405,
-                "method not allowed",
-                &[("Allow", "POST".to_string())],
-                conn,
-            );
-        }
-        _ => {
-            state.http_errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(stream, 404, "no such endpoint", conn);
+    /// Routes the requests the loop answers itself — everything except
+    /// the two POST compile routes, which go to the pool.
+    fn route_inline(state: &ServiceState, request: &Request, conn: Connection) -> Vec<u8> {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/v1/healthz") => {
+                state.healthz_requests.fetch_add(1, Ordering::Relaxed);
+                render(
+                    200,
+                    &[],
+                    "{\"status\": \"ok\", \"service\": \"oneqd\", \"api\": \"v1\"}\n",
+                    conn,
+                )
+            }
+            ("GET", "/v1/stats") => {
+                state.stats_requests.fetch_add(1, Ordering::Relaxed);
+                render(200, &[], &state.stats_json(), conn)
+            }
+            (_, "/v1/healthz" | "/v1/stats") => {
+                state.http_errors.fetch_add(1, Ordering::Relaxed);
+                render_error(
+                    405,
+                    "method not allowed",
+                    &[("Allow", "GET".to_string())],
+                    conn,
+                )
+            }
+            (_, "/v1/compile" | "/v1/compile-batch") => {
+                state.http_errors.fetch_add(1, Ordering::Relaxed);
+                render_error(
+                    405,
+                    "method not allowed",
+                    &[("Allow", "POST".to_string())],
+                    conn,
+                )
+            }
+            _ => {
+                state.http_errors.fetch_add(1, Ordering::Relaxed);
+                render_error(404, "no such endpoint", &[], conn)
+            }
         }
     }
 }
@@ -661,27 +1075,23 @@ fn tier_label(tier: Tier) -> &'static str {
     }
 }
 
-fn handle_compile(
-    stream: &mut TcpStream,
-    state: &ServiceState,
-    request: &Request,
-    conn: Connection,
-) {
+/// Serves `POST /v1/compile`, returning the fully rendered response
+/// bytes. Runs on a pool worker; it touches only the shared state, so
+/// the event loop never waits on a compile.
+fn handle_compile(state: &ServiceState, request: &Request, conn: Connection) -> Vec<u8> {
     state.compile_requests.fetch_add(1, Ordering::Relaxed);
     let source = match std::str::from_utf8(&request.body) {
         Ok(s) => s,
         Err(_) => {
             state.http_errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(stream, 400, "request body is not UTF-8", conn);
-            return;
+            return render_error(400, "request body is not UTF-8", &[], conn);
         }
     };
     let req = match CompileRequest::from_query(&request.query, source) {
         Ok(req) => req,
         Err(msg) => {
             state.http_errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(stream, 400, &msg, conn);
-            return;
+            return render_error(400, &msg, &[], conn);
         }
     };
 
@@ -694,23 +1104,24 @@ fn handle_compile(
     counter.fetch_add(1, Ordering::Relaxed);
     let status = if ok { 200 } else { 422 };
     let headers = vec![("X-Oneqd-Cache", outcome.to_string())];
-    respond(stream, status, &headers, &body, conn);
+    render(status, &headers, &body, conn)
 }
 
+/// Serves `POST /v1/compile-batch`, returning the rendered response
+/// bytes. Runs on a pool worker; the per-line fan-out uses scoped
+/// threads under the global batch budget, exactly as before.
 fn handle_batch(
-    stream: &mut TcpStream,
     state: &ServiceState,
     config: &ServerConfig,
     request: &Request,
     conn: Connection,
-) {
+) -> Vec<u8> {
     state.batch_requests.fetch_add(1, Ordering::Relaxed);
     let text = match std::str::from_utf8(&request.body) {
         Ok(s) => s,
         Err(_) => {
             state.http_errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(stream, 400, "request body is not UTF-8", conn);
-            return;
+            return render_error(400, "request body is not UTF-8", &[], conn);
         }
     };
     // Parse every line up front: a malformed line is a framing error for
@@ -725,15 +1136,13 @@ fn handle_batch(
             Ok(req) => requests.push(req),
             Err(msg) => {
                 state.http_errors.fetch_add(1, Ordering::Relaxed);
-                respond_error(stream, 400, &format!("batch line {}: {msg}", i + 1), conn);
-                return;
+                return render_error(400, &format!("batch line {}: {msg}", i + 1), &[], conn);
             }
         }
     }
     if requests.is_empty() {
         state.http_errors.fetch_add(1, Ordering::Relaxed);
-        respond_error(stream, 400, "batch body holds no request lines", conn);
-        return;
+        return render_error(400, "batch body holds no request lines", &[], conn);
     }
 
     // Fan the lines out over scoped worker threads (`run_indexed` — the
@@ -783,68 +1192,35 @@ fn handle_batch(
         ("X-Oneqd-Batch-Records", results.len().to_string()),
         ("X-Oneqd-Batch-Errors", errors.to_string()),
     ];
-    respond(stream, 200, &headers, &body, conn);
+    render(200, &headers, &body, conn)
 }
 
 /// Upper bound on bytes discarded for an oversized request; a client
 /// claiming more than this is not worth waiting for.
 const DRAIN_CAP: usize = 16 * 1024 * 1024;
 
-/// Reads and discards up to `declared` body bytes (capped) so the error
-/// response survives the close. Takes the session `BufReader` so bytes
-/// the header read already buffered are drained first. Bounded in time
-/// as well as bytes: socket reads run under a short timeout, and any
-/// error (including that timeout) stops the drain — the response is then
-/// sent on a best-effort basis.
-fn drain_body(reader: &mut BufReader<TcpStream>, declared: usize) {
-    use std::io::Read as _;
-    let old_timeout = reader.get_ref().read_timeout().ok().flatten();
-    let _ = reader
-        .get_ref()
-        .set_read_timeout(Some(Duration::from_millis(500)));
-    let mut remaining = declared.min(DRAIN_CAP);
-    let mut buf = [0u8; 8192];
-    while remaining > 0 {
-        let want = buf.len().min(remaining);
-        match reader.read(&mut buf[..want]) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => remaining -= n,
-        }
-    }
-    let _ = reader.get_ref().set_read_timeout(old_timeout);
-}
-
-fn respond(
-    stream: &mut TcpStream,
-    status: u16,
-    extra: &[(&str, String)],
-    body: &str,
-    conn: Connection,
-) {
-    let _ = write_response(
-        stream,
+/// Renders a complete response to bytes (the same `write_response`
+/// framing the thread-per-connection core used, so responses stay
+/// byte-identical). Writing into a `Vec` cannot fail.
+fn render(status: u16, extra: &[(&str, String)], body: &str, conn: Connection) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 256);
+    write_response(
+        &mut out,
         status,
         "application/json",
         extra,
         body.as_bytes(),
         conn,
-    );
+    )
+    .expect("rendering to a Vec cannot fail");
+    out
 }
 
-fn respond_error(stream: &mut TcpStream, status: u16, message: &str, conn: Connection) {
-    respond_error_with(stream, status, message, &[], conn);
-}
-
-fn respond_error_with(
-    stream: &mut TcpStream,
-    status: u16,
-    message: &str,
-    extra: &[(&str, String)],
-    conn: Connection,
-) {
+/// Renders the standard JSON error envelope.
+fn render_error(status: u16, message: &str, extra: &[(&str, String)], conn: Connection) -> Vec<u8> {
     let body = format!(
         "{{\"status\": \"error\", \"error\": \"{}\"}}\n",
         json::escape(message)
     );
-    respond(stream, status, extra, &body, conn);
+    render(status, extra, &body, conn)
 }

@@ -236,6 +236,94 @@ fn daemon_refuses_a_cache_dir_held_by_another_daemon() {
 }
 
 #[test]
+fn daemon_evicts_a_slow_loris_client_without_blocking_others() {
+    use std::io::{Read as _, Write as _};
+    // A short io budget so the eviction lands within the test, and a
+    // long idle budget so it cannot be the thing that fires.
+    let (mut child, addr, _stdout) = spawn_daemon(&[
+        "--io-timeout-ms",
+        "1500",
+        "--idle-timeout-ms",
+        "30000",
+        "--workers",
+        "2",
+    ]);
+
+    // The attacker: starts a request and trickles one byte at a time,
+    // never completing it. Under the old thread-per-connection core this
+    // pinned a worker for as long as the client cared to drip.
+    let trickler = std::thread::spawn(move || {
+        let mut stream = std::net::TcpStream::connect(addr).expect("trickler connects");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .expect("set read timeout");
+        let started = Instant::now();
+        let mut probe = [0u8; 16];
+        for byte in b"POST /v1/compile?file=x.qasm HTTP/1.1\r\nx-drip: 1\r\n" {
+            if stream.write_all(std::slice::from_ref(byte)).is_err() {
+                return started.elapsed();
+            }
+            match stream.read(&mut probe) {
+                Ok(0) => return started.elapsed(),
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => return started.elapsed(),
+            }
+            std::thread::sleep(Duration::from_millis(150));
+        }
+        // Ran out of bytes without seeing the hangup: block on the read
+        // until the server closes on us.
+        let _ = stream.set_read_timeout(Some(TIMEOUT));
+        let _ = stream.read(&mut probe);
+        started.elapsed()
+    });
+
+    // While the trickler is mid-drip, a well-behaved client must be
+    // served immediately — the slow socket costs an fd, not a thread.
+    std::thread::sleep(Duration::from_millis(300));
+    let source = b"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n";
+    let t0 = Instant::now();
+    let resp = http::request(addr, "POST", "/v1/compile?file=bell.qasm", source, TIMEOUT)
+        .expect("compile while the trickler drips");
+    assert_eq!(resp.status, 200);
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "compile was not stuck behind the slow client"
+    );
+
+    // The trickler is evicted once its whole-request deadline expires,
+    // and the eviction is visible in the stats counters.
+    let lived = trickler.join().expect("trickler thread");
+    assert!(
+        lived >= Duration::from_millis(1400),
+        "evicted by deadline, not instantly: lived {lived:?}"
+    );
+    assert!(
+        lived < TIMEOUT,
+        "the server hung up on the trickler: lived {lived:?}"
+    );
+    let deadline = Instant::now() + TIMEOUT;
+    loop {
+        let stats = http::request(addr, "GET", "/v1/stats", b"", TIMEOUT).expect("GET /v1/stats");
+        let body = String::from_utf8_lossy(&stats.body).into_owned();
+        assert!(body.contains("\"schema\": \"oneqd-stats/v4\""));
+        if body.contains("\"evicted_slow_read\": 1") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "eviction never surfaced in stats: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    send_sigterm(&child);
+    assert_eq!(child.wait().expect("wait for daemon").code(), Some(0));
+}
+
+#[test]
 fn daemon_rejects_bad_flags_with_usage_exit() {
     let output = Command::new(env!("CARGO_BIN_EXE_oneqd"))
         .args(["--workers", "zero"])

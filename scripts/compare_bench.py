@@ -1,18 +1,31 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_service.json files: previous vs current.
+"""Compare two bench artifacts: previous vs current.
 
 Usage: compare_bench.py PREVIOUS.json CURRENT.json [--fail-pct P]
 
-Prints a per-mode markdown table of throughput and latency percentiles
-with the relative change, plus the keep-alive and warm-restart speedup
-ratios when both files carry them. Exit code is 0 unless `--fail-pct P`
-is given and some mode's throughput regressed by more than P percent —
-CI runs it without the flag, as an informational trend line (shared
-runners are too noisy for a hard perf gate).
+Handles both artifact families the repo produces and picks the
+comparison from the *current* file's schema:
+
+* `oneq-bench-service/*` (loadgen's BENCH_service.json): a per-mode
+  markdown table of throughput and latency percentiles with the relative
+  change, plus the keep-alive / warm-restart speedup ratios and the
+  adversarial event-loop throughput when both files carry them.
+* `oneq-bench-pipeline/*` (sweep's BENCH_pipeline.json): a per-benchmark
+  table of wall and mapping times keyed on (bench, qubits, geometry,
+  extension), plus the sweep totals.
+
+A missing PREVIOUS file is not an error: the first run of a new artifact
+has nothing to compare against, so the script prints a note and exits 0
+(CI fetches the previous artifact best-effort). Exit code is otherwise 0
+unless `--fail-pct P` is given and some throughput (service) or wall
+time (pipeline) regressed by more than P percent — CI runs it without
+the flag, as an informational trend line (shared runners are too noisy
+for a hard perf gate).
 
 Schema tolerant: modes/metrics present in only one file are reported as
 `n/a` instead of failing, so the comparison survives its own schema
-bumps (v2 -> v3 renamed cache outcome keys but kept mode metrics).
+bumps (v2 -> v3 renamed cache outcome keys, v3 -> v4 added the
+event_loop block; both kept mode metrics).
 """
 
 import argparse
@@ -20,10 +33,14 @@ import json
 import sys
 
 
-def load(path):
+def load(path, optional=False):
     try:
         with open(path) as f:
             return json.load(f)
+    except FileNotFoundError:
+        if optional:
+            return None
+        sys.exit(f"compare_bench: cannot read {path}: file not found")
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"compare_bench: cannot read {path}: {e}")
 
@@ -62,20 +79,7 @@ def fmt_delta(pct, higher_is_better):
     return f"{pct:+.1f}%{arrow}"
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("previous")
-    parser.add_argument("current")
-    parser.add_argument(
-        "--fail-pct",
-        type=float,
-        default=None,
-        metavar="P",
-        help="exit 1 if any mode's throughput drops more than P percent",
-    )
-    args = parser.parse_args()
-
-    prev, curr = load(args.previous), load(args.current)
+def compare_service(prev, curr, fail_pct):
     print("### Served-axis bench: previous vs current\n")
     print(
         f"previous schema `{prev.get('schema')}`, "
@@ -108,10 +112,19 @@ def main():
             if (
                 label.startswith("throughput")
                 and pct is not None
-                and args.fail_pct is not None
-                and pct < -args.fail_pct
+                and fail_pct is not None
+                and pct < -fail_pct
             ):
                 regressed.append((mode, pct))
+
+    # The adversarial event-loop run rides the same table when present.
+    p = dig(prev, "event_loop", "throughput_rps")
+    c = dig(curr, "event_loop", "throughput_rps")
+    if p is not None or c is not None:
+        print(
+            f"| event_loop | throughput (req/s) | {fmt(p)} | {fmt(c)} "
+            f"| {fmt_delta(delta_pct(p, c), True)} |"
+        )
 
     for label, keys in [
         ("keep_alive_speedup", ("keep_alive_speedup",)),
@@ -121,9 +134,117 @@ def main():
         if p is not None or c is not None:
             print(f"| — | {label} | {fmt(p, 'x')} | {fmt(c, 'x')} | |")
 
+    return regressed
+
+
+def run_key(run):
+    return (
+        run.get("bench"),
+        run.get("qubits"),
+        run.get("rows"),
+        run.get("cols"),
+        run.get("extension_factor"),
+    )
+
+
+def run_label(key):
+    bench, qubits, rows, cols, ext = key
+    return f"{bench} q{qubits} {rows}x{cols} ext{ext}"
+
+
+def compare_pipeline(prev, curr, fail_pct):
+    print("### Pipeline bench: previous vs current\n")
+    print(
+        f"previous schema `{prev.get('schema')}`, "
+        f"current schema `{curr.get('schema')}`, "
+        f"quick={curr.get('quick')}, resource `{curr.get('resource')}`\n"
+    )
+
+    prev_runs = {run_key(r): r for r in prev.get("runs") or []}
+    curr_runs = {run_key(r): r for r in curr.get("runs") or []}
+    metrics = [
+        ("wall", ("timings_ns", "wall")),
+        ("mapping", ("timings_ns", "mapping")),
+    ]
+    regressed = []
+    print("| bench | metric | previous | current | change |")
+    print("|---|---|---|---|---|")
+    for key in sorted(
+        set(prev_runs) | set(curr_runs), key=lambda k: [str(x) for x in k]
+    ):
+        for label, path in metrics:
+            p = dig(prev_runs.get(key, {}), *path)
+            c = dig(curr_runs.get(key, {}), *path)
+            pct = delta_pct(p, c)
+            print(
+                f"| {run_label(key)} | {label} | {fmt(p, 'ms')} "
+                f"| {fmt(c, 'ms')} | {fmt_delta(pct, False)} |"
+            )
+            if (
+                label == "wall"
+                and pct is not None
+                and fail_pct is not None
+                and pct > fail_pct
+            ):
+                regressed.append((run_label(key), pct))
+
+    for label in ("wall_ns", "mapping_ns"):
+        p, c = dig(prev, "totals", label), dig(curr, "totals", label)
+        if p is not None or c is not None:
+            print(
+                f"| totals | {label.removesuffix('_ns')} | {fmt(p, 'ms')} "
+                f"| {fmt(c, 'ms')} | {fmt_delta(delta_pct(p, c), False)} |"
+            )
+
+    return regressed
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("previous")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--fail-pct",
+        type=float,
+        default=None,
+        metavar="P",
+        help="exit 1 on a throughput (service) or wall-time (pipeline) "
+        "regression beyond P percent",
+    )
+    args = parser.parse_args()
+
+    curr = load(args.current)
+    prev = load(args.previous, optional=True)
+    if prev is None:
+        print(
+            f"compare_bench: no previous artifact at {args.previous} — "
+            "nothing to compare against (first run of this artifact?); "
+            f"current schema `{curr.get('schema')}`"
+        )
+        return
+
+    family = "pipeline" if "pipeline" in str(curr.get("schema")) else "service"
+    prev_family = (
+        "pipeline" if "pipeline" in str(prev.get("schema")) else "service"
+    )
+    if family != prev_family:
+        print(
+            f"compare_bench: artifact families differ (previous "
+            f"`{prev.get('schema')}`, current `{curr.get('schema')}`) — "
+            "skipping the comparison"
+        )
+        return
+
+    if family == "pipeline":
+        regressed = compare_pipeline(prev, curr, args.fail_pct)
+        what = "wall-time"
+    else:
+        regressed = compare_service(prev, curr, args.fail_pct)
+        what = "throughput"
+
     if regressed:
         worst = ", ".join(f"{m} {pct:+.1f}%" for m, pct in regressed)
-        print(f"\nthroughput regression beyond --fail-pct: {worst}")
+        print(f"\n{what} regression beyond --fail-pct: {worst}")
         sys.exit(1)
 
 

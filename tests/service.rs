@@ -302,7 +302,7 @@ fn repeated_requests_hit_the_cache_with_identical_bytes() {
     }
 
     let stats = get_stats(&handle);
-    assert!(stats.contains("\"schema\": \"oneqd-stats/v3\""));
+    assert!(stats.contains("\"schema\": \"oneqd-stats/v4\""));
     // Memory-only server: the disk block reports itself disabled.
     assert!(stats.contains("\"disk\": {\"enabled\": false}"));
     assert_eq!(json_u64(&stats, "fills"), files.len() as u64);
@@ -758,7 +758,9 @@ fn loadgen_emits_a_well_formed_two_mode_bench_file() {
     );
     let body = std::fs::read_to_string(&out).expect("BENCH_service.json written");
     for key in [
-        "\"schema\": \"oneq-bench-service/v3\"",
+        "\"schema\": \"oneq-bench-service/v4\"",
+        // No --connections: the adversarial block is explicitly null.
+        "\"event_loop\": null",
         "\"requests_per_mode\": 14",
         "\"concurrency\": 2",
         "\"close\": {\"mode\": \"close\"",
