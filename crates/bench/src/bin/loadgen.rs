@@ -393,7 +393,7 @@ fn run_warm_restart(opt: &Options, targets: &[(String, Vec<u8>)]) -> Option<Stri
 
 /// Reads the first `"key": <digits>` occurrence out of a stats snapshot.
 /// Both keys this file needs (`open`, `evicted_slow_read`) appear exactly
-/// once in the `oneqd-stats/v4` document.
+/// once in the `oneqd-stats/v5` document.
 fn stats_u64(stats: &str, key: &str) -> u64 {
     let pat = format!("\"{key}\": ");
     stats
@@ -414,6 +414,149 @@ fn fetch_stats(addr: SocketAddr) -> Option<String> {
         .ok()
         .filter(|r| r.status == 200)
         .map(|r| String::from_utf8_lossy(&r.body).into_owned())
+}
+
+/// One `/v1/metrics` scrape (Prometheus text exposition), or `None` on
+/// any failure.
+fn fetch_metrics(addr: SocketAddr) -> Option<String> {
+    http::request(addr, "GET", "/v1/metrics", b"", TIMEOUT)
+        .ok()
+        .filter(|r| r.status == 200)
+        .map(|r| String::from_utf8_lossy(&r.body).into_owned())
+}
+
+/// Parses one exact-decimal `le` boundary (the server renders
+/// `sec.nnnnnnnnn` with exactly nine fractional digits) back to
+/// nanoseconds; `+Inf` maps to `u64::MAX`.
+fn le_to_ns(le: &str) -> Option<u64> {
+    if le == "+Inf" {
+        return Some(u64::MAX);
+    }
+    let (secs, frac) = le.split_once('.')?;
+    if frac.len() != 9 {
+        return None;
+    }
+    let secs: u64 = secs.parse().ok()?;
+    let frac: u64 = frac.parse().ok()?;
+    secs.checked_mul(1_000_000_000)?.checked_add(frac)
+}
+
+/// Cumulative histogram buckets scraped from `/v1/metrics` for one
+/// family, keyed by the value of `label_key` (e.g. `stage="mapping"`):
+/// each series is `(le_ns, cumulative_count)` in ascending `le` order,
+/// ending with the `+Inf` bucket at `u64::MAX`.
+fn parse_bucket_series(
+    text: &str,
+    family: &str,
+    label_key: &str,
+) -> std::collections::BTreeMap<String, Vec<(u64, u64)>> {
+    let mut series: std::collections::BTreeMap<String, Vec<(u64, u64)>> =
+        std::collections::BTreeMap::new();
+    let prefix = format!("{family}_bucket{{");
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(&prefix) else {
+            continue;
+        };
+        let Some((labels, value)) = rest.split_once("} ") else {
+            continue;
+        };
+        let mut key = None;
+        let mut le = None;
+        for pair in labels.split(',') {
+            let Some((name, quoted)) = pair.split_once("=\"") else {
+                continue;
+            };
+            let v = quoted.trim_end_matches('"');
+            if name == label_key {
+                key = Some(v.to_string());
+            } else if name == "le" {
+                le = le_to_ns(v);
+            }
+        }
+        let (Some(key), Some(le), Ok(count)) = (key, le, value.trim().parse::<u64>()) else {
+            continue;
+        };
+        series.entry(key).or_default().push((le, count));
+    }
+    series
+}
+
+/// Nearest-rank percentile over a *windowed* cumulative bucket series
+/// (after-scrape counts minus before-scrape counts — still cumulative).
+/// Returns the `le` upper bound of the bucket holding the rank; when the
+/// rank only lands in `+Inf`, the largest finite boundary is reported.
+fn bucket_percentile(buckets: &[(u64, u64)], total: u64, p: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+    let mut last_finite = 0;
+    for &(le, cum) in buckets {
+        if le != u64::MAX {
+            last_finite = le;
+        }
+        if cum >= rank {
+            return if le == u64::MAX { last_finite } else { le };
+        }
+    }
+    last_finite
+}
+
+/// The `"server_metrics"` block: per-stage compile and per-tier cache
+/// lookup percentiles computed from the *server's own* histograms, as
+/// the growth of `/v1/metrics` between a scrape at harness start and one
+/// at harness end. `None` when either scrape failed.
+fn server_metrics_json(before: &str, after: &str) -> String {
+    let mut out = String::from("{");
+    for (i, (family, label_key, block)) in [
+        ("oneqd_compile_stage_seconds", "stage", "stages"),
+        ("oneqd_cache_lookup_seconds", "tier", "tiers"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{block}\": {{");
+        let before = parse_bucket_series(before, family, label_key);
+        let after = parse_bucket_series(after, family, label_key);
+        let mut first = true;
+        for (key, after_buckets) in &after {
+            // Diff against the start-of-run scrape (a series absent
+            // there simply started at zero), keeping the result
+            // cumulative over exactly this harness run.
+            let before_buckets = before.get(key);
+            let diffed: Vec<(u64, u64)> = after_buckets
+                .iter()
+                .map(|&(le, cum)| {
+                    let base = before_buckets
+                        .and_then(|b| b.iter().find(|(ble, _)| *ble == le))
+                        .map_or(0, |&(_, c)| c);
+                    (le, cum.saturating_sub(base))
+                })
+                .collect();
+            let total = diffed.last().map_or(0, |&(_, cum)| cum);
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+                 \"p99_ns\": {}, \"p999_ns\": {}}}",
+                json::escape(key),
+                total,
+                bucket_percentile(&diffed, total, 50.0),
+                bucket_percentile(&diffed, total, 90.0),
+                bucket_percentile(&diffed, total, 99.0),
+                bucket_percentile(&diffed, total, 99.9),
+            );
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
 }
 
 /// A slow-loris client: connects, then trickles one byte of a request
@@ -816,6 +959,13 @@ fn main() {
         }
     );
 
+    // First `/v1/metrics` scrape: the baseline the end-of-run scrape is
+    // diffed against, so the embedded server-side percentiles cover
+    // exactly this harness run (warmup compiles included — that is where
+    // the compile-stage samples come from) even against a long-lived
+    // external daemon.
+    let metrics_before = fetch_metrics(addr);
+
     // Warm the cache once per file before measuring, so every mode sees
     // the same steady state and the keep-alive/close comparison isolates
     // the connection discipline instead of who paid the cold compiles.
@@ -879,8 +1029,13 @@ fn main() {
         run
     });
 
-    // One final /v1/stats snapshot, embedded verbatim (it is already
-    // JSON).
+    // Closing scrapes: the second `/v1/metrics` capture (diffed against
+    // the baseline for `"server_metrics"`) and one /v1/stats snapshot,
+    // embedded verbatim (it is already JSON).
+    let server_metrics = match (&metrics_before, fetch_metrics(addr)) {
+        (Some(before), Some(after)) => Some(server_metrics_json(before, &after)),
+        _ => None,
+    };
     let server_stats = http::request(addr, "GET", "/v1/stats", b"", TIMEOUT)
         .ok()
         .filter(|r| r.status == 200)
@@ -910,7 +1065,7 @@ fn main() {
 
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"oneq-bench-service/v4\",");
+    let _ = writeln!(out, "  \"schema\": \"oneq-bench-service/v5\",");
     let _ = writeln!(
         out,
         "  \"corpus\": \"{}\",",
@@ -953,6 +1108,14 @@ fn main() {
         }
         None => {
             let _ = writeln!(out, "  \"warm_restart\": null,");
+        }
+    }
+    match &server_metrics {
+        Some(block) => {
+            let _ = writeln!(out, "  \"server_metrics\": {block},");
+        }
+        None => {
+            let _ = writeln!(out, "  \"server_metrics\": null,");
         }
     }
     match &server_stats {

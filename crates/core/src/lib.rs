@@ -49,4 +49,4 @@ pub mod viz;
 pub use fusion_graph::FusionGraph;
 pub use mapping::{CellUse, LayerLayout, MappingOptions, MappingResult};
 pub use partition::{Partition, PartitionOptions, PartitionResult};
-pub use pipeline::{CompiledProgram, Compiler, CompilerOptions, StageStats};
+pub use pipeline::{CompiledProgram, Compiler, CompilerOptions, StageStats, StageTimings};

@@ -116,6 +116,22 @@ impl StageTimings {
             + self.mapping_ns
             + self.shuffle_ns
     }
+
+    /// The stages as `(name, nanoseconds)` pairs, in pipeline order.
+    ///
+    /// The names are stable identifiers (`translate`, `partition`,
+    /// `fusion_graph`, `mapping`, `shuffle`) shared by the JSONL
+    /// `timings_ns` record field and the service's per-stage latency
+    /// histograms, so consumers can iterate instead of naming each field.
+    pub fn stages(&self) -> [(&'static str, u128); 5] {
+        [
+            ("translate", self.translate_ns),
+            ("partition", self.partition_ns),
+            ("fusion_graph", self.fusion_graph_ns),
+            ("mapping", self.mapping_ns),
+            ("shuffle", self.shuffle_ns),
+        ]
+    }
 }
 
 /// The compiled program: the paper's two metrics plus the layouts.

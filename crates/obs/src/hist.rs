@@ -1,0 +1,233 @@
+//! Log-linear latency histograms with lock-free recording.
+//!
+//! The bucket layout is HDR-style log-linear over `u64` nanoseconds: each
+//! power-of-two "octave" is split into [`SUB_COUNT`] equal-width linear
+//! sub-buckets, so the relative width of any bucket is at most
+//! `1 / SUB_COUNT` (12.5%). Recording is a single relaxed `fetch_add` on an
+//! atomic bucket counter — no locks, no allocation — so it is safe to call
+//! from the event loop and from every worker thread.
+//!
+//! [`HistogramSnapshot`]s are plain owned data: they can be merged
+//! (bucket-wise addition) across shards or across scrape intervals, and they
+//! answer nearest-rank quantile queries by walking the bucket array.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// log2 of the number of linear sub-buckets per octave.
+pub const SUB_BITS: u32 = 3;
+/// Linear sub-buckets per power-of-two octave (8 — ≤ 12.5% relative error).
+pub const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Largest tracked exponent: values at or above 2^(MAX_EXP+1) ns saturate
+/// into the final bucket (~549 s — far beyond any request the daemon serves).
+const MAX_EXP: u32 = 38;
+/// Total bucket count implied by `MAX_EXP` and `SUB_BITS`.
+pub const NUM_BUCKETS: usize = ((MAX_EXP - SUB_BITS + 1) as usize + 1) * SUB_COUNT;
+
+/// Largest value that maps to a bucket without saturating.
+const MAX_TRACKED: u64 = (1u64 << (MAX_EXP + 1)) - 1;
+
+/// Map a nanosecond value to its bucket index.
+///
+/// Values `0..SUB_COUNT` get unit-width buckets; beyond that each octave
+/// `[2^e, 2^(e+1))` is split into `SUB_COUNT` equal slices.
+pub fn bucket_index(value: u64) -> usize {
+    let v = value.min(MAX_TRACKED);
+    if v < SUB_COUNT as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let shift = exp - SUB_BITS;
+    let sub = ((v >> shift) as usize) & (SUB_COUNT - 1);
+    ((exp - SUB_BITS + 1) as usize) * SUB_COUNT + sub
+}
+
+/// Inclusive upper bound (in nanoseconds) of bucket `index`.
+pub fn bucket_upper(index: usize) -> u64 {
+    debug_assert!(index < NUM_BUCKETS);
+    if index < SUB_COUNT {
+        return index as u64;
+    }
+    let decade = (index / SUB_COUNT) as u32;
+    let sub = (index % SUB_COUNT) as u64;
+    let shift = decade - 1;
+    let lower = (SUB_COUNT as u64 + sub) << shift;
+    lower + (1u64 << shift) - 1
+}
+
+/// Shared recording core: one atomic per bucket plus running sum and count.
+#[derive(Debug)]
+struct Core {
+    buckets: Vec<AtomicU64>,
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A lock-free log-linear latency histogram handle.
+///
+/// Cloning is cheap (an `Arc` bump) and every clone records into the same
+/// bucket array, so a handle can be given to each worker thread.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    core: Arc<Core>,
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        let buckets = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            core: Arc::new(Core {
+                buckets,
+                sum_ns: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation in nanoseconds.
+    ///
+    /// Values beyond the tracked range (~549 s) are clamped before both
+    /// bucketing and summing, so the running sum cannot wrap on garbage
+    /// input.
+    pub fn record(&self, ns: u64) {
+        let v = ns.min(MAX_TRACKED);
+        self.core.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.core.sum_ns.fetch_add(v, Ordering::Relaxed);
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an elapsed [`std::time::Duration`].
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Take a consistent-enough snapshot of the bucket array.
+    ///
+    /// Individual bucket loads are relaxed, so a snapshot taken concurrently
+    /// with recording may be mid-update by a handful of observations; counts
+    /// never go backwards between snapshots.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .core
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum_ns: self.core.sum_ns.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// An owned, mergeable copy of a histogram's state.
+#[derive(Clone, Debug, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_upper`] for bounds).
+    pub buckets: Vec<u64>,
+    /// Total observations across all buckets.
+    pub count: u64,
+    /// Sum of all recorded values in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (zero observations).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+
+    /// Merge another snapshot into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += *src;
+        }
+        self.count += other.count;
+        // Sums can legitimately saturate when extreme (clamped) observations
+        // are merged; counts and buckets stay exact.
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+    }
+
+    /// Nearest-rank quantile in nanoseconds.
+    ///
+    /// Returns the inclusive upper bound of the bucket holding the
+    /// `ceil(q * count)`-th smallest observation — i.e. the estimate is
+    /// never below the true quantile and overshoots by at most one bucket
+    /// width (≤ 12.5% relative). Returns 0 for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let mut rank = (q * self.count as f64).ceil() as u64;
+        rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(self.buckets.len().saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_below_sub_count() {
+        for v in 0..SUB_COUNT as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_contiguous_and_cover_the_domain() {
+        // Every bucket's upper bound + 1 is the next bucket's smallest member.
+        for i in 0..NUM_BUCKETS - 1 {
+            let upper = bucket_upper(i);
+            assert_eq!(bucket_index(upper), i, "upper of bucket {i} maps back");
+            assert_eq!(bucket_index(upper + 1), i + 1, "bucket {i} is contiguous");
+        }
+        // Saturation: anything huge lands in the final bucket.
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(MAX_TRACKED), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        for i in SUB_COUNT..NUM_BUCKETS {
+            let upper = bucket_upper(i);
+            let lower = bucket_upper(i - 1) + 1;
+            let width = upper - lower + 1;
+            // Width never exceeds lower / SUB_COUNT (12.5% relative error).
+            assert!(
+                width as u128 * SUB_COUNT as u128 <= lower as u128 + SUB_COUNT as u128,
+                "bucket {i}: lower={lower} width={width}"
+            );
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Integration tests for oneq-obs: histogram correctness against an
+//! exact-sorted reference over adversarial value sets, registry concurrency,
+//! and a golden pin of the Prometheus exposition output.
+
+use oneq_obs::{bucket_index, bucket_upper, Histogram, HistogramSnapshot, Registry};
+
+/// Exact nearest-rank quantile over a sorted slice.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Adversarial value sets: bucket boundaries and their neighbours, powers of
+/// two, constants, zeros, heavy tails, saturating values, and a
+/// deterministic pseudo-random spread.
+fn adversarial_sets() -> Vec<Vec<u64>> {
+    let mut sets: Vec<Vec<u64>> = vec![
+        vec![0],
+        vec![0, 0, 0, 0],
+        vec![7, 8, 9], // the linear/log-linear seam
+        (0..64).collect(),
+        (0..40).map(|e| 1u64 << e).collect(),
+        (3..40)
+            .flat_map(|e| {
+                let p = 1u64 << e;
+                [p - 1, p, p + 1]
+            })
+            .collect(),
+        vec![1_000_000; 1000], // all-same: every quantile in one bucket
+        // Heavy tail: many fast requests, a few catastrophic ones.
+        (0..990)
+            .map(|i| 10_000 + i)
+            .chain([10_000_000_000, 90_000_000_000, u64::MAX])
+            .collect(),
+        vec![u64::MAX, u64::MAX - 1, 1u64 << 63], // all saturate
+    ];
+    // xorshift spread across six orders of magnitude.
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let mut spread = Vec::with_capacity(4096);
+    for _ in 0..4096 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        spread.push(x % 10_000_000_000);
+    }
+    sets.push(spread);
+    sets
+}
+
+#[test]
+fn quantiles_match_the_exact_sorted_reference_bucket_for_bucket() {
+    for (set_idx, values) in adversarial_sets().into_iter().enumerate() {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, values.len() as u64, "set {set_idx}");
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let estimate = snap.quantile(q);
+            // The estimate is exactly the upper bound of the bucket holding
+            // the true nearest-rank observation: never below the truth, and
+            // above it by at most one log-linear bucket width.
+            assert_eq!(
+                estimate,
+                bucket_upper(bucket_index(exact)),
+                "set {set_idx} q={q}: exact={exact}"
+            );
+            assert!(estimate >= exact.min(bucket_upper(bucket_index(exact))));
+        }
+    }
+}
+
+#[test]
+fn merged_shards_equal_one_histogram_over_the_union() {
+    for values in adversarial_sets() {
+        let whole = Histogram::new();
+        let shards: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            shards[i % shards.len()].record(v);
+        }
+        let mut merged = HistogramSnapshot::empty();
+        for shard in &shards {
+            merged.merge(&shard.snapshot());
+        }
+        let reference = whole.snapshot();
+        assert_eq!(merged.buckets, reference.buckets);
+        assert_eq!(merged.count, reference.count);
+        assert_eq!(merged.sum_ns, reference.sum_ns);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(merged.quantile(q), reference.quantile(q));
+        }
+    }
+}
+
+#[test]
+fn registry_handles_record_concurrently_without_losing_updates() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let registry = Registry::new();
+    let counter = registry.counter("conc_total", "c", &[]);
+    let hist = registry.histogram("conc_seconds", "h", &[]);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            // Re-registering from each thread must resolve to the same series.
+            let counter = registry.counter("conc_total", "c", &[]);
+            let hist = registry.histogram("conc_seconds", "h", &[]);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    hist.record((t as u64 + 1) * 1000 + i);
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), (THREADS as u64) * PER_THREAD);
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("conc_total", &[]),
+        (THREADS as u64) * PER_THREAD
+    );
+    let h = snap
+        .histogram("conc_seconds", &[])
+        .expect("histogram present");
+    assert_eq!(h.count, (THREADS as u64) * PER_THREAD);
+    assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    assert_eq!(hist.count(), h.count);
+}
+
+#[test]
+fn golden_exposition_output_for_counters_and_gauges() {
+    let registry = Registry::new();
+    registry
+        .counter(
+            "oneqd_demo_requests_total",
+            "Requests by route.",
+            &[("route", "compile")],
+        )
+        .add(2);
+    registry
+        .counter(
+            "oneqd_demo_requests_total",
+            "Requests by route.",
+            &[("route", "stats")],
+        )
+        .add(5);
+    registry
+        .gauge("oneqd_demo_queue_depth", "Jobs waiting for a worker.", &[])
+        .set(4);
+    let text = registry.snapshot().render_prometheus();
+    assert_eq!(
+        text,
+        "# HELP oneqd_demo_requests_total Requests by route.\n\
+         # TYPE oneqd_demo_requests_total counter\n\
+         oneqd_demo_requests_total{route=\"compile\"} 2\n\
+         oneqd_demo_requests_total{route=\"stats\"} 5\n\
+         # HELP oneqd_demo_queue_depth Jobs waiting for a worker.\n\
+         # TYPE oneqd_demo_queue_depth gauge\n\
+         oneqd_demo_queue_depth 4\n"
+    );
+}
+
+#[test]
+fn histogram_exposition_ladder_is_pinned() {
+    let registry = Registry::new();
+    let h = registry.histogram("lat_seconds", "Latency.", &[]);
+    h.record(5_000); // inside the first exposed boundary (4607 ns < 5000)
+    h.record(1_000_000_000); // 1 s, inside the ladder
+    let text = registry.snapshot().render_prometheus();
+    let les: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("lat_seconds_bucket{le=\""))
+        .map(|l| {
+            let start = l.find("le=\"").unwrap() + 4;
+            &l[start..l[start..].find('"').unwrap() + start]
+        })
+        .collect();
+    // 92 finite boundaries plus +Inf, first and last pinned exactly.
+    assert_eq!(les.len(), 93, "ladder size is part of the format");
+    assert_eq!(les[0], "0.000004607");
+    assert_eq!(les[91], "32.212254719");
+    assert_eq!(les[92], "+Inf");
+    // Every finite boundary is an exact internal bucket upper bound, and the
+    // ladder is strictly increasing.
+    let mut last_ns = 0u64;
+    for le in &les[..92] {
+        let (secs, frac) = le.split_once('.').expect("decimal le");
+        let ns: u64 = secs.parse::<u64>().unwrap() * 1_000_000_000 + frac.parse::<u64>().unwrap();
+        assert_eq!(frac.len(), 9, "nanosecond precision: {le}");
+        assert_eq!(
+            bucket_upper(bucket_index(ns)),
+            ns,
+            "le {le} is a bucket edge"
+        );
+        assert!(ns > last_ns, "ladder increases: {le}");
+        last_ns = ns;
+    }
+    assert!(text.contains("lat_seconds_sum 1.000005000\n"));
+    assert!(text.contains("lat_seconds_count 2\n"));
+}

@@ -36,6 +36,13 @@
 //!                             wait in the kernel accept backlog
 //!   --batch-jobs N            threads compiling one /v1/compile-batch
 //!                             request (default: available parallelism)
+//!   --trace-log PATH          append closed request traces as JSONL
+//!                             (one object per request: id, route, status,
+//!                             outcome, span tree; default: off — traces
+//!                             stay in the in-memory ring only)
+//!   --slow-ms MS              only log traces for requests that took
+//!                             >= MS end to end (default 0: log every
+//!                             request; needs --trace-log)
 //! ```
 //!
 //! The daemon prints `oneqd: listening on http://ADDR` once ready and
@@ -52,7 +59,7 @@ fn usage() -> ! {
          [--cache-capacity N] [--cache-shards N] [--cache-dir PATH] \
          [--cache-disk-bytes BYTES] [--max-body BYTES] \
          [--keep-alive-requests N] [--idle-timeout-ms MS] [--io-timeout-ms MS] \
-         [--max-connections N] [--batch-jobs N]"
+         [--max-connections N] [--batch-jobs N] [--trace-log PATH] [--slow-ms MS]"
     );
     std::process::exit(2);
 }
@@ -126,6 +133,12 @@ fn parse_args() -> (String, ServerConfig) {
             "--batch-jobs" => {
                 config.batch_jobs = num(value(&mut i, "--batch-jobs"), "--batch-jobs", 1);
             }
+            "--trace-log" => {
+                config.trace_log = Some(std::path::PathBuf::from(value(&mut i, "--trace-log")));
+            }
+            "--slow-ms" => {
+                config.slow_ms = num(value(&mut i, "--slow-ms"), "--slow-ms", 0) as u64;
+            }
             "--help" | "-h" => usage(),
             flag => {
                 eprintln!("oneqd: unknown flag {flag}");
@@ -170,6 +183,13 @@ fn main() {
             "oneqd: disk cache at {} (budget {} bytes)",
             dir.display(),
             config.cache_disk_bytes
+        );
+    }
+    if let Some(path) = &config.trace_log {
+        println!(
+            "oneqd: trace log at {} (slow threshold {} ms)",
+            path.display(),
+            config.slow_ms
         );
     }
     use std::io::Write as _;

@@ -8,7 +8,7 @@
 //! the daemon's bytes against the batch driver's).
 
 use crate::json;
-use oneq::{Compiler, CompilerOptions};
+use oneq::{Compiler, CompilerOptions, StageTimings};
 use oneq_hardware::{LayerGeometry, ResourceKind};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -99,16 +99,46 @@ pub fn error_record(file_label: &str, message: &str) -> String {
     )
 }
 
+/// Out-of-band wall-clock breakdown of one compile, for telemetry.
+///
+/// The record string carries timings only when `config.timings` asks for
+/// them (at the cost of cacheability); this struct carries the same numbers
+/// to the caller regardless, so the daemon can feed per-stage latency
+/// histograms without perturbing a single record byte.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecordTimings {
+    /// QASM parse time in nanoseconds.
+    pub parse_ns: u128,
+    /// End-to-end compile wall time (parse included) in nanoseconds.
+    pub wall_ns: u128,
+    /// Per-stage pipeline timings.
+    pub stages: StageTimings,
+}
+
 /// Compiles `source` under `config` and renders the `oneqc/v1` record
 /// labelled `file_label`. Returns `(record, ok)`; parse failures become
 /// `"status": "error"` records with `ok = false`, never a panic.
 pub fn compile_record(file_label: &str, source: &str, config: &CompileConfig) -> (String, bool) {
+    let (record, ok, _) = compile_record_timed(file_label, source, config);
+    (record, ok)
+}
+
+/// [`compile_record`] plus the wall-clock breakdown of the compile.
+///
+/// The returned record is byte-identical to `compile_record`'s for the same
+/// inputs (it *is* the same code path); timings ride alongside, `None` when
+/// the source failed to parse.
+pub fn compile_record_timed(
+    file_label: &str,
+    source: &str,
+    config: &CompileConfig,
+) -> (String, bool, Option<RecordTimings>) {
     let t0 = Instant::now();
     let circuit = match oneq_frontend::parse_circuit(source) {
         Ok(c) => c,
         Err(e) => {
             let e = e.with_file(file_label);
-            return (error_record(file_label, &e.to_line()), false);
+            return (error_record(file_label, &e.to_line()), false, None);
         }
     };
     let parse_ns = t0.elapsed().as_nanos();
@@ -160,7 +190,12 @@ pub fn compile_record(file_label: &str, source: &str, config: &CompileConfig) ->
         );
     }
     line.push('}');
-    (line, true)
+    let timings = RecordTimings {
+        parse_ns,
+        wall_ns,
+        stages: program.timings,
+    };
+    (line, true, Some(timings))
 }
 
 #[cfg(test)]
@@ -198,6 +233,22 @@ mod tests {
         let (record, ok) = compile_record("bell.qasm", BELL, &config);
         assert!(ok);
         assert!(record.contains("\"timings_ns\": {\"parse\": "));
+    }
+
+    #[test]
+    fn timed_variant_returns_identical_bytes_plus_timings() {
+        let config = CompileConfig::default();
+        let (plain, ok_a) = compile_record("bell.qasm", BELL, &config);
+        let (timed, ok_b, timings) = compile_record_timed("bell.qasm", BELL, &config);
+        assert_eq!(plain, timed, "timed variant must not perturb record bytes");
+        assert_eq!(ok_a, ok_b);
+        let timings = timings.expect("timings for a successful compile");
+        assert!(timings.wall_ns >= timings.parse_ns);
+        assert!(timings.wall_ns >= timings.stages.total_ns());
+        let (_, ok, timings) =
+            compile_record_timed("bad.qasm", "OPENQASM 2.0;\nnonsense;\n", &config);
+        assert!(!ok);
+        assert!(timings.is_none(), "no timings for parse failures");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! file descriptor for that budget — never a thread, and never longer.
 
 use crate::http::{Parse, Request, RequestError, RequestParser};
+use crate::telemetry::PendingTrace;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::Instant;
@@ -83,6 +84,12 @@ pub struct Conn {
     served: usize,
     close_after_write: bool,
     drain_budget: usize,
+    /// When the first byte of the in-flight request arrived — the origin
+    /// of the request's trace timeline. Cleared when the request parses.
+    read_started: Option<Instant>,
+    /// The request's trace, carried across the response flush so the
+    /// loop can close it (append the `write` span) on the last byte.
+    trace: Option<PendingTrace>,
 }
 
 impl Conn {
@@ -104,6 +111,8 @@ impl Conn {
             served: 0,
             close_after_write: false,
             drain_budget: 0,
+            read_started: None,
+            trace: None,
         })
     }
 
@@ -172,6 +181,25 @@ impl Conn {
         self.close_after_write
     }
 
+    /// Takes the in-flight request's first-byte instant (stamped by
+    /// [`Conn::fill`]), resetting it for the next request. Called once
+    /// per parsed request to anchor its trace timeline.
+    pub fn take_read_start(&mut self) -> Option<Instant> {
+        self.read_started.take()
+    }
+
+    /// Attaches the request's trace to ride along until the response
+    /// flush completes.
+    pub fn set_trace(&mut self, trace: PendingTrace) {
+        self.trace = Some(trace);
+    }
+
+    /// Detaches the trace (at flush completion, or on close so an
+    /// aborted connection does not leak a half-open trace).
+    pub fn take_trace(&mut self) -> Option<PendingTrace> {
+        self.trace.take()
+    }
+
     /// Reads whatever the socket has (bounded per call for fairness
     /// across connections) and advances the parser. Buffered pipelined
     /// bytes are consumed before the socket is touched, so a call with
@@ -179,6 +207,9 @@ impl Conn {
     pub fn fill(&mut self) -> Result<FillOutcome, RequestError> {
         // First finish any bytes already in hand.
         if !self.inbuf.is_empty() {
+            if self.read_started.is_none() {
+                self.read_started = Some(Instant::now());
+            }
             let buffered = std::mem::take(&mut self.inbuf);
             let (consumed, parse) = self.parser.feed(&buffered);
             self.inbuf = buffered[consumed..].to_vec();
@@ -200,6 +231,9 @@ impl Conn {
                 Err(e) => return Err(RequestError::Io(e)),
             };
             taken += n;
+            if self.read_started.is_none() {
+                self.read_started = Some(Instant::now());
+            }
             let (consumed, parse) = self.parser.feed(&chunk[..n]);
             if consumed < n {
                 self.inbuf.extend_from_slice(&chunk[consumed..n]);

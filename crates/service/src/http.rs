@@ -709,19 +709,32 @@ impl ClientConn {
         target: &str,
         body: &[u8],
     ) -> std::io::Result<ClientResponse> {
-        self.send_with(method, target, body, Connection::KeepAlive)
+        self.send_with(method, target, &[], body, Connection::KeepAlive)
+    }
+
+    /// [`ClientConn::send`] with extra request headers (e.g. an
+    /// `X-Oneqd-Request-Id` the caller wants echoed back).
+    pub fn send_with_headers(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        self.send_with(method, target, headers, body, Connection::KeepAlive)
     }
 
     fn send_with(
         &mut self,
         method: &str,
         target: &str,
+        headers: &[(&str, &str)],
         body: &[u8],
         connection: Connection,
     ) -> std::io::Result<ClientResponse> {
-        let head = format!(
+        let mut head = format!(
             "{method} {target} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\
-             Connection: {}\r\n\r\n",
+             Connection: {}\r\n",
             self.peer,
             body.len(),
             match connection {
@@ -729,6 +742,13 @@ impl ClientConn {
                 Connection::Close => "close",
             }
         );
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         // Same write-coalescing policy as `write_response`: one write
         // for small messages, head-then-body for large ones (the
         // connection has TCP_NODELAY, so two writes cannot stall).
@@ -757,7 +777,20 @@ pub fn request(
     timeout: Duration,
 ) -> std::io::Result<ClientResponse> {
     let mut conn = ClientConn::connect(addr, timeout)?;
-    conn.send_with(method, target, body, Connection::Close)
+    conn.send_with(method, target, &[], body, Connection::Close)
+}
+
+/// [`request`] with extra request headers.
+pub fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
+    let mut conn = ClientConn::connect(addr, timeout)?;
+    conn.send_with(method, target, headers, body, Connection::Close)
 }
 
 #[cfg(test)]

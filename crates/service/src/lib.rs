@@ -33,7 +33,12 @@
 //!   --cache-dir`), so a warm restart answers previously-compiled
 //!   sources from disk instead of recompiling — the on-disk format is
 //!   specified in `docs/CACHE_FORMAT.md`;
-//! * graceful shutdown on SIGTERM/ctrl-c ([`signal`]).
+//! * graceful shutdown on SIGTERM/ctrl-c ([`signal`]);
+//! * end-to-end telemetry ([`telemetry`], built on the `oneq-obs` crate):
+//!   every request carries an `X-Oneqd-Request-Id` (inbound or minted)
+//!   and a span trace, latencies land in log-linear histograms, and one
+//!   registry snapshot renders both `GET /v1/metrics` (Prometheus text
+//!   exposition) and `GET /v1/stats` — the two surfaces cannot disagree.
 //!
 //! The crate-level architecture — the dependency DAG and the life of a
 //! `/v1/compile` request through these layers — is documented in
@@ -77,3 +82,4 @@ pub mod segment;
 pub mod server;
 pub mod signal;
 pub mod spill;
+pub mod telemetry;

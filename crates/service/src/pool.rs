@@ -84,6 +84,7 @@ pub type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct WorkerPool {
     tx: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    depth: Arc<AtomicUsize>,
 }
 
 impl WorkerPool {
@@ -92,18 +93,21 @@ impl WorkerPool {
     pub fn new(name: &str, workers: usize, backlog: usize) -> WorkerPool {
         let (tx, rx) = sync_channel::<Job>(backlog.max(1));
         let rx = Arc::new(Mutex::new(rx));
+        let depth = Arc::new(AtomicUsize::new(0));
         let workers = (0..workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let depth = Arc::clone(&depth);
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(&rx, &depth))
                     .expect("spawn pool worker")
             })
             .collect();
         WorkerPool {
             tx: Some(tx),
             workers,
+            depth,
         }
     }
 
@@ -111,7 +115,14 @@ impl WorkerPool {
     /// only after [`WorkerPool::shutdown`].
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
         match &self.tx {
-            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            Some(tx) => {
+                self.depth.fetch_add(1, Ordering::Relaxed);
+                let sent = tx.send(Box::new(job)).is_ok();
+                if !sent {
+                    self.depth.fetch_sub(1, Ordering::Relaxed);
+                }
+                sent
+            }
             None => false,
         }
     }
@@ -123,11 +134,25 @@ impl WorkerPool {
     pub fn try_execute_boxed(&self, job: Job) -> Result<(), Job> {
         use std::sync::mpsc::TrySendError;
         match &self.tx {
-            Some(tx) => tx.try_send(job).map_err(|e| match e {
-                TrySendError::Full(job) | TrySendError::Disconnected(job) => job,
-            }),
+            Some(tx) => {
+                self.depth.fetch_add(1, Ordering::Relaxed);
+                let result = tx.try_send(job).map_err(|e| match e {
+                    TrySendError::Full(job) | TrySendError::Disconnected(job) => job,
+                });
+                if result.is_err() {
+                    self.depth.fetch_sub(1, Ordering::Relaxed);
+                }
+                result
+            }
             None => Err(job),
         }
+    }
+
+    /// Jobs enqueued but not yet picked up by a worker — the queue-depth
+    /// gauge the event loop publishes each iteration. Momentarily over by
+    /// jobs mid-handoff; exact once the queue settles.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
     }
 
     /// Closes the queue and joins every worker; jobs already enqueued
@@ -146,7 +171,7 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+fn worker_loop(rx: &Mutex<Receiver<Job>>, depth: &AtomicUsize) {
     loop {
         // Hold the receiver lock only while dequeuing, never while running
         // the job, so workers drain the queue concurrently.
@@ -155,7 +180,10 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
             Err(_) => break,
         };
         match job {
-            Ok(job) => job(),
+            Ok(job) => {
+                depth.fetch_sub(1, Ordering::Relaxed);
+                job();
+            }
             Err(_) => break, // sender dropped and queue drained
         }
     }
@@ -255,6 +283,35 @@ mod tests {
             pool.try_execute_boxed(Box::new(|| {})).is_err(),
             "after shutdown the job comes back too"
         );
+    }
+
+    #[test]
+    fn depth_reports_waiting_jobs_and_drains_to_zero() {
+        // One worker parked behind a gate; two queued jobs behind it must
+        // show up in depth(), and a drained pool must read zero.
+        let gate = Arc::new(Mutex::new(()));
+        let hold = gate.lock().unwrap();
+        let mut pool = WorkerPool::new("test-depth", 1, 4);
+        let gate_for_worker = Arc::clone(&gate);
+        assert!(pool.execute(move || {
+            let _held = gate_for_worker.lock();
+        }));
+        assert!(pool.execute(|| {}));
+        assert!(pool.execute(|| {}));
+        // The blocker may or may not have been dequeued yet, so depth is
+        // 2 or 3 — never less, never more.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while pool.depth() > 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "blocker never dequeued"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(pool.depth(), 2, "two jobs waiting behind the blocker");
+        drop(hold);
+        pool.shutdown();
+        assert_eq!(pool.depth(), 0, "drained pool reads zero depth");
     }
 
     #[test]

@@ -239,6 +239,12 @@ impl CompileRequest {
         compile_record(&self.label, &self.source, &self.config)
     }
 
+    /// [`CompileRequest::record`] plus the out-of-band wall-clock breakdown
+    /// (`None` on parse failure). Record bytes are identical to `record`'s.
+    pub fn record_timed(&self) -> (String, bool, Option<compile::RecordTimings>) {
+        compile::compile_record_timed(&self.label, &self.source, &self.config)
+    }
+
     /// Renders the request as an HTTP request target (`path` plus the
     /// non-default knobs as a query string) — the client-side counterpart
     /// of [`CompileRequest::from_query`], used by `loadgen`.

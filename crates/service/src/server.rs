@@ -9,6 +9,7 @@
 //! | `POST /v1/compile-batch` | JSONL in, JSONL out; `oneqc`'s record path per line |
 //! | `GET /v1/healthz`  | liveness probe |
 //! | `GET /v1/stats`    | request + connection + cache + coalescing counters |
+//! | `GET /v1/metrics`  | Prometheus text exposition (same registry as stats) |
 //!
 //! (The unversioned PR-4 shims — `/compile`, `/healthz`, `/stats` —
 //! served their one promised migration release and are gone; they now
@@ -36,7 +37,20 @@
 //! its whole-request budget runs out (the per-read timeouts of the old
 //! thread-per-connection core never fired for such a client; it pinned
 //! a worker forever). Evictions and connection-state gauges are
-//! surfaced in `GET /v1/stats` (`oneqd-stats/v4`).
+//! surfaced in `GET /v1/stats` (`oneqd-stats/v5`).
+//!
+//! # Telemetry
+//!
+//! Every counter either lives in, or is mirrored into, the
+//! [`crate::telemetry::Telemetry`] registry, and both `GET /v1/stats`
+//! and `GET /v1/metrics` render from *one* registry snapshot — the two
+//! surfaces cannot disagree. Every parsed request carries an
+//! `X-Oneqd-Request-Id` (inbound value adopted when well-formed,
+//! otherwise minted) echoed on the response, and a span trace — read,
+//! queue wait, handler, per-tier cache lookup, per-stage compile times,
+//! response write — closed when the last response byte flushes, pushed
+//! to an in-memory ring and (under `--trace-log`, gated by `--slow-ms`)
+//! to a JSONL sink. See `docs/OBSERVABILITY.md` for names and schemas.
 //!
 //! `/v1/compile` responses are byte-identical to `oneqc`'s JSONL
 //! records (one record + `\n`) for the same source and config, and —
@@ -52,11 +66,16 @@
 //! accept call blocked forever.
 
 use crate::cache::{sha256, FlightRole, SingleFlight, Tier, TieredCache};
+use crate::compile::RecordTimings;
 use crate::http::{write_response, Connection, Request};
 use crate::json::{self, ObjWriter};
 use crate::pool::{run_indexed, WorkerPool};
 use crate::request::CompileRequest;
 use crate::spill::{SpillConfig, SpillTier};
+use crate::telemetry::{
+    PendingTrace, Telemetry, TraceSeed, ROUTE_BATCH, ROUTE_COMPILE, ROUTE_INLINE,
+};
+use oneq_obs::{duration_ns, Snapshot, Span};
 use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::PathBuf;
@@ -107,6 +126,13 @@ pub struct ServerConfig {
     /// polled while at the cap, so excess clients wait in the kernel
     /// accept backlog instead of being dropped.
     pub max_connections: usize,
+    /// JSONL sink for closed request traces (`oneqd --trace-log`).
+    /// `None` keeps traces in the in-memory ring only.
+    pub trace_log: Option<PathBuf>,
+    /// Threshold for the trace-log sink (`oneqd --slow-ms`): 0 logs
+    /// every request, N logs only requests that took ≥ N ms end to end.
+    /// The in-memory ring is not gated.
+    pub slow_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -126,6 +152,8 @@ impl Default for ServerConfig {
             cache_dir: None,
             cache_disk_bytes: 256 * 1024 * 1024,
             max_connections: 4096,
+            trace_log: None,
+            slow_ms: 0,
         }
     }
 }
@@ -176,11 +204,14 @@ pub struct ServiceState {
     pub cache: TieredCache,
     /// The coalescing layer in front of the cache.
     pub flights: SingleFlight,
+    /// The metrics registry, trace ring, and request-id mint.
+    pub telemetry: Telemetry,
     batch_slots: Semaphore,
     connections: AtomicU64,
     requests: AtomicU64,
     healthz_requests: AtomicU64,
     stats_requests: AtomicU64,
+    metrics_requests: AtomicU64,
     compile_requests: AtomicU64,
     batch_requests: AtomicU64,
     batch_records: AtomicU64,
@@ -208,11 +239,14 @@ impl ServiceState {
     /// Fallible because opening the spill tier can fail: the directory
     /// may be unwritable or flocked by another daemon.
     fn new(config: &ServerConfig) -> io::Result<ServiceState> {
+        let telemetry = Telemetry::new(config.trace_log.as_deref(), config.slow_ms)?;
         let disk = match &config.cache_dir {
             Some(dir) => {
                 let mut spill = SpillConfig::new(dir);
                 spill.max_bytes = config.cache_disk_bytes;
-                Some(SpillTier::open(spill)?)
+                let tier = SpillTier::open(spill)?;
+                tier.set_lag_observer(telemetry.spill_lag_histogram());
+                Some(tier)
             }
             None => None,
         };
@@ -220,11 +254,13 @@ impl ServiceState {
             started: Instant::now(),
             cache: TieredCache::new(config.cache_capacity, config.cache_shards, disk),
             flights: SingleFlight::new(),
+            telemetry,
             batch_slots: Semaphore::new(config.batch_jobs),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             healthz_requests: AtomicU64::new(0),
             stats_requests: AtomicU64::new(0),
+            metrics_requests: AtomicU64::new(0),
             compile_requests: AtomicU64::new(0),
             batch_requests: AtomicU64::new(0),
             batch_records: AtomicU64::new(0),
@@ -260,104 +296,348 @@ impl ServiceState {
         self.evicted_slow_read.load(Ordering::Relaxed)
     }
 
-    /// Renders the `/v1/stats` body (`oneqd-stats/v4`): flat request
+    /// Mirrors every externally maintained counter and gauge — the
+    /// request atomics, cache shard counters, spill stats, coalescing
+    /// count, trace-ring total — into the telemetry registry. Called
+    /// immediately before each snapshot so both rendered surfaces see
+    /// one consistent capture; live instrumentation (histograms, cache
+    /// outcomes) records into the registry directly and needs no mirror.
+    fn refresh_registry(&self) {
+        let reg = &self.telemetry.registry;
+        let counter = |name: &str, help: &str, value: u64| {
+            reg.counter(name, help, &[]).set(value);
+        };
+        let gauge = |name: &str, help: &str, value: u64| {
+            reg.gauge(name, help, &[]).set(value);
+        };
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+
+        gauge(
+            "oneqd_uptime_milliseconds",
+            "Milliseconds since the daemon started.",
+            self.started.elapsed().as_millis() as u64,
+        );
+        gauge(
+            "oneqd_workers",
+            "Worker threads serving compile requests.",
+            self.workers as u64,
+        );
+        gauge(
+            "oneqd_max_connections",
+            "Configured cap on concurrently open connections.",
+            self.max_connections as u64,
+        );
+        counter(
+            "oneqd_connections_total",
+            "Connections accepted.",
+            load(&self.connections),
+        );
+        counter(
+            "oneqd_requests_total",
+            "HTTP requests received (including malformed ones).",
+            load(&self.requests),
+        );
+        let route_help = "Requests by route.";
+        for (route, atomic) in [
+            ("healthz", &self.healthz_requests),
+            ("stats", &self.stats_requests),
+            ("metrics", &self.metrics_requests),
+            ("compile", &self.compile_requests),
+            ("batch", &self.batch_requests),
+        ] {
+            reg.counter(
+                "oneqd_route_requests_total",
+                route_help,
+                &[("route", route)],
+            )
+            .set(load(atomic));
+        }
+        counter(
+            "oneqd_batch_records_total",
+            "Individual records served across batch requests.",
+            load(&self.batch_records),
+        );
+        counter(
+            "oneqd_compile_ok_total",
+            "Compile records answered with status ok.",
+            load(&self.compile_ok),
+        );
+        counter(
+            "oneqd_compile_errors_total",
+            "Compile records answered with status error.",
+            load(&self.compile_errors),
+        );
+        counter(
+            "oneqd_compile_executions_total",
+            "Compiles actually executed (misses + bypasses).",
+            load(&self.compile_executions),
+        );
+        counter(
+            "oneqd_coalesced_total",
+            "Requests served from a concurrent leader's in-flight compile.",
+            self.flights.coalesced(),
+        );
+        counter(
+            "oneqd_http_errors_total",
+            "Requests answered with a 4xx/5xx error envelope.",
+            load(&self.http_errors),
+        );
+        let conn_help = "Open connections by state.";
+        for (state, atomic) in [
+            ("reading", &self.conns_reading),
+            ("dispatched", &self.conns_dispatched),
+            ("writing", &self.conns_writing),
+            ("draining", &self.conns_draining),
+            ("idle_keep_alive", &self.conns_idle),
+        ] {
+            reg.gauge("oneqd_conn_states", conn_help, &[("state", state)])
+                .set(load(atomic));
+        }
+        gauge(
+            "oneqd_conns_open",
+            "Connections currently open (all states).",
+            load(&self.conns_open),
+        );
+        let evict_help = "Connections closed by the server, by reason.";
+        for (reason, atomic) in [
+            ("slow_read", &self.evicted_slow_read),
+            ("slow_write", &self.evicted_slow_write),
+            ("idle", &self.idle_closed),
+        ] {
+            reg.counter("oneqd_evictions_total", evict_help, &[("reason", reason)])
+                .set(load(atomic));
+        }
+
+        counter(
+            "oneqd_cache_fills_total",
+            "Compile results inserted into the cache.",
+            self.cache.fills(),
+        );
+        let memory = self.cache.memory_stats();
+        counter(
+            "oneqd_cache_memory_hits_total",
+            "Memory-tier cache hits.",
+            memory.hits,
+        );
+        counter(
+            "oneqd_cache_memory_misses_total",
+            "Memory-tier cache misses.",
+            memory.misses,
+        );
+        counter(
+            "oneqd_cache_memory_evictions_total",
+            "Memory-tier LRU evictions.",
+            memory.evictions,
+        );
+        gauge(
+            "oneqd_cache_memory_entries",
+            "Entries resident in the memory tier.",
+            memory.entries as u64,
+        );
+        gauge(
+            "oneqd_cache_memory_capacity",
+            "Configured memory-tier capacity.",
+            memory.capacity as u64,
+        );
+        gauge(
+            "oneqd_cache_memory_shards",
+            "Mutex stripes in the memory tier.",
+            memory.shards as u64,
+        );
+        match self.cache.disk_stats() {
+            Some(spill) => {
+                gauge(
+                    "oneqd_spill_enabled",
+                    "1 when a disk spill tier is attached.",
+                    1,
+                );
+                counter(
+                    "oneqd_spill_hits_total",
+                    "Disk-tier cache hits.",
+                    spill.hits,
+                );
+                counter(
+                    "oneqd_spill_appends_total",
+                    "Records appended to the spill log.",
+                    spill.appends,
+                );
+                gauge(
+                    "oneqd_spill_entries",
+                    "Records indexed in the spill tier.",
+                    spill.entries as u64,
+                );
+                gauge(
+                    "oneqd_spill_segments",
+                    "Segment files in the spill directory.",
+                    spill.segments as u64,
+                );
+                gauge(
+                    "oneqd_spill_live_bytes",
+                    "Bytes of live records on disk.",
+                    spill.live_bytes,
+                );
+                gauge(
+                    "oneqd_spill_dead_bytes",
+                    "Bytes of superseded records awaiting compaction.",
+                    spill.dead_bytes,
+                );
+                gauge(
+                    "oneqd_spill_capacity_bytes",
+                    "Configured spill byte budget.",
+                    spill.capacity_bytes,
+                );
+                counter(
+                    "oneqd_spill_evicted_segments_total",
+                    "Whole segments dropped to stay under budget.",
+                    spill.evicted_segments,
+                );
+                counter(
+                    "oneqd_spill_compactions_total",
+                    "Compaction passes over the spill log.",
+                    spill.compactions,
+                );
+                counter(
+                    "oneqd_spill_crc_dropped_total",
+                    "Records dropped for CRC mismatch at recovery.",
+                    spill.crc_dropped,
+                );
+                counter(
+                    "oneqd_spill_recovered_records_total",
+                    "Records recovered from disk at startup.",
+                    spill.recovered_records,
+                );
+                counter(
+                    "oneqd_spill_truncated_tails_total",
+                    "Torn segment tails truncated at recovery.",
+                    spill.truncated_tails,
+                );
+            }
+            None => {
+                gauge(
+                    "oneqd_spill_enabled",
+                    "1 when a disk spill tier is attached.",
+                    0,
+                );
+            }
+        }
+        counter(
+            "oneqd_traces_total",
+            "Request traces closed (ring evictions included).",
+            self.telemetry.traces.pushed(),
+        );
+    }
+
+    /// One consistent capture of every metric: the registry snapshot
+    /// both `/v1/metrics` (exposition format) and `/v1/stats` (JSON)
+    /// render from. Mirrored counters are refreshed first.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.refresh_registry();
+        self.telemetry.registry.snapshot()
+    }
+
+    /// Renders the `/v1/stats` body (`oneqd-stats/v5`): flat request
     /// counters, then a nested `conns` object with connection-state
     /// gauges and eviction counters, then a nested `cache` object with
     /// per-tier blocks — `memory` always, `disk` carrying its counters
-    /// when a spill tier is attached (`"enabled": false` otherwise).
+    /// when a spill tier is attached (`"enabled": false` otherwise) —
+    /// then a `telemetry` object (new in v5). Every value is read from
+    /// the same registry snapshot `/v1/metrics` renders, via
+    /// [`ServiceState::metrics_snapshot`].
     pub fn stats_json(&self) -> String {
-        let memory = self.cache.memory_stats();
+        self.stats_json_from(&self.metrics_snapshot())
+    }
+
+    fn stats_json_from(&self, snap: &Snapshot) -> String {
+        let c = |name: &str| snap.counter(name, &[]);
+        let g = |name: &str| snap.gauge(name, &[]);
+        let route = |r: &str| snap.counter("oneqd_route_requests_total", &[("route", r)]);
+        let conn_state = |s: &str| snap.gauge("oneqd_conn_states", &[("state", s)]);
+        let evicted = |r: &str| snap.counter("oneqd_evictions_total", &[("reason", r)]);
+
         let mut mem = ObjWriter::new();
-        mem.field_u64("hits", memory.hits)
-            .field_u64("misses", memory.misses)
-            .field_u64("evictions", memory.evictions)
-            .field_u64("entries", memory.entries as u64)
-            .field_u64("capacity", memory.capacity as u64)
-            .field_u64("shards", memory.shards as u64);
+        mem.field_u64("hits", c("oneqd_cache_memory_hits_total"))
+            .field_u64("misses", c("oneqd_cache_memory_misses_total"))
+            .field_u64("evictions", c("oneqd_cache_memory_evictions_total"))
+            .field_u64("entries", g("oneqd_cache_memory_entries"))
+            .field_u64("capacity", g("oneqd_cache_memory_capacity"))
+            .field_u64("shards", g("oneqd_cache_memory_shards"));
 
         let mut disk = ObjWriter::new();
-        match self.cache.disk_stats() {
-            Some(spill) => {
-                disk.field_bool("enabled", true)
-                    .field_u64("hits", spill.hits)
-                    .field_u64("appends", spill.appends)
-                    .field_u64("entries", spill.entries as u64)
-                    .field_u64("segments", spill.segments as u64)
-                    .field_u64("live_bytes", spill.live_bytes)
-                    .field_u64("dead_bytes", spill.dead_bytes)
-                    .field_u64("capacity_bytes", spill.capacity_bytes)
-                    .field_u64("evicted_segments", spill.evicted_segments)
-                    .field_u64("compactions", spill.compactions)
-                    .field_u64("crc_dropped", spill.crc_dropped)
-                    .field_u64("recovered_records", spill.recovered_records)
-                    .field_u64("truncated_tails", spill.truncated_tails);
-            }
-            None => {
-                disk.field_bool("enabled", false);
-            }
+        if g("oneqd_spill_enabled") == 1 {
+            disk.field_bool("enabled", true)
+                .field_u64("hits", c("oneqd_spill_hits_total"))
+                .field_u64("appends", c("oneqd_spill_appends_total"))
+                .field_u64("entries", g("oneqd_spill_entries"))
+                .field_u64("segments", g("oneqd_spill_segments"))
+                .field_u64("live_bytes", g("oneqd_spill_live_bytes"))
+                .field_u64("dead_bytes", g("oneqd_spill_dead_bytes"))
+                .field_u64("capacity_bytes", g("oneqd_spill_capacity_bytes"))
+                .field_u64("evicted_segments", c("oneqd_spill_evicted_segments_total"))
+                .field_u64("compactions", c("oneqd_spill_compactions_total"))
+                .field_u64("crc_dropped", c("oneqd_spill_crc_dropped_total"))
+                .field_u64(
+                    "recovered_records",
+                    c("oneqd_spill_recovered_records_total"),
+                )
+                .field_u64("truncated_tails", c("oneqd_spill_truncated_tails_total"));
+        } else {
+            disk.field_bool("enabled", false);
         }
 
         let mut cache = ObjWriter::new();
         cache
-            .field_u64("fills", self.cache.fills())
+            .field_u64("fills", c("oneqd_cache_fills_total"))
             .field_raw("memory", &mem.finish())
             .field_raw("disk", &disk.finish());
 
         let mut conns = ObjWriter::new();
         conns
-            .field_u64("open", self.conns_open.load(Ordering::Relaxed))
-            .field_u64("reading", self.conns_reading.load(Ordering::Relaxed))
-            .field_u64("dispatched", self.conns_dispatched.load(Ordering::Relaxed))
-            .field_u64("writing", self.conns_writing.load(Ordering::Relaxed))
-            .field_u64("draining", self.conns_draining.load(Ordering::Relaxed))
-            .field_u64("idle_keep_alive", self.conns_idle.load(Ordering::Relaxed))
-            .field_u64("max_connections", self.max_connections as u64)
-            .field_u64(
-                "evicted_slow_read",
-                self.evicted_slow_read.load(Ordering::Relaxed),
-            )
-            .field_u64(
-                "evicted_slow_write",
-                self.evicted_slow_write.load(Ordering::Relaxed),
-            )
-            .field_u64("idle_closed", self.idle_closed.load(Ordering::Relaxed));
+            .field_u64("open", g("oneqd_conns_open"))
+            .field_u64("reading", conn_state("reading"))
+            .field_u64("dispatched", conn_state("dispatched"))
+            .field_u64("writing", conn_state("writing"))
+            .field_u64("draining", conn_state("draining"))
+            .field_u64("idle_keep_alive", conn_state("idle_keep_alive"))
+            .field_u64("max_connections", g("oneqd_max_connections"))
+            .field_u64("evicted_slow_read", evicted("slow_read"))
+            .field_u64("evicted_slow_write", evicted("slow_write"))
+            .field_u64("idle_closed", evicted("idle"));
+
+        // New in v5, appended after every v4 key (the bench scrapers
+        // match the first occurrence of a key, so existing keys must
+        // keep their positions).
+        let loop_iterations = snap
+            .histogram("oneqd_loop_iteration_seconds", &[])
+            .map_or(0, |h| h.count);
+        let mut telemetry = ObjWriter::new();
+        telemetry
+            .field_u64("metrics_requests", route("metrics"))
+            .field_u64("queue_depth", g("oneqd_queue_depth"))
+            .field_u64("ready_fds", g("oneqd_loop_ready_fds"))
+            .field_u64("loop_iterations", loop_iterations)
+            .field_u64("traces_recorded", c("oneqd_traces_total"))
+            .field_u64("traces_buffered", self.telemetry.traces.len() as u64)
+            .field_u64("trace_log_records", c("oneqd_trace_log_records_total"));
 
         let mut out = ObjWriter::new();
-        out.field_str("schema", "oneqd-stats/v4")
-            .field_u64("uptime_ms", self.started.elapsed().as_millis() as u64)
-            .field_u64("workers", self.workers as u64)
-            .field_u64("connections", self.connections.load(Ordering::Relaxed))
-            .field_u64("requests", self.requests.load(Ordering::Relaxed))
-            .field_u64(
-                "healthz_requests",
-                self.healthz_requests.load(Ordering::Relaxed),
-            )
-            .field_u64(
-                "stats_requests",
-                self.stats_requests.load(Ordering::Relaxed),
-            )
-            .field_u64(
-                "compile_requests",
-                self.compile_requests.load(Ordering::Relaxed),
-            )
-            .field_u64(
-                "batch_requests",
-                self.batch_requests.load(Ordering::Relaxed),
-            )
-            .field_u64("batch_records", self.batch_records.load(Ordering::Relaxed))
-            .field_u64("compile_ok", self.compile_ok.load(Ordering::Relaxed))
-            .field_u64(
-                "compile_errors",
-                self.compile_errors.load(Ordering::Relaxed),
-            )
-            .field_u64(
-                "compile_executions",
-                self.compile_executions.load(Ordering::Relaxed),
-            )
-            .field_u64("coalesced", self.flights.coalesced())
-            .field_u64("http_errors", self.http_errors.load(Ordering::Relaxed))
+        out.field_str("schema", "oneqd-stats/v5")
+            .field_u64("uptime_ms", g("oneqd_uptime_milliseconds"))
+            .field_u64("workers", g("oneqd_workers"))
+            .field_u64("connections", c("oneqd_connections_total"))
+            .field_u64("requests", c("oneqd_requests_total"))
+            .field_u64("healthz_requests", route("healthz"))
+            .field_u64("stats_requests", route("stats"))
+            .field_u64("compile_requests", route("compile"))
+            .field_u64("batch_requests", route("batch"))
+            .field_u64("batch_records", c("oneqd_batch_records_total"))
+            .field_u64("compile_ok", c("oneqd_compile_ok_total"))
+            .field_u64("compile_errors", c("oneqd_compile_errors_total"))
+            .field_u64("compile_executions", c("oneqd_compile_executions_total"))
+            .field_u64("coalesced", c("oneqd_coalesced_total"))
+            .field_u64("http_errors", c("oneqd_http_errors_total"))
             .field_raw("conns", &conns.finish())
-            .field_raw("cache", &cache.finish());
+            .field_raw("cache", &cache.finish())
+            .field_raw("telemetry", &telemetry.finish());
         let mut body = out.finish();
         body.push('\n');
         body
@@ -502,6 +782,7 @@ mod event_loop {
         id: u64,
         bytes: Vec<u8>,
         close: bool,
+        trace: TraceSeed,
     }
 
     /// What a poll-set entry maps back to.
@@ -604,13 +885,18 @@ mod event_loop {
                     owners.push(Owner::Slot(slot));
                 }
                 poll(&mut fds, Some(timeout))?;
+                // Time the work burst (not the poll wait): how long one
+                // iteration spends off the kernel before polling again.
+                let work_started = Instant::now();
 
                 let mut accept_ready = false;
                 let mut ready = Vec::new();
+                let mut ready_fds = 0u64;
                 for (fd, owner) in fds.iter().zip(&owners) {
                     if fd.revents == 0 {
                         continue;
                     }
+                    ready_fds += 1;
                     match owner {
                         Owner::Waker => self.waker.drain(),
                         Owner::Listener => accept_ready = true,
@@ -626,6 +912,13 @@ mod event_loop {
                 for slot in ready {
                     self.pump(slot);
                 }
+                self.state
+                    .telemetry
+                    .observe_iteration(duration_ns(work_started.elapsed()));
+                self.state.telemetry.set_loop_gauges(
+                    ready_fds,
+                    (self.pool.depth() + self.pending_jobs.len()) as u64,
+                );
             }
             Ok(())
         }
@@ -721,6 +1014,7 @@ mod event_loop {
                 conn.queue_response(done.bytes, done.close);
                 conn.set_state(ConnState::Writing);
                 conn.set_deadline(Some(Instant::now() + io_timeout));
+                conn.set_trace(PendingTrace::begin_write(done.trace));
                 self.pump(done.slot);
             }
         }
@@ -848,6 +1142,13 @@ mod event_loop {
                     },
                     ConnState::Writing => match conn.flush() {
                         Ok(true) => {
+                            // Last response byte flushed: close the trace
+                            // (the write span measures queue → flush).
+                            let conn_id = conn.id();
+                            if let Some(trace) = conn.take_trace() {
+                                self.state.telemetry.finish_request(trace, conn_id);
+                            }
+                            let conn = self.conns[slot].as_mut().expect("conn is live");
                             if conn.close_after_write() || self.draining {
                                 self.close(slot);
                                 return;
@@ -888,6 +1189,15 @@ mod event_loop {
             self.state.requests.fetch_add(1, Ordering::Relaxed);
             let conn = self.conns[slot].as_mut().expect("conn is live");
             conn.mark_served();
+            // The read span covers first request byte → parse complete.
+            let read_ns = conn
+                .take_read_start()
+                .map_or(0, |t| duration_ns(t.elapsed()));
+            self.state.telemetry.observe_read(read_ns);
+            let req_id = self
+                .state
+                .telemetry
+                .request_id(request.header("x-oneqd-request-id"));
             let keep = request.wants_keep_alive()
                 && conn.served() < self.config.keep_alive_requests.max(1)
                 && !self.draining;
@@ -906,11 +1216,37 @@ mod event_loop {
                 let config = Arc::clone(&self.config);
                 let done = self.done_tx.clone();
                 let waker = Arc::clone(&self.waker);
+                let enqueued = Instant::now();
                 let job: Job = Box::new(move || {
-                    let bytes = if request.path == "/v1/compile" {
-                        handle_compile(&state, &request, disposition)
+                    let queue_ns = duration_ns(enqueued.elapsed());
+                    state.telemetry.observe_queue_wait(queue_ns);
+                    let handler_started = Instant::now();
+                    let (bytes, handler) = if request.path == "/v1/compile" {
+                        handle_compile(&state, &request, disposition, &req_id)
                     } else {
-                        handle_batch(&state, &config, &request, disposition)
+                        handle_batch(&state, &config, &request, disposition, &req_id)
+                    };
+                    let handler_ns = duration_ns(handler_started.elapsed());
+                    let base = read_ns.saturating_add(queue_ns);
+                    let mut spans = vec![
+                        Span::new("read", 0, read_ns),
+                        Span::new("queue", read_ns, queue_ns),
+                        Span::new("handle", base, handler_ns),
+                    ];
+                    spans.extend(handler.spans.into_iter().map(|s| s.shifted(base)));
+                    let route_class = if request.path == "/v1/compile" {
+                        ROUTE_COMPILE
+                    } else {
+                        ROUTE_BATCH
+                    };
+                    let trace = TraceSeed {
+                        id: req_id,
+                        route: request.path.clone(),
+                        route_class,
+                        status: handler.status,
+                        outcome: handler.outcome,
+                        spans,
+                        total_ns: base.saturating_add(handler_ns),
                     };
                     // The loop may have dropped the receiver during
                     // shutdown; a dead letter is fine.
@@ -919,6 +1255,7 @@ mod event_loop {
                         id,
                         bytes,
                         close: !keep,
+                        trace,
                     });
                     waker.wake();
                 });
@@ -927,54 +1264,91 @@ mod event_loop {
                 }
                 return false;
             }
-            let bytes = route_inline(&self.state, &request, disposition);
+            let handler_started = Instant::now();
+            let (bytes, status) = route_inline(&self.state, &request, disposition, &req_id);
+            let handler_ns = duration_ns(handler_started.elapsed());
+            let trace = TraceSeed {
+                id: req_id,
+                route: request.path.clone(),
+                route_class: ROUTE_INLINE,
+                status,
+                outcome: "inline".to_string(),
+                spans: vec![
+                    Span::new("read", 0, read_ns),
+                    Span::new("handle", read_ns, handler_ns),
+                ],
+                total_ns: read_ns.saturating_add(handler_ns),
+            };
             let io_timeout = self.config.io_timeout;
             let conn = self.conns[slot].as_mut().expect("conn is live");
             conn.queue_response(bytes, !keep);
             conn.set_state(ConnState::Writing);
             conn.set_deadline(Some(Instant::now() + io_timeout));
+            conn.set_trace(PendingTrace::begin_write(trace));
             true
         }
     }
 
     /// Routes the requests the loop answers itself — everything except
-    /// the two POST compile routes, which go to the pool.
-    fn route_inline(state: &ServiceState, request: &Request, conn: Connection) -> Vec<u8> {
+    /// the two POST compile routes, which go to the pool. Returns the
+    /// rendered bytes and the status code (for the request trace).
+    fn route_inline(
+        state: &ServiceState,
+        request: &Request,
+        conn: Connection,
+        req_id: &str,
+    ) -> (Vec<u8>, u16) {
+        let rid = || ("X-Oneqd-Request-Id", req_id.to_string());
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/v1/healthz") => {
                 state.healthz_requests.fetch_add(1, Ordering::Relaxed);
-                render(
+                let bytes = render(
                     200,
-                    &[],
+                    &[rid()],
                     "{\"status\": \"ok\", \"service\": \"oneqd\", \"api\": \"v1\"}\n",
                     conn,
-                )
+                );
+                (bytes, 200)
             }
             ("GET", "/v1/stats") => {
                 state.stats_requests.fetch_add(1, Ordering::Relaxed);
-                render(200, &[], &state.stats_json(), conn)
+                (render(200, &[rid()], &state.stats_json(), conn), 200)
             }
-            (_, "/v1/healthz" | "/v1/stats") => {
+            ("GET", "/v1/metrics") => {
+                state.metrics_requests.fetch_add(1, Ordering::Relaxed);
+                let body = state.metrics_snapshot().render_prometheus();
+                let bytes = render_with(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &[rid()],
+                    &body,
+                    conn,
+                );
+                (bytes, 200)
+            }
+            (_, "/v1/healthz" | "/v1/stats" | "/v1/metrics") => {
                 state.http_errors.fetch_add(1, Ordering::Relaxed);
-                render_error(
+                let bytes = render_error(
                     405,
                     "method not allowed",
-                    &[("Allow", "GET".to_string())],
+                    &[("Allow", "GET".to_string()), rid()],
                     conn,
-                )
+                );
+                (bytes, 405)
             }
             (_, "/v1/compile" | "/v1/compile-batch") => {
                 state.http_errors.fetch_add(1, Ordering::Relaxed);
-                render_error(
+                let bytes = render_error(
                     405,
                     "method not allowed",
-                    &[("Allow", "POST".to_string())],
+                    &[("Allow", "POST".to_string()), rid()],
                     conn,
-                )
+                );
+                (bytes, 405)
             }
             _ => {
                 state.http_errors.fetch_add(1, Ordering::Relaxed);
-                render_error(404, "no such endpoint", &[], conn)
+                (render_error(404, "no such endpoint", &[rid()], conn), 404)
             }
         }
     }
@@ -993,48 +1367,76 @@ pub const OUTCOME_COALESCED: &str = "coalesced";
 /// `X-Oneqd-Cache` label: cache skipped (`timings=1` or `bypass=1`).
 pub const OUTCOME_BYPASS: &str = "bypass";
 
+/// What a [`compile_via_cache`] call observed, for the request trace:
+/// how long the lookup-or-compile took end to end, and — when this call
+/// actually ran the compiler — the per-stage timings.
+struct CompileTrace {
+    lookup_ns: u64,
+    timings: Option<RecordTimings>,
+}
+
 /// Serves one [`CompileRequest`] through cache + single-flight. Returns
-/// `(record bytes incl. trailing newline, ok, outcome label)`. This is
-/// the one path behind both `/v1/compile` and each `/v1/compile-batch`
-/// line. `slots` is the global batch-compile budget (None on the single
-/// route, whose concurrency is already bounded by the worker pool): a
-/// permit is held only around an *actual* compile — cache hits and
-/// coalesced followers must not pin the budget while doing no work.
+/// `(record bytes incl. trailing newline, ok, outcome label, trace)`.
+/// This is the one path behind both `/v1/compile` and each
+/// `/v1/compile-batch` line, so telemetry recorded here (per-tier
+/// outcome counters and lookup histograms, per-stage compile
+/// histograms) covers both routes. `slots` is the global batch-compile
+/// budget (None on the single route, whose concurrency is already
+/// bounded by the worker pool): a permit is held only around an
+/// *actual* compile — cache hits and coalesced followers must not pin
+/// the budget while doing no work.
 fn compile_via_cache(
     state: &ServiceState,
     req: &CompileRequest,
     slots: Option<&Semaphore>,
-) -> (Arc<str>, bool, &'static str) {
-    let run = |state: &ServiceState| -> (Arc<str>, bool) {
+) -> (Arc<str>, bool, &'static str, CompileTrace) {
+    let started = Instant::now();
+    let (body, ok, outcome, timings) = compile_via_cache_inner(state, req, slots);
+    let trace = CompileTrace {
+        lookup_ns: duration_ns(started.elapsed()),
+        timings,
+    };
+    state
+        .telemetry
+        .observe_cache_outcome(outcome, trace.lookup_ns, trace.timings.as_ref());
+    (body, ok, outcome, trace)
+}
+
+fn compile_via_cache_inner(
+    state: &ServiceState,
+    req: &CompileRequest,
+    slots: Option<&Semaphore>,
+) -> (Arc<str>, bool, &'static str, Option<RecordTimings>) {
+    let run = |state: &ServiceState| -> (Arc<str>, bool, Option<RecordTimings>) {
         let _slot = slots.map(Semaphore::acquire);
         state.compile_executions.fetch_add(1, Ordering::Relaxed);
-        let (record, ok) = req.record();
-        (Arc::from(format!("{record}\n").as_str()), ok)
+        let (record, ok, timings) = req.record_timed();
+        (Arc::from(format!("{record}\n").as_str()), ok, timings)
     };
 
     // Timed compiles are inherently non-deterministic and `bypass=1` is
     // an explicit opt-out: neither reads nor warms the cache.
     if !req.cacheable() {
-        let (body, ok) = run(state);
-        return (body, ok, OUTCOME_BYPASS);
+        let (body, ok, timings) = run(state);
+        return (body, ok, OUTCOME_BYPASS, timings);
     }
 
     let digest = sha256(req.fingerprint().as_bytes());
     if let Some((cached, tier)) = state.cache.get_digest(&digest) {
-        return (cached, true, tier_label(tier));
+        return (cached, true, tier_label(tier), None);
     }
     match state.flights.join(digest) {
-        FlightRole::Follower(Some((body, ok))) => (body, ok, OUTCOME_COALESCED),
+        FlightRole::Follower(Some((body, ok))) => (body, ok, OUTCOME_COALESCED, None),
         FlightRole::Follower(None) => {
             // The leader aborted without publishing — it hit a compile
             // error (error bytes are per-source, never shared) or it
             // panicked. Compile for ourselves rather than re-coalescing
             // into a failed key.
-            let (body, ok) = run(state);
+            let (body, ok, timings) = run(state);
             if ok {
                 state.cache.fill(digest, Arc::clone(&body));
             }
-            (body, ok, OUTCOME_MISS)
+            (body, ok, OUTCOME_MISS, timings)
         }
         FlightRole::Leader(leader) => {
             // Double-check: a previous leader may have filled the cache
@@ -1043,9 +1445,9 @@ fn compile_via_cache(
             // memory tier (a disk hit here still counts — it is one).
             if let Some((cached, tier)) = state.cache.peek_digest(&digest) {
                 leader.publish(Arc::clone(&cached), true);
-                return (cached, true, tier_label(tier));
+                return (cached, true, tier_label(tier), None);
             }
-            let (body, ok) = run(state);
+            let (body, ok, timings) = run(state);
             if ok {
                 // Error records are cheap to recompute and their spans
                 // depend on pre-canonicalization bytes, so only successes
@@ -1062,7 +1464,7 @@ fn compile_via_cache(
             } else {
                 drop(leader);
             }
-            (body, ok, OUTCOME_MISS)
+            (body, ok, OUTCOME_MISS, timings)
         }
     }
 }
@@ -1075,27 +1477,85 @@ fn tier_label(tier: Tier) -> &'static str {
     }
 }
 
+/// What a pool-worker handler reports back for the request trace:
+/// response status, cache-outcome label, and its timed phases (span
+/// offsets relative to handler start; the event loop re-bases them onto
+/// the whole-request timeline).
+struct HandlerTrace {
+    status: u16,
+    outcome: String,
+    spans: Vec<Span>,
+}
+
+impl HandlerTrace {
+    fn error(status: u16) -> HandlerTrace {
+        HandlerTrace {
+            status,
+            outcome: "error".to_string(),
+            spans: Vec::new(),
+        }
+    }
+}
+
+/// The `cache` span plus, when this request actually compiled, one
+/// `compile.<stage>` span per pipeline stage laid end to end after the
+/// lookup started (stage clocks are the compiler's own, so they sum to
+/// slightly less than the enclosing `cache` span).
+fn compile_spans(cache_off: u64, trace: &CompileTrace) -> Vec<Span> {
+    let clamp = |ns: u128| u64::try_from(ns).unwrap_or(u64::MAX);
+    let mut spans = vec![Span::new("cache", cache_off, trace.lookup_ns)];
+    if let Some(timings) = &trace.timings {
+        let mut offset = cache_off;
+        let mut push = |name: &'static str, ns: u128| {
+            let dur = clamp(ns);
+            spans.push(Span::new(name, offset, dur));
+            offset = offset.saturating_add(dur);
+        };
+        push("compile.parse", timings.parse_ns);
+        for (stage, ns) in timings.stages.stages() {
+            match stage {
+                "translate" => push("compile.translate", ns),
+                "partition" => push("compile.partition", ns),
+                "fusion_graph" => push("compile.fusion_graph", ns),
+                "mapping" => push("compile.mapping", ns),
+                _ => push("compile.shuffle", ns),
+            }
+        }
+    }
+    spans
+}
+
 /// Serves `POST /v1/compile`, returning the fully rendered response
-/// bytes. Runs on a pool worker; it touches only the shared state, so
-/// the event loop never waits on a compile.
-fn handle_compile(state: &ServiceState, request: &Request, conn: Connection) -> Vec<u8> {
+/// bytes and the handler's trace. Runs on a pool worker; it touches
+/// only the shared state, so the event loop never waits on a compile.
+fn handle_compile(
+    state: &ServiceState,
+    request: &Request,
+    conn: Connection,
+    req_id: &str,
+) -> (Vec<u8>, HandlerTrace) {
     state.compile_requests.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    let rid = || ("X-Oneqd-Request-Id", req_id.to_string());
     let source = match std::str::from_utf8(&request.body) {
         Ok(s) => s,
         Err(_) => {
             state.http_errors.fetch_add(1, Ordering::Relaxed);
-            return render_error(400, "request body is not UTF-8", &[], conn);
+            let bytes = render_error(400, "request body is not UTF-8", &[rid()], conn);
+            return (bytes, HandlerTrace::error(400));
         }
     };
     let req = match CompileRequest::from_query(&request.query, source) {
         Ok(req) => req,
         Err(msg) => {
             state.http_errors.fetch_add(1, Ordering::Relaxed);
-            return render_error(400, &msg, &[], conn);
+            let bytes = render_error(400, &msg, &[rid()], conn);
+            return (bytes, HandlerTrace::error(400));
         }
     };
 
-    let (body, ok, outcome) = compile_via_cache(state, &req, None);
+    let cache_off = duration_ns(started.elapsed());
+    let (body, ok, outcome, trace) = compile_via_cache(state, &req, None);
     let counter = if ok {
         &state.compile_ok
     } else {
@@ -1103,25 +1563,36 @@ fn handle_compile(state: &ServiceState, request: &Request, conn: Connection) -> 
     };
     counter.fetch_add(1, Ordering::Relaxed);
     let status = if ok { 200 } else { 422 };
-    let headers = vec![("X-Oneqd-Cache", outcome.to_string())];
-    render(status, &headers, &body, conn)
+    let headers = vec![("X-Oneqd-Cache", outcome.to_string()), rid()];
+    let bytes = render(status, &headers, &body, conn);
+    let handler = HandlerTrace {
+        status,
+        outcome: outcome.to_string(),
+        spans: compile_spans(cache_off, &trace),
+    };
+    (bytes, handler)
 }
 
 /// Serves `POST /v1/compile-batch`, returning the rendered response
-/// bytes. Runs on a pool worker; the per-line fan-out uses scoped
-/// threads under the global batch budget, exactly as before.
+/// bytes and the handler's trace (outcome is the per-tier tally that
+/// also goes in the `X-Oneqd-Cache` header). Runs on a pool worker; the
+/// per-line fan-out uses scoped threads under the global batch budget,
+/// exactly as before.
 fn handle_batch(
     state: &ServiceState,
     config: &ServerConfig,
     request: &Request,
     conn: Connection,
-) -> Vec<u8> {
+    req_id: &str,
+) -> (Vec<u8>, HandlerTrace) {
     state.batch_requests.fetch_add(1, Ordering::Relaxed);
+    let rid = || ("X-Oneqd-Request-Id", req_id.to_string());
     let text = match std::str::from_utf8(&request.body) {
         Ok(s) => s,
         Err(_) => {
             state.http_errors.fetch_add(1, Ordering::Relaxed);
-            return render_error(400, "request body is not UTF-8", &[], conn);
+            let bytes = render_error(400, "request body is not UTF-8", &[rid()], conn);
+            return (bytes, HandlerTrace::error(400));
         }
     };
     // Parse every line up front: a malformed line is a framing error for
@@ -1136,13 +1607,16 @@ fn handle_batch(
             Ok(req) => requests.push(req),
             Err(msg) => {
                 state.http_errors.fetch_add(1, Ordering::Relaxed);
-                return render_error(400, &format!("batch line {}: {msg}", i + 1), &[], conn);
+                let bytes =
+                    render_error(400, &format!("batch line {}: {msg}", i + 1), &[rid()], conn);
+                return (bytes, HandlerTrace::error(400));
             }
         }
     }
     if requests.is_empty() {
         state.http_errors.fetch_add(1, Ordering::Relaxed);
-        return render_error(400, "batch body holds no request lines", &[], conn);
+        let bytes = render_error(400, "batch body holds no request lines", &[rid()], conn);
+        return (bytes, HandlerTrace::error(400));
     }
 
     // Fan the lines out over scoped worker threads (`run_indexed` — the
@@ -1162,7 +1636,7 @@ fn handle_batch(
     let mut body = String::new();
     let mut errors = 0usize;
     let mut outcomes = [0usize; 5]; // memory, disk, miss, coalesced, bypass
-    for (record, ok, outcome) in &results {
+    for (record, ok, outcome, _trace) in &results {
         body.push_str(record);
         if *ok {
             state.compile_ok.fetch_add(1, Ordering::Relaxed);
@@ -1179,40 +1653,50 @@ fn handle_batch(
         };
         outcomes[slot] += 1;
     }
+    let tally = format!(
+        "memory={} disk={} miss={} coalesced={} bypass={}",
+        outcomes[0], outcomes[1], outcomes[2], outcomes[3], outcomes[4]
+    );
     // Per-line status lives in the records (exactly like an `oneqc` run
     // with failing files); the HTTP status says the batch was processed.
     let headers: Vec<(&str, String)> = vec![
-        (
-            "X-Oneqd-Cache",
-            format!(
-                "memory={} disk={} miss={} coalesced={} bypass={}",
-                outcomes[0], outcomes[1], outcomes[2], outcomes[3], outcomes[4]
-            ),
-        ),
+        ("X-Oneqd-Cache", tally.clone()),
         ("X-Oneqd-Batch-Records", results.len().to_string()),
         ("X-Oneqd-Batch-Errors", errors.to_string()),
+        rid(),
     ];
-    render(200, &headers, &body, conn)
+    let bytes = render(200, &headers, &body, conn);
+    let handler = HandlerTrace {
+        status: 200,
+        outcome: tally,
+        spans: Vec::new(),
+    };
+    (bytes, handler)
 }
 
 /// Upper bound on bytes discarded for an oversized request; a client
 /// claiming more than this is not worth waiting for.
 const DRAIN_CAP: usize = 16 * 1024 * 1024;
 
-/// Renders a complete response to bytes (the same `write_response`
+/// Renders a complete JSON response to bytes (the same `write_response`
 /// framing the thread-per-connection core used, so responses stay
 /// byte-identical). Writing into a `Vec` cannot fail.
 fn render(status: u16, extra: &[(&str, String)], body: &str, conn: Connection) -> Vec<u8> {
+    render_with(status, "application/json", extra, body, conn)
+}
+
+/// [`render`] with an explicit content type — `/v1/metrics` serves the
+/// Prometheus text exposition format, everything else JSON.
+fn render_with(
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &str,
+    conn: Connection,
+) -> Vec<u8> {
     let mut out = Vec::with_capacity(body.len() + 256);
-    write_response(
-        &mut out,
-        status,
-        "application/json",
-        extra,
-        body.as_bytes(),
-        conn,
-    )
-    .expect("rendering to a Vec cannot fail");
+    write_response(&mut out, status, content_type, extra, body.as_bytes(), conn)
+        .expect("rendering to a Vec cannot fail");
     out
 }
 

@@ -54,7 +54,10 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use oneq_obs::Histogram;
 
 /// Advisory whole-file locking via `flock(2)`. This is the crate's
 /// second `unsafe` carve-out (alongside `signal.rs` — see the manifest):
@@ -199,10 +202,15 @@ struct Inner {
     crc_dropped: AtomicU64,
     recovered_records: AtomicU64,
     truncated_tails: AtomicU64,
+    /// Write-behind lag observer: records enqueue → write delay per append.
+    /// Set once by the daemon after open; absent in library/test use.
+    lag: OnceLock<Histogram>,
 }
 
 enum Msg {
-    Append([u8; 32], Arc<str>),
+    /// A record to persist, stamped with its enqueue time so the writer
+    /// can measure how far behind the serving path it is running.
+    Append([u8; 32], Arc<str>, Instant),
     Flush(Sender<()>),
 }
 
@@ -269,6 +277,7 @@ impl SpillTier {
             crc_dropped: AtomicU64::new(0),
             recovered_records: AtomicU64::new(0),
             truncated_tails: AtomicU64::new(0),
+            lag: OnceLock::new(),
         });
         let active = recover(&inner)?;
 
@@ -337,8 +346,15 @@ impl SpillTier {
     /// re-fills after a memory-tier eviction do not grow the log.
     pub fn append(&self, digest: [u8; 32], body: Arc<str>) {
         if let Some(tx) = &self.tx {
-            let _ = tx.send(Msg::Append(digest, body));
+            let _ = tx.send(Msg::Append(digest, body, Instant::now()));
         }
+    }
+
+    /// Installs the histogram that receives one observation per append:
+    /// the nanoseconds between [`SpillTier::append`] and the moment the
+    /// writer thread picks the record up. A second call is ignored.
+    pub fn set_lag_observer(&self, histogram: Histogram) {
+        let _ = self.inner.lag.set(histogram);
     }
 
     /// Blocks until every append enqueued before this call has been
@@ -397,7 +413,10 @@ impl Drop for SpillTier {
 fn writer_loop(inner: &Inner, rx: &Receiver<Msg>, mut active: ActiveSeg) {
     while let Ok(msg) = rx.recv() {
         match msg {
-            Msg::Append(digest, body) => {
+            Msg::Append(digest, body, enqueued) => {
+                if let Some(lag) = inner.lag.get() {
+                    lag.record_duration(enqueued.elapsed());
+                }
                 // An append that fails (disk full, dir deleted) loses one
                 // cache record, not the daemon: the entry simply stays
                 // memory-only.

@@ -1,0 +1,470 @@
+//! The daemon's telemetry spine: one [`Registry`] feeding both `/v1/stats`
+//! and `/v1/metrics`, per-request span traces, and the `--trace-log` sink.
+//!
+//! Everything latency-shaped lands in a log-linear [`Histogram`] (see
+//! `oneq-obs`): the event loop records read/write/iteration times, workers
+//! record queue wait and per-stage compile times, the spill writer records
+//! its write-behind lag. Recording is a relaxed atomic op, so none of this
+//! adds a lock to the serving path; the registry lock is only taken at
+//! registration (startup) and snapshot (a `/v1/stats` or `/v1/metrics`
+//! request).
+//!
+//! Tracing follows the same request across threads: the event loop opens
+//! the trace when the request finishes parsing, the worker appends its
+//! spans (queue wait, cache lookup, compile stages) and hands the
+//! [`TraceSeed`] back inside the completion, and the loop closes it when
+//! the last response byte is flushed. Closed traces go to a bounded
+//! in-memory ring (always) and to the `--trace-log` JSONL file (when
+//! configured), gated by `--slow-ms`.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::compile::RecordTimings;
+use oneq_obs::{
+    duration_ns, Counter, Gauge, Histogram, Registry, RequestIds, Span, TraceBuffer, TraceRecord,
+};
+
+/// How many closed traces the in-memory ring keeps.
+const TRACE_RING_CAPACITY: usize = 256;
+
+/// Request-class label values for `oneqd_request_seconds{route=...}`.
+/// A fixed set, so client-controlled paths can never mint new series.
+pub const ROUTE_COMPILE: &str = "compile";
+/// See [`ROUTE_COMPILE`].
+pub const ROUTE_BATCH: &str = "batch";
+/// Inline (event-loop-served) routes: healthz, stats, metrics, errors.
+pub const ROUTE_INLINE: &str = "inline";
+
+/// Stage labels for `oneqd_compile_stage_seconds{stage=...}`: QASM parse,
+/// the five pipeline stages in order, and end-to-end wall time.
+pub const STAGES: [&str; 7] = [
+    "parse",
+    "translate",
+    "partition",
+    "fusion_graph",
+    "mapping",
+    "shuffle",
+    "wall",
+];
+
+/// Tier labels for cache outcome counters and lookup histograms — exactly
+/// the values the `X-Oneqd-Cache` response header can carry.
+pub const TIERS: [&str; 5] = ["memory", "disk", "miss", "coalesced", "bypass"];
+
+/// The half of a request trace assembled before the response is written:
+/// identity, outcome, and every span except `write`.
+///
+/// Built by whichever thread produced the response (the event loop for
+/// inline routes, a worker for compiles), then carried on the connection
+/// until the flush completes.
+#[derive(Debug)]
+pub struct TraceSeed {
+    /// Request id (inbound `X-Oneqd-Request-Id` or minted).
+    pub id: String,
+    /// The request path, for the trace record.
+    pub route: String,
+    /// Bounded route class for histogram labels ([`ROUTE_COMPILE`] /
+    /// [`ROUTE_BATCH`] / [`ROUTE_INLINE`]).
+    pub route_class: &'static str,
+    /// HTTP status of the response.
+    pub status: u16,
+    /// Cache outcome for compile routes, `"inline"` otherwise.
+    pub outcome: String,
+    /// Spans recorded so far, offset from request start.
+    pub spans: Vec<Span>,
+    /// Nanoseconds from request start to response-queue time (the `write`
+    /// span starts here).
+    pub total_ns: u64,
+}
+
+/// A [`TraceSeed`] waiting on its response flush.
+#[derive(Debug)]
+pub struct PendingTrace {
+    /// The assembled pre-write trace.
+    pub seed: TraceSeed,
+    /// When the response was queued on the connection.
+    pub write_started: Instant,
+}
+
+impl PendingTrace {
+    /// Starts the write clock on a seed.
+    pub fn begin_write(seed: TraceSeed) -> PendingTrace {
+        PendingTrace {
+            seed,
+            write_started: Instant::now(),
+        }
+    }
+}
+
+/// Everything the daemon records about itself. One per [`ServiceState`];
+/// see the module docs for the flow.
+///
+/// [`ServiceState`]: crate::server::ServiceState
+#[derive(Debug)]
+pub struct Telemetry {
+    /// The metric registry both `/v1/stats` and `/v1/metrics` snapshot.
+    pub registry: Registry,
+    /// Ring of recently closed traces.
+    pub traces: TraceBuffer,
+    ids: RequestIds,
+    sink: Option<Mutex<File>>,
+    slow_ns: u64,
+    read_hist: Histogram,
+    queue_hist: Histogram,
+    write_hist: Histogram,
+    iteration_hist: Histogram,
+    spill_lag_hist: Histogram,
+    ready_fds: Gauge,
+    queue_depth: Gauge,
+    request_hists: [(&'static str, Histogram); 3],
+    stage_hists: Vec<(&'static str, Histogram)>,
+    tier_counters: Vec<(&'static str, Counter)>,
+    tier_hists: Vec<(&'static str, Histogram)>,
+    trace_log_records: Counter,
+}
+
+impl Telemetry {
+    /// Builds the registry, pre-registers every latency family, and opens
+    /// the `--trace-log` sink (append mode) when one is configured.
+    ///
+    /// `slow_ms` gates the sink: 0 logs every request, N logs only
+    /// requests whose end-to-end time reached N milliseconds. The
+    /// in-memory ring ignores the gate.
+    pub fn new(trace_log: Option<&Path>, slow_ms: u64) -> io::Result<Telemetry> {
+        let registry = Registry::new();
+        let read_hist = registry.histogram(
+            "oneqd_request_read_seconds",
+            "Time from first request byte to a fully parsed request.",
+            &[],
+        );
+        let queue_hist = registry.histogram(
+            "oneqd_queue_wait_seconds",
+            "Time a compile job waited for a worker thread.",
+            &[],
+        );
+        let write_hist = registry.histogram(
+            "oneqd_response_write_seconds",
+            "Time from response queue to the last byte flushed.",
+            &[],
+        );
+        let iteration_hist = registry.histogram(
+            "oneqd_loop_iteration_seconds",
+            "Event-loop iteration processing time (poll wait excluded).",
+            &[],
+        );
+        let spill_lag_hist = registry.histogram(
+            "oneqd_spill_lag_seconds",
+            "Write-behind lag: spill append enqueue to writer pickup.",
+            &[],
+        );
+        let ready_fds = registry.gauge(
+            "oneqd_loop_ready_fds",
+            "Descriptors reported ready by the last poll(2) return.",
+            &[],
+        );
+        let queue_depth = registry.gauge(
+            "oneqd_queue_depth",
+            "Compile jobs waiting for a worker (pool queue + loop retry list).",
+            &[],
+        );
+        let request_hist = |route: &str| {
+            registry.histogram(
+                "oneqd_request_seconds",
+                "End-to-end request time, first request byte to last response byte.",
+                &[("route", route)],
+            )
+        };
+        let request_hists = [
+            (ROUTE_COMPILE, request_hist(ROUTE_COMPILE)),
+            (ROUTE_BATCH, request_hist(ROUTE_BATCH)),
+            (ROUTE_INLINE, request_hist(ROUTE_INLINE)),
+        ];
+        let stage_hists = STAGES
+            .iter()
+            .map(|stage| {
+                (
+                    *stage,
+                    registry.histogram(
+                        "oneqd_compile_stage_seconds",
+                        "Compile time per pipeline stage (executed compiles only).",
+                        &[("stage", stage)],
+                    ),
+                )
+            })
+            .collect();
+        let tier_counters = TIERS
+            .iter()
+            .map(|tier| {
+                (
+                    *tier,
+                    registry.counter(
+                        "oneqd_cache_outcomes_total",
+                        "Compile requests by cache outcome tier.",
+                        &[("tier", tier)],
+                    ),
+                )
+            })
+            .collect();
+        let tier_hists = TIERS
+            .iter()
+            .map(|tier| {
+                (
+                    *tier,
+                    registry.histogram(
+                        "oneqd_cache_lookup_seconds",
+                        "Cache lookup-to-result time by outcome tier.",
+                        &[("tier", tier)],
+                    ),
+                )
+            })
+            .collect();
+        let trace_log_records = registry.counter(
+            "oneqd_trace_log_records_total",
+            "Trace records written to the --trace-log sink.",
+            &[],
+        );
+        let sink = match trace_log {
+            Some(path) => Some(Mutex::new(
+                OpenOptions::new().create(true).append(true).open(path)?,
+            )),
+            None => None,
+        };
+        Ok(Telemetry {
+            registry,
+            traces: TraceBuffer::new(TRACE_RING_CAPACITY),
+            ids: RequestIds::new(),
+            sink,
+            slow_ns: slow_ms.saturating_mul(1_000_000),
+            read_hist,
+            queue_hist,
+            write_hist,
+            iteration_hist,
+            spill_lag_hist,
+            ready_fds,
+            queue_depth,
+            request_hists,
+            stage_hists,
+            tier_counters,
+            tier_hists,
+            trace_log_records,
+        })
+    }
+
+    /// Adopts a well-formed inbound `X-Oneqd-Request-Id`, otherwise mints
+    /// a fresh one. The returned id is always header- and JSON-safe.
+    pub fn request_id(&self, inbound: Option<&str>) -> String {
+        match inbound {
+            Some(id) if oneq_obs::valid_request_id(id) => id.to_string(),
+            _ => self.ids.next(),
+        }
+    }
+
+    /// Records a parsed request's read time.
+    pub fn observe_read(&self, ns: u64) {
+        self.read_hist.record(ns);
+    }
+
+    /// Records a compile job's time on the queue.
+    pub fn observe_queue_wait(&self, ns: u64) {
+        self.queue_hist.record(ns);
+    }
+
+    /// Records one event-loop iteration's processing time.
+    pub fn observe_iteration(&self, ns: u64) {
+        self.iteration_hist.record(ns);
+    }
+
+    /// Publishes the loop gauges for this iteration.
+    pub fn set_loop_gauges(&self, ready_fds: u64, queue_depth: u64) {
+        self.ready_fds.set(ready_fds);
+        self.queue_depth.set(queue_depth);
+    }
+
+    /// The histogram the spill tier's writer feeds (handed over at open).
+    pub fn spill_lag_histogram(&self) -> Histogram {
+        self.spill_lag_hist.clone()
+    }
+
+    /// Records one compile-cache resolution: the outcome tier, the
+    /// lookup-to-result time, and — when this request actually executed
+    /// the compiler — the per-stage breakdown.
+    pub fn observe_cache_outcome(
+        &self,
+        tier: &str,
+        lookup_ns: u64,
+        timings: Option<&RecordTimings>,
+    ) {
+        if let Some((_, counter)) = self.tier_counters.iter().find(|(t, _)| *t == tier) {
+            counter.inc();
+        }
+        if let Some((_, hist)) = self.tier_hists.iter().find(|(t, _)| *t == tier) {
+            hist.record(lookup_ns);
+        }
+        if let Some(timings) = timings {
+            self.observe_stage("parse", timings.parse_ns);
+            for (stage, ns) in timings.stages.stages() {
+                self.observe_stage(stage, ns);
+            }
+            self.observe_stage("wall", timings.wall_ns);
+        }
+    }
+
+    fn observe_stage(&self, stage: &str, ns: u128) {
+        if let Some((_, hist)) = self.stage_hists.iter().find(|(s, _)| *s == stage) {
+            hist.record(u64::try_from(ns).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Closes a trace once its response flush completed: appends the
+    /// `write` span, records the write and end-to-end histograms, pushes
+    /// the record to the ring, and writes the JSONL sink when the request
+    /// clears the `--slow-ms` gate.
+    pub fn finish_request(&self, pending: PendingTrace, conn: u64) {
+        let write_ns = duration_ns(pending.write_started.elapsed());
+        let seed = pending.seed;
+        let total_ns = seed.total_ns.saturating_add(write_ns);
+        self.write_hist.record(write_ns);
+        if let Some((_, hist)) = self
+            .request_hists
+            .iter()
+            .find(|(route, _)| *route == seed.route_class)
+        {
+            hist.record(total_ns);
+        }
+        let mut spans = seed.spans;
+        spans.push(Span {
+            name: "write",
+            start_ns: seed.total_ns,
+            dur_ns: write_ns,
+        });
+        let record = TraceRecord {
+            id: seed.id,
+            conn,
+            route: seed.route,
+            status: seed.status,
+            outcome: seed.outcome,
+            total_ns,
+            spans,
+        };
+        if let Some(sink) = &self.sink {
+            if total_ns >= self.slow_ns {
+                let mut line = record.to_json();
+                line.push('\n');
+                let mut file = sink.lock().expect("trace sink poisoned");
+                if file.write_all(line.as_bytes()).is_ok() {
+                    let _ = file.flush();
+                    self.trace_log_records.inc();
+                }
+            }
+        }
+        self.traces.push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed(id: &str, total_ns: u64) -> TraceSeed {
+        TraceSeed {
+            id: id.to_string(),
+            route: "/v1/compile".to_string(),
+            route_class: ROUTE_COMPILE,
+            status: 200,
+            outcome: "miss".to_string(),
+            spans: vec![Span {
+                name: "read",
+                start_ns: 0,
+                dur_ns: total_ns,
+            }],
+            total_ns,
+        }
+    }
+
+    #[test]
+    fn request_ids_adopt_valid_and_replace_hostile_input() {
+        let telemetry = Telemetry::new(None, 0).unwrap();
+        assert_eq!(telemetry.request_id(Some("client-42")), "client-42");
+        let minted = telemetry.request_id(Some("bad id\n"));
+        assert_ne!(minted, "bad id\n");
+        assert!(oneq_obs::valid_request_id(&minted));
+        assert_ne!(telemetry.request_id(None), telemetry.request_id(None));
+    }
+
+    #[test]
+    fn finished_requests_land_in_ring_and_histograms() {
+        let telemetry = Telemetry::new(None, 0).unwrap();
+        telemetry.finish_request(PendingTrace::begin_write(seed("r1", 1_000)), 7);
+        assert_eq!(telemetry.traces.len(), 1);
+        let record = &telemetry.traces.recent(1)[0];
+        assert_eq!(record.id, "r1");
+        assert_eq!(record.conn, 7);
+        assert_eq!(
+            record.spans.last().map(|s| s.name),
+            Some("write"),
+            "write span is appended at close"
+        );
+        assert!(record.total_ns >= 1_000);
+        let snap = telemetry.registry.snapshot();
+        let hist = snap
+            .histogram("oneqd_request_seconds", &[("route", ROUTE_COMPILE)])
+            .expect("request histogram");
+        assert_eq!(hist.count, 1);
+    }
+
+    #[test]
+    fn slow_ms_gates_the_sink_but_not_the_ring() {
+        let dir = std::env::temp_dir().join(format!(
+            "oneq-telemetry-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let telemetry = Telemetry::new(Some(&path), 10).unwrap();
+        // 1 µs total: below the 10 ms gate, ring only.
+        telemetry.finish_request(PendingTrace::begin_write(seed("fast", 1_000)), 1);
+        // 20 ms total (pre-write): clears the gate.
+        telemetry.finish_request(PendingTrace::begin_write(seed("slow", 20_000_000)), 2);
+        assert_eq!(telemetry.traces.len(), 2, "ring ignores the gate");
+        let log = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 1, "only the slow request is logged: {log}");
+        assert!(lines[0].contains("\"request_id\": \"slow\""));
+        let snap = telemetry.registry.snapshot();
+        assert_eq!(snap.counter("oneqd_trace_log_records_total", &[]), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_outcomes_feed_tier_and_stage_series() {
+        let telemetry = Telemetry::new(None, 0).unwrap();
+        let timings = RecordTimings::default();
+        telemetry.observe_cache_outcome("miss", 5_000, Some(&timings));
+        telemetry.observe_cache_outcome("memory", 800, None);
+        telemetry.observe_cache_outcome("not-a-tier", 1, None); // ignored
+        let snap = telemetry.registry.snapshot();
+        assert_eq!(
+            snap.counter("oneqd_cache_outcomes_total", &[("tier", "miss")]),
+            1
+        );
+        assert_eq!(
+            snap.counter("oneqd_cache_outcomes_total", &[("tier", "memory")]),
+            1
+        );
+        let lookup = snap
+            .histogram("oneqd_cache_lookup_seconds", &[("tier", "miss")])
+            .unwrap();
+        assert_eq!(lookup.count, 1);
+        for stage in STAGES {
+            let hist = snap
+                .histogram("oneqd_compile_stage_seconds", &[("stage", stage)])
+                .unwrap_or_else(|| panic!("stage {stage} registered"));
+            assert_eq!(hist.count, 1, "one executed compile observed for {stage}");
+        }
+    }
+}

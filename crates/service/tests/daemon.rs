@@ -308,7 +308,7 @@ fn daemon_evicts_a_slow_loris_client_without_blocking_others() {
     loop {
         let stats = http::request(addr, "GET", "/v1/stats", b"", TIMEOUT).expect("GET /v1/stats");
         let body = String::from_utf8_lossy(&stats.body).into_owned();
-        assert!(body.contains("\"schema\": \"oneqd-stats/v4\""));
+        assert!(body.contains("\"schema\": \"oneqd-stats/v5\""));
         if body.contains("\"evicted_slow_read\": 1") {
             break;
         }
@@ -321,6 +321,101 @@ fn daemon_evicts_a_slow_loris_client_without_blocking_others() {
 
     send_sigterm(&child);
     assert_eq!(child.wait().expect("wait for daemon").code(), Some(0));
+}
+
+#[test]
+fn daemon_trace_log_records_slow_requests_with_full_span_trees() {
+    let dir = tempdir("trace");
+    let log = dir.join("trace.jsonl");
+    let log_arg = log.display().to_string();
+    // Threshold well above a trivial compile and well below a large one
+    // (a 1200-qubit cx chain takes ~500 ms in the debug profile).
+    let (mut child, addr, _stdout) = spawn_daemon(&["--trace-log", &log_arg, "--slow-ms", "100"]);
+
+    // Fast request: finishes far under the threshold, so it must stay
+    // out of the JSONL sink — but its id is still echoed end to end.
+    let fast: &[u8] =
+        b"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n";
+    let resp = http::request_with_headers(
+        addr,
+        "POST",
+        "/v1/compile?file=fast.qasm",
+        &[("X-Oneqd-Request-Id", "trace-fast-1")],
+        fast,
+        TIMEOUT,
+    )
+    .expect("fast compile");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-oneqd-request-id"), Some("trace-fast-1"));
+
+    // Slow request: a long nearest-neighbor cx chain.
+    let qubits = 1200;
+    let mut slow = format!("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[{qubits}];\n");
+    for i in 0..qubits - 1 {
+        slow.push_str(&format!("cx q[{i}], q[{}];\n", i + 1));
+    }
+    let resp = http::request_with_headers(
+        addr,
+        "POST",
+        "/v1/compile?file=slow.qasm",
+        &[("X-Oneqd-Request-Id", "trace-slow-1")],
+        slow.as_bytes(),
+        TIMEOUT,
+    )
+    .expect("slow compile");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("x-oneqd-request-id"),
+        Some("trace-slow-1"),
+        "inbound request id echoed on the slow response"
+    );
+
+    // The trace closes when the last response byte flushes — an instant
+    // after the client reads it — so poll for the record.
+    let deadline = Instant::now() + TIMEOUT;
+    let line = loop {
+        let text = std::fs::read_to_string(&log).unwrap_or_default();
+        if let Some(line) = text.lines().find(|l| l.contains("\"trace-slow-1\"")) {
+            break line.to_string();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "slow trace never reached the log: {text:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(line.contains("\"request_id\": \"trace-slow-1\""), "{line}");
+    assert!(line.contains("\"route\": \"/v1/compile\""), "{line}");
+    assert!(line.contains("\"status\": 200"), "{line}");
+    assert!(line.contains("\"outcome\": \"miss\""), "{line}");
+    // The complete span tree: transport phases, cache lookup, and every
+    // compile stage, closed by the response write.
+    for span in [
+        "\"name\": \"read\"",
+        "\"name\": \"queue\"",
+        "\"name\": \"handle\"",
+        "\"name\": \"cache\"",
+        "\"name\": \"compile.parse\"",
+        "\"name\": \"compile.translate\"",
+        "\"name\": \"compile.partition\"",
+        "\"name\": \"compile.fusion_graph\"",
+        "\"name\": \"compile.mapping\"",
+        "\"name\": \"compile.shuffle\"",
+        "\"name\": \"write\"",
+    ] {
+        assert!(line.contains(span), "span {span} missing from {line}");
+    }
+
+    // --slow-ms filtering held: the fast request's id never appears.
+    let text = std::fs::read_to_string(&log).expect("trace log readable");
+    assert!(
+        !text.contains("trace-fast-1"),
+        "fast request leaked into the slow log: {text}"
+    );
+
+    send_sigterm(&child);
+    assert_eq!(child.wait().expect("wait for daemon").code(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

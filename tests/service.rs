@@ -302,7 +302,7 @@ fn repeated_requests_hit_the_cache_with_identical_bytes() {
     }
 
     let stats = get_stats(&handle);
-    assert!(stats.contains("\"schema\": \"oneqd-stats/v4\""));
+    assert!(stats.contains("\"schema\": \"oneqd-stats/v5\""));
     // Memory-only server: the disk block reports itself disabled.
     assert!(stats.contains("\"disk\": {\"enabled\": false}"));
     assert_eq!(json_u64(&stats, "fills"), files.len() as u64);
@@ -758,7 +758,7 @@ fn loadgen_emits_a_well_formed_two_mode_bench_file() {
     );
     let body = std::fs::read_to_string(&out).expect("BENCH_service.json written");
     for key in [
-        "\"schema\": \"oneq-bench-service/v4\"",
+        "\"schema\": \"oneq-bench-service/v5\"",
         // No --connections: the adversarial block is explicitly null.
         "\"event_loop\": null",
         "\"requests_per_mode\": 14",
@@ -773,6 +773,14 @@ fn loadgen_emits_a_well_formed_two_mode_bench_file() {
         "\"server_stats\": {",
         "\"warm_restart\": {",
         "\"warm_speedup\": ",
+        // v5: server-side histogram percentiles diffed from /v1/metrics.
+        "\"server_metrics\": {",
+        "\"stages\": {",
+        "\"tiers\": {",
+        "\"p999_ns\": ",
+        // v5 stats: the appended telemetry block rides along verbatim.
+        "\"telemetry\": {",
+        "\"traces_recorded\": ",
     ] {
         assert!(body.contains(key), "missing {key} in {body}");
     }
@@ -785,6 +793,168 @@ fn loadgen_emits_a_well_formed_two_mode_bench_file() {
     assert!(json_u64(warm, "disk") >= 1, "warm pass hit the disk tier");
     assert_eq!(json_u64(warm, "miss"), 0, "warm pass recompiled nothing");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Reads one exposition series value: the line starting `series ` (the
+/// full name-plus-labels prefix, then a space, then the value).
+fn metric_u64(text: &str, series: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(series).and_then(|r| r.strip_prefix(' ')))
+        .unwrap_or_else(|| panic!("series `{series}` in metrics:\n{text}"))
+        .trim()
+        .parse()
+        .expect("integer metric value")
+}
+
+#[test]
+fn metrics_endpoint_agrees_with_stats_and_counts_every_stage() {
+    let handle = spawn_server();
+    let files = fixture_files();
+    // One miss then one memory hit per fixture.
+    for path in &files {
+        let label = path.display().to_string();
+        let source = std::fs::read(path).expect("read fixture");
+        assert_eq!(post_compile(&handle, &label, &source).status, 200);
+        assert_eq!(post_compile(&handle, &label, &source).status, 200);
+    }
+
+    let stats = get_stats(&handle);
+    let resp =
+        http::request(handle.addr(), "GET", "/v1/metrics", b"", TIMEOUT).expect("GET /v1/metrics");
+    assert_eq!(resp.status, 200);
+    let content_type = resp.header("content-type").expect("content type");
+    assert!(
+        content_type.starts_with("text/plain"),
+        "exposition content type: {content_type}"
+    );
+    let text = String::from_utf8(resp.body).expect("exposition text");
+
+    for ty in [
+        "# TYPE oneqd_requests_total counter",
+        "# TYPE oneqd_compile_stage_seconds histogram",
+        "# TYPE oneqd_cache_outcomes_total counter",
+        "# TYPE oneqd_cache_lookup_seconds histogram",
+        "# TYPE oneqd_request_seconds histogram",
+        "# TYPE oneqd_queue_depth gauge",
+        "# TYPE oneqd_loop_ready_fds gauge",
+        "# TYPE oneqd_loop_iteration_seconds histogram",
+        "# TYPE oneqd_queue_wait_seconds histogram",
+        "# TYPE oneqd_response_write_seconds histogram",
+    ] {
+        assert!(text.contains(ty), "missing `{ty}` in metrics:\n{text}");
+    }
+
+    // Every pipeline stage histogram saw exactly the cold compiles (the
+    // hit pass compiled nothing).
+    let n = files.len() as u64;
+    for stage in [
+        "parse",
+        "translate",
+        "partition",
+        "fusion_graph",
+        "mapping",
+        "shuffle",
+        "wall",
+    ] {
+        assert_eq!(
+            metric_u64(
+                &text,
+                &format!("oneqd_compile_stage_seconds_count{{stage=\"{stage}\"}}")
+            ),
+            n,
+            "stage `{stage}` counted one sample per cold compile"
+        );
+    }
+    // Per-tier outcome counters match the request pattern.
+    assert_eq!(
+        metric_u64(&text, "oneqd_cache_outcomes_total{tier=\"miss\"}"),
+        n
+    );
+    assert_eq!(
+        metric_u64(&text, "oneqd_cache_outcomes_total{tier=\"memory\"}"),
+        n
+    );
+    assert_eq!(
+        metric_u64(&text, "oneqd_cache_lookup_seconds_count{tier=\"memory\"}"),
+        n
+    );
+
+    // Both surfaces render from one registry, so every overlapping
+    // number the interleaved scrapes cannot perturb must agree exactly.
+    for (stats_key, series) in [
+        ("compile_ok", "oneqd_compile_ok_total"),
+        ("compile_errors", "oneqd_compile_errors_total"),
+        ("compile_executions", "oneqd_compile_executions_total"),
+        ("fills", "oneqd_cache_fills_total"),
+        ("hits", "oneqd_cache_memory_hits_total"),
+        ("misses", "oneqd_cache_memory_misses_total"),
+        ("batch_records", "oneqd_batch_records_total"),
+    ] {
+        assert_eq!(
+            json_u64(&stats, stats_key),
+            metric_u64(&text, series),
+            "/v1/stats `{stats_key}` vs /v1/metrics `{series}`"
+        );
+    }
+    // The v5 telemetry block: every compile request above closed its
+    // trace before its response finished flushing to us.
+    assert!(json_u64(&stats, "traces_recorded") >= 2 * n);
+    assert!(json_u64(&stats, "loop_iterations") > 0);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn request_id_is_echoed_or_minted_on_every_route() {
+    let handle = spawn_server();
+    let path = &fixture_files()[0];
+    let label = path.display().to_string();
+    let source = std::fs::read(path).expect("read fixture");
+    let target = format!("/v1/compile?file={}", http::percent_encode(&label));
+
+    // A well-formed inbound id is adopted and echoed verbatim.
+    let resp = http::request_with_headers(
+        handle.addr(),
+        "POST",
+        &target,
+        &[("X-Oneqd-Request-Id", "client-id.01")],
+        &source,
+        TIMEOUT,
+    )
+    .expect("compile with inbound id");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-oneqd-request-id"), Some("client-id.01"));
+
+    // A hostile inbound id (whitespace) is replaced with a minted one.
+    let resp = http::request_with_headers(
+        handle.addr(),
+        "POST",
+        &target,
+        &[("X-Oneqd-Request-Id", "bad id with spaces")],
+        &source,
+        TIMEOUT,
+    )
+    .expect("compile with invalid id");
+    let minted = resp
+        .header("x-oneqd-request-id")
+        .expect("minted id on response")
+        .to_string();
+    assert_ne!(minted, "bad id with spaces");
+    assert!(!minted.is_empty());
+
+    // Inline routes mint ids too, distinct per request.
+    let mut ids = Vec::new();
+    for route in ["/v1/healthz", "/v1/stats", "/v1/metrics"] {
+        let resp = http::request(handle.addr(), "GET", route, b"", TIMEOUT).expect("inline route");
+        ids.push(
+            resp.header("x-oneqd-request-id")
+                .unwrap_or_else(|| panic!("{route} carries a request id"))
+                .to_string(),
+        );
+    }
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), 3, "minted ids are distinct");
+    handle.shutdown().expect("clean shutdown");
 }
 
 fn tempdir() -> PathBuf {
