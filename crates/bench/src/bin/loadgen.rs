@@ -61,6 +61,7 @@
 //! Exit code: 0 on success, 1 when any request failed (transport error or
 //! non-200), 2 on usage errors, 3 when the corpus holds no `.qasm` files.
 
+use oneq_bench::scrape::{bucket_percentile, diff_cumulative, parse_bucket_series, stats_u64};
 use oneq_service::http::{self, ClientConn};
 use oneq_service::json;
 use oneq_service::pool::run_indexed_with;
@@ -391,23 +392,6 @@ fn run_warm_restart(opt: &Options, targets: &[(String, Vec<u8>)]) -> Option<Stri
     result
 }
 
-/// Reads the first `"key": <digits>` occurrence out of a stats snapshot.
-/// Both keys this file needs (`open`, `evicted_slow_read`) appear exactly
-/// once in the `oneqd-stats/v5` document.
-fn stats_u64(stats: &str, key: &str) -> u64 {
-    let pat = format!("\"{key}\": ");
-    stats
-        .find(&pat)
-        .map(|i| {
-            stats[i + pat.len()..]
-                .chars()
-                .take_while(char::is_ascii_digit)
-                .collect::<String>()
-        })
-        .and_then(|digits| digits.parse().ok())
-        .unwrap_or(0)
-}
-
 /// One `/v1/stats` snapshot as text, or `None` on any failure.
 fn fetch_stats(addr: SocketAddr) -> Option<String> {
     http::request(addr, "GET", "/v1/stats", b"", TIMEOUT)
@@ -423,83 +407,6 @@ fn fetch_metrics(addr: SocketAddr) -> Option<String> {
         .ok()
         .filter(|r| r.status == 200)
         .map(|r| String::from_utf8_lossy(&r.body).into_owned())
-}
-
-/// Parses one exact-decimal `le` boundary (the server renders
-/// `sec.nnnnnnnnn` with exactly nine fractional digits) back to
-/// nanoseconds; `+Inf` maps to `u64::MAX`.
-fn le_to_ns(le: &str) -> Option<u64> {
-    if le == "+Inf" {
-        return Some(u64::MAX);
-    }
-    let (secs, frac) = le.split_once('.')?;
-    if frac.len() != 9 {
-        return None;
-    }
-    let secs: u64 = secs.parse().ok()?;
-    let frac: u64 = frac.parse().ok()?;
-    secs.checked_mul(1_000_000_000)?.checked_add(frac)
-}
-
-/// Cumulative histogram buckets scraped from `/v1/metrics` for one
-/// family, keyed by the value of `label_key` (e.g. `stage="mapping"`):
-/// each series is `(le_ns, cumulative_count)` in ascending `le` order,
-/// ending with the `+Inf` bucket at `u64::MAX`.
-fn parse_bucket_series(
-    text: &str,
-    family: &str,
-    label_key: &str,
-) -> std::collections::BTreeMap<String, Vec<(u64, u64)>> {
-    let mut series: std::collections::BTreeMap<String, Vec<(u64, u64)>> =
-        std::collections::BTreeMap::new();
-    let prefix = format!("{family}_bucket{{");
-    for line in text.lines() {
-        let Some(rest) = line.strip_prefix(&prefix) else {
-            continue;
-        };
-        let Some((labels, value)) = rest.split_once("} ") else {
-            continue;
-        };
-        let mut key = None;
-        let mut le = None;
-        for pair in labels.split(',') {
-            let Some((name, quoted)) = pair.split_once("=\"") else {
-                continue;
-            };
-            let v = quoted.trim_end_matches('"');
-            if name == label_key {
-                key = Some(v.to_string());
-            } else if name == "le" {
-                le = le_to_ns(v);
-            }
-        }
-        let (Some(key), Some(le), Ok(count)) = (key, le, value.trim().parse::<u64>()) else {
-            continue;
-        };
-        series.entry(key).or_default().push((le, count));
-    }
-    series
-}
-
-/// Nearest-rank percentile over a *windowed* cumulative bucket series
-/// (after-scrape counts minus before-scrape counts — still cumulative).
-/// Returns the `le` upper bound of the bucket holding the rank; when the
-/// rank only lands in `+Inf`, the largest finite boundary is reported.
-fn bucket_percentile(buckets: &[(u64, u64)], total: u64, p: f64) -> u64 {
-    if total == 0 {
-        return 0;
-    }
-    let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
-    let mut last_finite = 0;
-    for &(le, cum) in buckets {
-        if le != u64::MAX {
-            last_finite = le;
-        }
-        if cum >= rank {
-            return if le == u64::MAX { last_finite } else { le };
-        }
-    }
-    last_finite
 }
 
 /// The `"server_metrics"` block: per-stage compile and per-tier cache
@@ -526,16 +433,7 @@ fn server_metrics_json(before: &str, after: &str) -> String {
             // Diff against the start-of-run scrape (a series absent
             // there simply started at zero), keeping the result
             // cumulative over exactly this harness run.
-            let before_buckets = before.get(key);
-            let diffed: Vec<(u64, u64)> = after_buckets
-                .iter()
-                .map(|&(le, cum)| {
-                    let base = before_buckets
-                        .and_then(|b| b.iter().find(|(ble, _)| *ble == le))
-                        .map_or(0, |&(_, c)| c);
-                    (le, cum.saturating_sub(base))
-                })
-                .collect();
+            let diffed = diff_cumulative(before.get(key).map(Vec::as_slice), after_buckets);
             let total = diffed.last().map_or(0, |&(_, cum)| cum);
             if !first {
                 out.push_str(", ");

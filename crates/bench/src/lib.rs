@@ -20,12 +20,15 @@
 //! 2.0 files (via `oneq-frontend`) to JSONL metrics, `sweep` records the
 //! perf trajectory, `loadgen` replays the fixture corpus against the
 //! `oneqd` compile service and records throughput/latency/cache-hit rate
-//! (`BENCH_service.json`), and `gen_qasm_fixtures` keeps the `.qasm`
-//! fixture corpus under `tests/fixtures/qasm/` in sync with the
-//! constructors.
+//! (`BENCH_service.json`), `oneq-top` is a live terminal cockpit over a
+//! running daemon's `/v1/metrics` and `/v1/stats` (see [`scrape`]), and
+//! `gen_qasm_fixtures` keeps the `.qasm` fixture corpus under
+//! `tests/fixtures/qasm/` in sync with the constructors.
 //!
 //! Criterion benches under `benches/` measure compiler performance per
 //! stage and end to end.
+
+pub mod scrape;
 
 use oneq::{Compiler, CompilerOptions};
 use oneq_baseline::BaselineResult;

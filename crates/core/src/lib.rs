@@ -47,6 +47,9 @@ mod pipeline;
 pub mod viz;
 
 pub use fusion_graph::FusionGraph;
-pub use mapping::{CellUse, LayerLayout, MappingOptions, MappingResult};
+pub use mapping::{CellUse, LayerLayout, MapProfile, MappingOptions, MappingResult};
 pub use partition::{Partition, PartitionOptions, PartitionResult};
-pub use pipeline::{CompiledProgram, Compiler, CompilerOptions, StageStats, StageTimings};
+pub use pipeline::{
+    CompileProfile, CompiledProgram, Compiler, CompilerOptions, PartitionProfile, StageStats,
+    StageTimings,
+};

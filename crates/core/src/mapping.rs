@@ -188,6 +188,32 @@ pub struct ShuffleEdge {
     pub to: (usize, Position),
 }
 
+/// Profiling counters from one [`map_graph`] run: where the mapper spent
+/// its effort, how congested the grid got, and whether scratch buffers were
+/// reused or reallocated. Pure observation — collecting these never changes
+/// a placement or routing decision, so mapping stays bit-identical with
+/// profiling on (the determinism suite pins this).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MapProfile {
+    /// BFS searches started by the in-layer router.
+    pub bfs_searches: u64,
+    /// Cells expanded (newly visited) across all BFS searches.
+    pub bfs_expansions: u64,
+    /// Router scratch re-arms that had to grow the buffers.
+    pub scratch_grows: u64,
+    /// Router scratch re-arms that reused the buffers allocation-free.
+    pub scratch_reuses: u64,
+    /// Manhattan ring scans for seed/forced placements.
+    pub seed_scans: u64,
+    /// Largest ring radius a seed scan had to reach before finding a free
+    /// cell — a congestion signal: 0 means the target itself was free.
+    pub seed_scan_radius_max: u64,
+    /// High-water mark of occupied cells on any single layer.
+    pub occupancy_peak: u64,
+    /// Total cells consumed by routed fusion paths across all layers.
+    pub routing_cells: u64,
+}
+
 /// The result of mapping one fusion graph.
 #[derive(Debug, Clone)]
 pub struct MappingResult {
@@ -210,6 +236,8 @@ pub struct MappingResult {
     /// the directly mapped / in-layer routed edges, then the shuffled
     /// ones. Contains each input edge exactly once.
     pub realized_edges: Vec<Edge>,
+    /// Effort and congestion counters from this run.
+    pub profile: MapProfile,
 }
 
 impl MappingResult {
@@ -265,6 +293,8 @@ struct Mapper<'g> {
     routed_fusions: usize,
     /// Reusable BFS buffers for the in-layer router.
     scratch: BfsScratch,
+    seed_scans: u64,
+    seed_scan_radius_max: u64,
 }
 
 impl<'g> Mapper<'g> {
@@ -283,6 +313,8 @@ impl<'g> Mapper<'g> {
             direct_fusions: 0,
             routed_fusions: 0,
             scratch: BfsScratch::new(),
+            seed_scans: 0,
+            seed_scan_radius_max: 0,
         }
     }
 
@@ -374,6 +406,24 @@ impl<'g> Mapper<'g> {
             .filter_map(|(i, &slot)| slot.map(|lp| (NodeId::new(i), lp)))
             .collect();
 
+        // The mapper only ever adds cells, so the end-of-run occupancy of
+        // each layer IS its high-water mark.
+        let profile = MapProfile {
+            bfs_searches: self.scratch.searches(),
+            bfs_expansions: self.scratch.visits(),
+            scratch_grows: self.scratch.grows(),
+            scratch_reuses: self.scratch.reuses(),
+            seed_scans: self.seed_scans,
+            seed_scan_radius_max: self.seed_scan_radius_max,
+            occupancy_peak: self
+                .layouts
+                .iter()
+                .map(|l| l.grid().occupied_cells() as u64)
+                .max()
+                .unwrap_or(0),
+            routing_cells: self.layouts.iter().map(|l| l.routing_cells() as u64).sum(),
+        };
+
         MappingResult {
             layouts: self.layouts,
             shuffled,
@@ -383,6 +433,7 @@ impl<'g> Mapper<'g> {
             shuffle_fusions,
             placement,
             realized_edges: self.realized,
+            profile,
         }
     }
 
@@ -457,9 +508,20 @@ impl<'g> Mapper<'g> {
     /// Seed position for a fresh component: the nearest free cell to the
     /// grid center, found by a deterministic Manhattan ring scan
     /// (see [`nearest_free_cell`] for the tie-break rule).
-    fn pick_seed_cell(&self) -> Option<Position> {
+    fn pick_seed_cell(&mut self) -> Option<Position> {
         let center = Position::new(self.geometry.rows() / 2, self.geometry.cols() / 2);
-        nearest_free_cell(&self.layouts[self.cur()], center)
+        self.tracked_nearest_free(center)
+    }
+
+    /// [`nearest_free_cell`] on the current layer, with the scan counted
+    /// and its ring radius folded into the congestion high-water mark.
+    fn tracked_nearest_free(&mut self, target: Position) -> Option<Position> {
+        self.seed_scans += 1;
+        let found = nearest_free_cell(&self.layouts[self.cur()], target);
+        if let Some(p) = found {
+            self.seed_scan_radius_max = self.seed_scan_radius_max.max(p.manhattan(target) as u64);
+        }
+        found
     }
 
     fn place_node(&mut self, n: NodeId, p: Position) {
@@ -623,7 +685,7 @@ impl<'g> Mapper<'g> {
             self.geometry.rows() / 2,
             self.geometry.cols() / 2,
         ));
-        if let Some(p) = nearest_free_cell(&self.layouts[self.cur()], target) {
+        if let Some(p) = self.tracked_nearest_free(target) {
             self.place_node(n, p);
             return;
         }
@@ -1201,6 +1263,7 @@ mod tests {
             let b = map_graph(&g, LayerGeometry::new(7, 7), &opts());
             assert_eq!(a.placement, b.placement);
             assert_eq!(a.realized_edges, b.realized_edges);
+            assert_eq!(a.profile, b.profile, "profile counters are deterministic");
             assert_eq!(a.total_fusions(), b.total_fusions());
             assert_eq!(a.depth(), b.depth());
             assert_eq!(a.layouts.len(), b.layouts.len());
@@ -1212,6 +1275,36 @@ mod tests {
                     lb.grid().iter().map(|(p, &c)| (p, c)).collect();
                 assert_eq!(cells_a, cells_b);
             }
+        }
+    }
+
+    #[test]
+    fn map_profile_reflects_the_work_done() {
+        let g = generators::grid(5, 5);
+        let r = map_graph(&g, LayerGeometry::new(7, 7), &opts());
+        let p = r.profile;
+        assert!(p.seed_scans >= 1, "at least the first seed placement scans");
+        assert!(
+            p.occupancy_peak >= g.node_count() as u64 / r.layouts.len() as u64,
+            "peak occupancy covers the placed nodes: {p:?}"
+        );
+        assert_eq!(
+            p.routing_cells,
+            r.layouts
+                .iter()
+                .map(|l| l.routing_cells() as u64)
+                .sum::<u64>()
+        );
+        assert_eq!(
+            p.bfs_searches,
+            p.scratch_grows + p.scratch_reuses,
+            "every search either grew or reused the scratch"
+        );
+        if p.bfs_searches > 0 {
+            assert!(
+                p.bfs_expansions >= p.bfs_searches,
+                "each search visits ≥ 1 cell"
+            );
         }
     }
 

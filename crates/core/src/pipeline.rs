@@ -134,6 +134,53 @@ impl StageTimings {
     }
 }
 
+/// Per-partition compiler-internals profile: where one partition's fusion
+/// graph and mapping spent their time and effort.
+///
+/// Like [`StageTimings`], profiles are measurement artifacts kept outside
+/// [`StageStats`]: the timing fields differ between identical compiles
+/// while every counter (nodes, BFS expansions, radii, occupancy) is
+/// deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartitionProfile {
+    /// Fusion-graph generation time for this partition.
+    pub fusion_graph_ns: u128,
+    /// Mapping & routing time for this partition.
+    pub mapping_ns: u128,
+    /// Fusion-graph nodes this partition contributed.
+    pub nodes: usize,
+    /// The mapper's effort and congestion counters.
+    pub map: mapping::MapProfile,
+}
+
+/// Compiler-internals profile for one whole compilation: one entry per
+/// partition, in schedule order. Rides out-of-band next to [`StageTimings`]
+/// — record bytes and [`StageStats`] never include it.
+#[derive(Debug, Clone, Default)]
+pub struct CompileProfile {
+    /// Per-partition profiles in the order partitions were compiled.
+    pub partitions: Vec<PartitionProfile>,
+}
+
+impl CompileProfile {
+    /// The mapper counters summed across partitions — the shape the
+    /// service's `oneqd_compile_*` counter families want.
+    pub fn totals(&self) -> mapping::MapProfile {
+        let mut total = mapping::MapProfile::default();
+        for p in &self.partitions {
+            total.bfs_searches += p.map.bfs_searches;
+            total.bfs_expansions += p.map.bfs_expansions;
+            total.scratch_grows += p.map.scratch_grows;
+            total.scratch_reuses += p.map.scratch_reuses;
+            total.seed_scans += p.map.seed_scans;
+            total.seed_scan_radius_max = total.seed_scan_radius_max.max(p.map.seed_scan_radius_max);
+            total.occupancy_peak = total.occupancy_peak.max(p.map.occupancy_peak);
+            total.routing_cells += p.map.routing_cells;
+        }
+        total
+    }
+}
+
 /// The compiled program: the paper's two metrics plus the layouts.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
@@ -147,6 +194,8 @@ pub struct CompiledProgram {
     pub layouts: Vec<LayerLayout>,
     /// Per-stage wall-clock timings of this compilation.
     pub timings: StageTimings,
+    /// Per-partition compiler-internals profile.
+    pub profile: CompileProfile,
 }
 
 impl CompiledProgram {
@@ -267,20 +316,30 @@ impl Compiler {
         let mut global_place: HashMap<NodeId, (usize, Position)> = HashMap::new();
         let mut global_layer_base = 0usize;
 
+        let mut profile = CompileProfile::default();
+
         // Stages 2 & 3 per partition.
         for part in &parts.partitions {
             let t_fg = Instant::now();
             let fg = fusion_graph::generate(&part.subgraph, &part.full_degree, opt.resource_kind);
-            timings.fusion_graph_ns += t_fg.elapsed().as_nanos();
+            let fg_ns = t_fg.elapsed().as_nanos();
+            timings.fusion_graph_ns += fg_ns;
             stats.fusion_graph_nodes += fg.node_count();
 
             let t_map = Instant::now();
             let map = mapping::map_graph(fg.graph(), ext_geometry, &opt.mapping);
-            timings.mapping_ns += t_map.elapsed().as_nanos();
+            let map_ns = t_map.elapsed().as_nanos();
+            timings.mapping_ns += map_ns;
             stats.direct_fusions += map.direct_fusions;
             stats.routed_fusions += map.routed_fusions;
             stats.shuffle_fusions += map.shuffle_fusions;
             fusions += map.total_fusions();
+            profile.partitions.push(PartitionProfile {
+                fusion_graph_ns: fg_ns,
+                mapping_ns: map_ns,
+                nodes: fg.node_count(),
+                map: map.profile,
+            });
 
             // Record representative placements for cross-partition edges.
             for (local, &global) in part.global_nodes.iter().enumerate() {
@@ -324,6 +383,7 @@ impl Compiler {
             stats,
             layouts,
             timings,
+            profile,
         }
     }
 }

@@ -220,6 +220,10 @@ pub struct BfsScratch {
     epoch: u32,
     /// The BFS frontier as `(cell index, depth)` pairs.
     pub queue: VecDeque<(u32, u32)>,
+    searches: u64,
+    visits: u64,
+    grows: u64,
+    reuses: u64,
 }
 
 impl BfsScratch {
@@ -231,9 +235,13 @@ impl BfsScratch {
     /// Starts a fresh search over `area` cells: clears the queue and
     /// invalidates all marks in O(1).
     pub fn begin(&mut self, area: usize) {
+        self.searches += 1;
         if self.mark.len() < area {
             self.mark.resize(area, 0);
             self.prev.resize(area, 0);
+            self.grows += 1;
+        } else {
+            self.reuses += 1;
         }
         if self.epoch == u32::MAX {
             self.mark.fill(0);
@@ -251,6 +259,7 @@ impl BfsScratch {
         }
         self.mark[cell] = self.epoch;
         self.prev[cell] = prev as u32;
+        self.visits += 1;
         true
     }
 
@@ -263,6 +272,27 @@ impl BfsScratch {
     pub fn prev(&self, cell: usize) -> usize {
         debug_assert!(self.is_visited(cell));
         self.prev[cell] as usize
+    }
+
+    /// Lifetime number of searches started ([`BfsScratch::begin`] calls).
+    pub fn searches(&self) -> u64 {
+        self.searches
+    }
+
+    /// Lifetime number of cells newly visited (successful
+    /// [`BfsScratch::try_visit`] calls) — the BFS expansion count.
+    pub fn visits(&self) -> u64 {
+        self.visits
+    }
+
+    /// Lifetime number of `begin` calls that had to grow the buffers.
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    /// Lifetime number of `begin` calls that reused the buffers as-is.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
     }
 }
 
@@ -483,5 +513,21 @@ mod tests {
         bfs.begin(100);
         assert!(bfs.try_visit(99, 98));
         assert_eq!(bfs.prev(99), 98);
+    }
+
+    #[test]
+    fn bfs_scratch_profiling_counters_track_lifetime_activity() {
+        let mut bfs = BfsScratch::new();
+        bfs.begin(16); // first begin allocates
+        assert!(bfs.try_visit(0, 0));
+        assert!(bfs.try_visit(1, 0));
+        assert!(!bfs.try_visit(1, 0), "revisit does not count");
+        bfs.begin(16); // same area: reuse
+        assert!(bfs.try_visit(2, 0));
+        bfs.begin(64); // larger area: grow
+        assert_eq!(bfs.searches(), 3);
+        assert_eq!(bfs.visits(), 3);
+        assert_eq!(bfs.grows(), 2);
+        assert_eq!(bfs.reuses(), 1);
     }
 }

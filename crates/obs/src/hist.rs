@@ -12,7 +12,8 @@
 //! answer nearest-rank quantile queries by walking the bucket array.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
 
 /// log2 of the number of linear sub-buckets per octave.
 pub const SUB_BITS: u32 = 3;
@@ -55,12 +56,39 @@ pub fn bucket_upper(index: usize) -> u64 {
     lower + (1u64 << shift) - 1
 }
 
+/// The request id and timestamp of one bucket's most recent observation —
+/// the OpenMetrics exemplar concept: a fat-tail bucket links directly to a
+/// fetchable trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Request id of the observation (`X-Oneqd-Request-Id` value).
+    pub request_id: String,
+    /// The observed value in nanoseconds (pre-clamp bucket member).
+    pub value_ns: u64,
+    /// Wall-clock milliseconds since the Unix epoch when it was recorded.
+    pub unix_ms: u64,
+}
+
+/// Milliseconds since the Unix epoch, saturating at 0 for pre-epoch clocks.
+fn now_unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
 /// Shared recording core: one atomic per bucket plus running sum and count.
+/// Exemplars live behind a separate mutex touched only by
+/// [`Histogram::record_with_exemplar`] — the plain `record` path stays
+/// lock-free, and the exemplar lock is held for one sparse-vec binary
+/// search (≤ one slot per non-empty bucket).
 #[derive(Debug)]
 struct Core {
     buckets: Vec<AtomicU64>,
     sum_ns: AtomicU64,
     count: AtomicU64,
+    /// Sparse `(bucket index, exemplar)` pairs, sorted by bucket index.
+    exemplars: Mutex<Vec<(u32, Exemplar)>>,
 }
 
 /// A lock-free log-linear latency histogram handle.
@@ -81,6 +109,7 @@ impl Histogram {
                 buckets,
                 sum_ns: AtomicU64::new(0),
                 count: AtomicU64::new(0),
+                exemplars: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -102,6 +131,26 @@ impl Histogram {
         self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
     }
 
+    /// [`Histogram::record`] plus an exemplar: the target bucket remembers
+    /// this observation's request id and wall-clock time, replacing any
+    /// earlier exemplar for the same bucket (most recent wins). The bucket
+    /// counter update stays lock-free; only the exemplar slot takes the
+    /// bounded mutex.
+    pub fn record_with_exemplar(&self, ns: u64, request_id: &str) {
+        self.record(ns);
+        let index = bucket_index(ns) as u32;
+        let exemplar = Exemplar {
+            request_id: request_id.to_string(),
+            value_ns: ns.min(MAX_TRACKED),
+            unix_ms: now_unix_ms(),
+        };
+        let mut slots = self.core.exemplars.lock().expect("exemplar lock poisoned");
+        match slots.binary_search_by_key(&index, |(i, _)| *i) {
+            Ok(at) => slots[at].1 = exemplar,
+            Err(at) => slots.insert(at, (index, exemplar)),
+        }
+    }
+
     /// Total number of recorded observations.
     pub fn count(&self) -> u64 {
         self.core.count.load(Ordering::Relaxed)
@@ -119,10 +168,19 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
+        let exemplars = self
+            .core
+            .exemplars
+            .lock()
+            .expect("exemplar lock poisoned")
+            .iter()
+            .map(|(i, e)| (*i as usize, e.clone()))
+            .collect();
         HistogramSnapshot {
             count: buckets.iter().sum(),
             sum_ns: self.core.sum_ns.load(Ordering::Relaxed),
             buckets,
+            exemplars,
         }
     }
 }
@@ -142,6 +200,9 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all recorded values in nanoseconds.
     pub sum_ns: u64,
+    /// Sparse `(bucket index, exemplar)` pairs, sorted by bucket index —
+    /// one slot per bucket that ever saw an exemplar-tagged observation.
+    pub exemplars: Vec<(usize, Exemplar)>,
 }
 
 impl HistogramSnapshot {
@@ -151,10 +212,12 @@ impl HistogramSnapshot {
             buckets: vec![0; NUM_BUCKETS],
             count: 0,
             sum_ns: 0,
+            exemplars: Vec::new(),
         }
     }
 
     /// Merge another snapshot into this one (bucket-wise addition).
+    /// Exemplars merge per bucket with the newer timestamp winning.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         if self.buckets.len() < other.buckets.len() {
             self.buckets.resize(other.buckets.len(), 0);
@@ -166,6 +229,27 @@ impl HistogramSnapshot {
         // Sums can legitimately saturate when extreme (clamped) observations
         // are merged; counts and buckets stay exact.
         self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        for (index, theirs) in &other.exemplars {
+            match self.exemplars.binary_search_by_key(index, |(i, _)| *i) {
+                Ok(at) => {
+                    if theirs.unix_ms >= self.exemplars[at].1.unix_ms {
+                        self.exemplars[at].1 = theirs.clone();
+                    }
+                }
+                Err(at) => self.exemplars.insert(at, (*index, theirs.clone())),
+            }
+        }
+    }
+
+    /// The newest exemplar whose bucket index lies in `lo..=hi` — the shape
+    /// the exposition renderer needs: one candidate per cumulative-bucket
+    /// window. Returns `None` when no bucket in the window has one.
+    pub fn exemplar_in(&self, lo: usize, hi: usize) -> Option<&Exemplar> {
+        self.exemplars
+            .iter()
+            .filter(|(i, _)| *i >= lo && *i <= hi)
+            .max_by_key(|(_, e)| e.unix_ms)
+            .map(|(_, e)| e)
     }
 
     /// Nearest-rank quantile in nanoseconds.
@@ -215,6 +299,73 @@ mod tests {
         // Saturation: anything huge lands in the final bucket.
         assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
         assert_eq!(bucket_index(MAX_TRACKED), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn exemplars_track_the_most_recent_observation_per_bucket() {
+        let hist = Histogram::new();
+        hist.record_with_exemplar(100, "first");
+        hist.record_with_exemplar(100, "second"); // same bucket: replaces
+        hist.record_with_exemplar(1_000_000, "tail");
+        hist.record(5); // plain records leave no exemplar
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.exemplars.len(), 2);
+        let at_100 = snap
+            .exemplar_in(bucket_index(100), bucket_index(100))
+            .expect("bucket has an exemplar");
+        assert_eq!(at_100.request_id, "second");
+        assert_eq!(at_100.value_ns, 100);
+        let tail = snap
+            .exemplar_in(bucket_index(1_000_000), NUM_BUCKETS - 1)
+            .expect("tail window");
+        assert_eq!(tail.request_id, "tail");
+        assert!(snap.exemplar_in(bucket_index(5), bucket_index(5)).is_none());
+        // Saturating values clamp like `record` does.
+        hist.record_with_exemplar(u64::MAX, "huge");
+        let snap = hist.snapshot();
+        let last = snap
+            .exemplar_in(NUM_BUCKETS - 1, NUM_BUCKETS - 1)
+            .expect("saturated bucket");
+        assert_eq!(last.request_id, "huge");
+        assert_eq!(last.value_ns, MAX_TRACKED);
+    }
+
+    #[test]
+    fn exemplar_merge_keeps_the_newer_timestamp() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_with_exemplar(100, "older");
+        b.record_with_exemplar(100, "newer");
+        b.record_with_exemplar(2_000, "only-b");
+        let mut older = a.snapshot();
+        let mut newer = b.snapshot();
+        // Force a deterministic ordering: wall clocks may tie at ms grain.
+        older.exemplars[0].1.unix_ms = 1_000;
+        newer.exemplars[0].1.unix_ms = 2_000;
+        let mut merged = older.clone();
+        merged.merge(&newer);
+        let won = merged
+            .exemplar_in(bucket_index(100), bucket_index(100))
+            .expect("merged exemplar");
+        assert_eq!(won.request_id, "newer");
+        assert_eq!(
+            merged
+                .exemplar_in(bucket_index(2_000), bucket_index(2_000))
+                .expect("b-only exemplar carries over")
+                .request_id,
+            "only-b"
+        );
+        // Merging the other way: the newer side still wins.
+        let mut reversed = newer;
+        reversed.merge(&older);
+        assert_eq!(
+            reversed
+                .exemplar_in(bucket_index(100), bucket_index(100))
+                .expect("merged exemplar")
+                .request_id,
+            "newer"
+        );
     }
 
     #[test]

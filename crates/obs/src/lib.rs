@@ -27,7 +27,9 @@ mod hist;
 mod registry;
 mod trace;
 
-pub use hist::{bucket_index, bucket_upper, Histogram, HistogramSnapshot, NUM_BUCKETS, SUB_COUNT};
+pub use hist::{
+    bucket_index, bucket_upper, Exemplar, Histogram, HistogramSnapshot, NUM_BUCKETS, SUB_COUNT,
+};
 pub use registry::{Counter, Gauge, Kind, Registry, SnapFamily, SnapSeries, SnapValue, Snapshot};
 pub use trace::{valid_request_id, RequestIds, Span, TraceBuffer, TraceRecord};
 

@@ -11,7 +11,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::hist::{bucket_upper, Histogram, HistogramSnapshot};
+use crate::hist::{bucket_upper, Exemplar, Histogram, HistogramSnapshot};
 
 /// A monotone counter handle (relaxed atomic increments).
 #[derive(Clone, Debug, Default)]
@@ -55,6 +55,12 @@ impl Gauge {
     /// Set the gauge.
     pub fn set(&self, n: u64) {
         self.value.store(n, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `n` if `n` is higher — a lock-free high-water
+    /// mark for peak-style gauges fed from many threads.
+    pub fn set_max(&self, n: u64) {
+        self.value.fetch_max(n, Ordering::Relaxed);
     }
 
     /// Current value.
@@ -388,6 +394,7 @@ const EXPO_STRIDE: usize = 2;
 fn render_histogram(out: &mut String, name: &str, series: &SnapSeries, h: &HistogramSnapshot) {
     let mut cumulative = 0u64;
     let mut next = 0usize;
+    let mut window_lo = 0usize;
     for index in (EXPO_FIRST..=EXPO_LAST).step_by(EXPO_STRIDE) {
         while next < h.buckets.len() && next <= index {
             cumulative += h.buckets[next];
@@ -398,13 +405,19 @@ fn render_histogram(out: &mut String, name: &str, series: &SnapSeries, h: &Histo
         push_labels(out, &series.labels, Some(&fmt_seconds(bucket_upper(index))));
         out.push(' ');
         out.push_str(&cumulative.to_string());
+        // Each exposed boundary annotates the newest exemplar from the
+        // internal buckets it newly covers, so an exemplar appears on
+        // exactly one ladder line — the first whose `le` admits it.
+        push_exemplar(out, h.exemplar_in(window_lo, index));
         out.push('\n');
+        window_lo = index + 1;
     }
     out.push_str(name);
     out.push_str("_bucket");
     push_labels(out, &series.labels, Some("+Inf"));
     out.push(' ');
     out.push_str(&h.count.to_string());
+    push_exemplar(out, h.exemplar_in(window_lo, usize::MAX));
     out.push('\n');
     out.push_str(name);
     out.push_str("_sum");
@@ -423,6 +436,20 @@ fn render_histogram(out: &mut String, name: &str, series: &SnapSeries, h: &Histo
 /// Exact decimal rendering of a nanosecond quantity as seconds.
 fn fmt_seconds(ns: u64) -> String {
     format!("{}.{:09}", ns / 1_000_000_000, ns % 1_000_000_000)
+}
+
+/// OpenMetrics-style exemplar suffix on a bucket sample line:
+/// ` # {request_id="..."} <value_seconds> <unix_seconds>`. Scrapers that
+/// predate exemplars treat everything from `#` on as a comment, so the
+/// base sample stays parseable either way.
+fn push_exemplar(out: &mut String, exemplar: Option<&Exemplar>) {
+    let Some(e) = exemplar else { return };
+    out.push_str(" # {request_id=\"");
+    push_escaped(out, &e.request_id);
+    out.push_str("\"} ");
+    out.push_str(&fmt_seconds(e.value_ns));
+    out.push(' ');
+    out.push_str(&format!("{}.{:03}", e.unix_ms / 1000, e.unix_ms % 1000));
 }
 
 fn push_labels(out: &mut String, labels: &[(String, String)], le: Option<&str>) {
@@ -518,5 +545,43 @@ mod tests {
             assert!(v >= last, "non-monotonic bucket line: {line}");
             last = v;
         }
+    }
+
+    #[test]
+    fn exemplars_annotate_exactly_one_ladder_line_each() {
+        let registry = Registry::new();
+        let h = registry.histogram("ex_seconds", "ex", &[("route", "compile")]);
+        h.record_with_exemplar(1_000_000, "req-mid"); // inside the ladder
+        h.record_with_exemplar(60_000_000_000, "req-inf"); // beyond it
+        h.record(2_000_000_000); // plain record: no annotation
+        let text = registry.snapshot().render_prometheus();
+        let annotated: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains(" # {request_id="))
+            .collect();
+        assert_eq!(annotated.len(), 2, "one line per exemplar:\n{text}");
+        let mid = annotated
+            .iter()
+            .find(|l| l.contains("req-mid"))
+            .expect("mid exemplar");
+        // Suffix shape: sample, then `# {labels} value timestamp`.
+        let (sample, suffix) = mid.split_once(" # ").unwrap();
+        assert!(sample.starts_with("ex_seconds_bucket{route=\"compile\",le=\""));
+        let mut parts = suffix.split(' ');
+        assert_eq!(parts.next(), Some("{request_id=\"req-mid\"}"));
+        assert_eq!(parts.next(), Some("0.001000000"));
+        let ts = parts.next().expect("timestamp present");
+        assert!(ts.contains('.'), "unix seconds with decimals: {ts}");
+        assert_eq!(parts.next(), None);
+        // The exemplar lands on the first boundary whose `le` admits it.
+        let le_start = sample.find("le=\"").unwrap() + 4;
+        let le = &sample[le_start..sample[le_start..].find('"').unwrap() + le_start];
+        let (secs, frac) = le.split_once('.').unwrap();
+        let le_ns = secs.parse::<u64>().unwrap() * 1_000_000_000 + frac.parse::<u64>().unwrap();
+        assert!(le_ns >= 1_000_000, "boundary admits the value");
+        // The out-of-ladder exemplar rides the +Inf line.
+        assert!(annotated
+            .iter()
+            .any(|l| l.contains("le=\"+Inf\"") && l.contains("req-inf")));
     }
 }

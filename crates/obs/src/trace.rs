@@ -8,7 +8,7 @@ use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// One timed phase inside a request, offset-addressed from request start.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Span {
     /// Phase name (`read`, `queue`, `handle`, `cache`, `compile.mapping`,
     /// `write`, ...).
@@ -17,16 +17,27 @@ pub struct Span {
     pub start_ns: u64,
     /// Span duration in nanoseconds.
     pub dur_ns: u64,
+    /// Optional numeric attributes (per-partition compile profile counters
+    /// and the like). Empty for plain timing spans; keys are fixed at the
+    /// call site, never client-controlled.
+    pub attrs: Vec<(&'static str, u64)>,
 }
 
 impl Span {
-    /// Construct a span.
+    /// Construct a span with no attributes.
     pub fn new(name: &'static str, start_ns: u64, dur_ns: u64) -> Self {
         Span {
             name,
             start_ns,
             dur_ns,
+            attrs: Vec::new(),
         }
+    }
+
+    /// The same span carrying numeric attributes.
+    pub fn with_attrs(mut self, attrs: Vec<(&'static str, u64)>) -> Self {
+        self.attrs = attrs;
+        self
     }
 
     /// The same span re-based `offset_ns` later — used when splicing a
@@ -58,7 +69,9 @@ pub struct TraceRecord {
 }
 
 impl TraceRecord {
-    /// Encode as a single JSON line (no trailing newline).
+    /// Encode as a single JSON line (no trailing newline). Spans with
+    /// attributes gain an `"attrs"` object; plain spans render exactly as
+    /// before, so pre-existing trace-log consumers see unchanged lines.
     ///
     /// ```
     /// use oneq_obs::{Span, TraceRecord};
@@ -70,7 +83,7 @@ impl TraceRecord {
     ///     status: 200,
     ///     outcome: "miss".to_string(),
     ///     total_ns: 1500,
-    ///     spans: vec![Span { name: "read", start_ns: 0, dur_ns: 500 }],
+    ///     spans: vec![Span::new("read", 0, 500)],
     /// };
     /// assert_eq!(
     ///     record.to_json(),
@@ -104,6 +117,18 @@ impl TraceRecord {
             out.push_str(&span.start_ns.to_string());
             out.push_str(", \"dur_ns\": ");
             out.push_str(&span.dur_ns.to_string());
+            if !span.attrs.is_empty() {
+                out.push_str(", \"attrs\": {");
+                for (j, (key, value)) in span.attrs.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    push_json_string(&mut out, key);
+                    out.push_str(": ");
+                    out.push_str(&value.to_string());
+                }
+                out.push('}');
+            }
             out.push('}');
         }
         out.push_str("]}");
@@ -182,6 +207,53 @@ impl TraceBuffer {
         let ring = self.ring.lock().expect("trace ring poisoned");
         let skip = ring.len().saturating_sub(n);
         ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Look up the newest buffered record with the given request id.
+    ///
+    /// Ids are adopted from clients, so duplicates are possible; the newest
+    /// match wins (it is the one the client just received the id for).
+    /// Returns `None` once the record has been evicted by the ring bound.
+    pub fn get(&self, id: &str) -> Option<TraceRecord> {
+        let ring = self.ring.lock().expect("trace ring poisoned");
+        ring.iter().rev().find(|r| r.id == id).cloned()
+    }
+
+    /// Filtered scan, newest first, at most `limit` records.
+    ///
+    /// Each filter is conjunctive: `route` matches exactly, `status` matches
+    /// exactly, `min_total_ns` keeps records at least that slow. The lock is
+    /// held for one bounded pass over the ring (≤ capacity records).
+    pub fn query(
+        &self,
+        route: Option<&str>,
+        status: Option<u16>,
+        min_total_ns: Option<u64>,
+        limit: usize,
+    ) -> Vec<TraceRecord> {
+        let ring = self.ring.lock().expect("trace ring poisoned");
+        ring.iter()
+            .rev()
+            .filter(|r| route.map_or(true, |want| r.route == want))
+            .filter(|r| status.map_or(true, |want| r.status == want))
+            .filter(|r| min_total_ns.map_or(true, |want| r.total_ns >= want))
+            .take(limit)
+            .cloned()
+            .collect()
+    }
+
+    /// The `n` slowest buffered records by end-to-end time, slowest first.
+    /// Ties break toward the newer record so a fresh spike outranks stale
+    /// history at the same latency.
+    pub fn slowest(&self, n: usize) -> Vec<TraceRecord> {
+        let ring = self.ring.lock().expect("trace ring poisoned");
+        let mut all: Vec<TraceRecord> = ring.iter().cloned().collect();
+        drop(ring);
+        // Newest-first before the stable sort ⇒ newer wins ties.
+        all.reverse();
+        all.sort_by_key(|r| std::cmp::Reverse(r.total_ns));
+        all.truncate(n);
+        all
     }
 }
 
@@ -275,14 +347,85 @@ mod tests {
     #[test]
     fn json_encoding_escapes_hostile_ids() {
         let mut r = record("a\"b\\c\nd");
-        r.spans.push(Span {
-            name: "read",
-            start_ns: 0,
-            dur_ns: 2,
-        });
+        r.spans.push(Span::new("read", 0, 2));
         let line = r.to_json();
         assert!(line.contains("\"request_id\": \"a\\\"b\\\\c\\nd\""));
         assert!(!line.contains('\n'), "record stays on one line");
+    }
+
+    #[test]
+    fn span_attrs_render_as_a_json_object_only_when_present() {
+        let mut r = record("attrs-1");
+        r.spans.push(Span::new("read", 0, 2));
+        r.spans.push(
+            Span::new("compile.mapping.partition", 2, 5)
+                .with_attrs(vec![("partition", 0), ("bfs_expansions", 42)]),
+        );
+        let line = r.to_json();
+        assert!(line.contains(
+            "{\"name\": \"read\", \"start_ns\": 0, \"dur_ns\": 2}, \
+             {\"name\": \"compile.mapping.partition\", \"start_ns\": 2, \"dur_ns\": 5, \
+             \"attrs\": {\"partition\": 0, \"bfs_expansions\": 42}}"
+        ));
+    }
+
+    fn shaped(id: &str, route: &str, status: u16, total_ns: u64) -> TraceRecord {
+        TraceRecord {
+            id: id.to_string(),
+            conn: 1,
+            route: route.to_string(),
+            status,
+            outcome: String::new(),
+            total_ns,
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn get_finds_the_newest_match_and_respects_eviction() {
+        let ring = TraceBuffer::new(3);
+        ring.push(shaped("dup", "/v1/compile", 200, 10));
+        ring.push(shaped("dup", "/v1/compile", 500, 20));
+        assert_eq!(ring.get("dup").expect("present").status, 500);
+        assert!(ring.get("absent").is_none());
+        for i in 0..3 {
+            ring.push(shaped(&format!("r{i}"), "/v1/healthz", 200, 1));
+        }
+        assert!(ring.get("dup").is_none(), "evicted records are gone");
+    }
+
+    #[test]
+    fn query_filters_conjunctively_newest_first() {
+        let ring = TraceBuffer::new(16);
+        ring.push(shaped("a", "/v1/compile", 200, 1_000_000));
+        ring.push(shaped("b", "/v1/compile", 422, 2_000_000));
+        ring.push(shaped("c", "/v1/healthz", 200, 10));
+        ring.push(shaped("d", "/v1/compile", 200, 9_000_000));
+        let ids = |records: Vec<TraceRecord>| -> Vec<String> {
+            records.into_iter().map(|r| r.id).collect()
+        };
+        assert_eq!(ids(ring.query(None, None, None, 10)), ["d", "c", "b", "a"]);
+        assert_eq!(
+            ids(ring.query(Some("/v1/compile"), Some(200), None, 10)),
+            ["d", "a"]
+        );
+        assert_eq!(
+            ids(ring.query(Some("/v1/compile"), None, Some(2_000_000), 10)),
+            ["d", "b"]
+        );
+        assert_eq!(ids(ring.query(None, None, None, 2)), ["d", "c"]);
+        assert!(ring.query(Some("/nope"), None, None, 10).is_empty());
+    }
+
+    #[test]
+    fn slowest_sorts_by_total_with_newer_winning_ties() {
+        let ring = TraceBuffer::new(16);
+        ring.push(shaped("old-tie", "/v1/compile", 200, 500));
+        ring.push(shaped("fast", "/v1/healthz", 200, 10));
+        ring.push(shaped("slow", "/v1/compile", 200, 9_000));
+        ring.push(shaped("new-tie", "/v1/compile", 200, 500));
+        let ids: Vec<String> = ring.slowest(3).into_iter().map(|r| r.id).collect();
+        assert_eq!(ids, ["slow", "new-tie", "old-tie"]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! exact-sorted reference over adversarial value sets, registry concurrency,
 //! and a golden pin of the Prometheus exposition output.
 
-use oneq_obs::{bucket_index, bucket_upper, Histogram, HistogramSnapshot, Registry};
+use oneq_obs::{bucket_index, bucket_upper, Histogram, HistogramSnapshot, Registry, NUM_BUCKETS};
 
 /// Exact nearest-rank quantile over a sorted slice.
 fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
@@ -73,6 +73,95 @@ fn quantiles_match_the_exact_sorted_reference_bucket_for_bucket() {
             );
             assert!(estimate >= exact.min(bucket_upper(bucket_index(exact))));
         }
+    }
+}
+
+/// The documented error contract, checked directly: the quantile estimate
+/// is never below the true nearest-rank value, and overshoots by at most
+/// one log-linear bucket width — ≤ 12.5% relative (`1 / SUB_COUNT`), exact
+/// below the linear/log-linear seam, clamped at the saturation point.
+fn assert_error_contract(exact: u64, estimate: u64, context: &str) {
+    let saturated = bucket_upper(NUM_BUCKETS - 1);
+    if exact >= saturated {
+        assert_eq!(estimate, saturated, "{context}: saturating estimate");
+        return;
+    }
+    assert!(estimate >= exact, "{context}: estimate below truth");
+    let over = estimate - exact;
+    if exact < 8 {
+        assert_eq!(over, 0, "{context}: unit buckets are exact");
+    } else {
+        // 12.5% of the true value, rounded up to absorb the inclusive
+        // upper-bound convention at octave edges.
+        assert!(
+            u128::from(over) * 8 <= u128::from(exact) + 8,
+            "{context}: exact={exact} estimate={estimate} over={over}"
+        );
+    }
+}
+
+#[test]
+fn quantile_error_stays_within_the_documented_bound_across_magnitudes() {
+    // Deterministic LCG (Numerical Recipes constants) spanning nine orders
+    // of magnitude: scale each draw into a different decade per set.
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state >> 16
+    };
+    for decade in 0..10u32 {
+        let scale = 10u64.pow(decade);
+        let values: Vec<u64> = (0..2000).map(|_| next() % (9 * scale) + scale).collect();
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for q in [0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            assert_error_contract(exact, snap.quantile(q), &format!("decade {decade} q={q}"));
+        }
+    }
+}
+
+#[test]
+fn quantile_error_bound_survives_merging_and_saturation() {
+    // Shards covering disjoint magnitudes, one of them fully saturating.
+    let mut state = 777u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state >> 16
+    };
+    let mut all: Vec<u64> = Vec::new();
+    let mut merged = HistogramSnapshot::empty();
+    for decade in [2u32, 5, 8] {
+        let scale = 10u64.pow(decade);
+        let shard = Histogram::new();
+        for _ in 0..500 {
+            let v = next() % (9 * scale) + scale;
+            shard.record(v);
+            all.push(v);
+        }
+        merged.merge(&shard.snapshot());
+    }
+    let saturating = Histogram::new();
+    for v in [u64::MAX, u64::MAX / 2, 1u64 << 62] {
+        saturating.record(v);
+        all.push(v);
+    }
+    merged.merge(&saturating.snapshot());
+    all.sort_unstable();
+    for q in [0.01, 0.5, 0.9, 0.99, 0.9999, 1.0] {
+        // Clamp the reference the way `record` clamps the observation:
+        // values beyond the tracked range land in the final bucket.
+        let exact = exact_quantile(&all, q);
+        assert_error_contract(exact, merged.quantile(q), &format!("merged q={q}"));
     }
 }
 

@@ -8,7 +8,7 @@
 //! the daemon's bytes against the batch driver's).
 
 use crate::json;
-use oneq::{Compiler, CompilerOptions, StageTimings};
+use oneq::{CompileProfile, Compiler, CompilerOptions, StageTimings};
 use oneq_hardware::{LayerGeometry, ResourceKind};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -105,7 +105,7 @@ pub fn error_record(file_label: &str, message: &str) -> String {
 /// them (at the cost of cacheability); this struct carries the same numbers
 /// to the caller regardless, so the daemon can feed per-stage latency
 /// histograms without perturbing a single record byte.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RecordTimings {
     /// QASM parse time in nanoseconds.
     pub parse_ns: u128,
@@ -113,6 +113,9 @@ pub struct RecordTimings {
     pub wall_ns: u128,
     /// Per-stage pipeline timings.
     pub stages: StageTimings,
+    /// Per-partition compiler-internals profile (BFS effort, congestion,
+    /// scratch reuse) — same out-of-band contract as the timings.
+    pub profile: CompileProfile,
 }
 
 /// Compiles `source` under `config` and renders the `oneqc/v1` record
@@ -194,6 +197,7 @@ pub fn compile_record_timed(
         parse_ns,
         wall_ns,
         stages: program.timings,
+        profile: program.profile,
     };
     (line, true, Some(timings))
 }
@@ -245,6 +249,11 @@ mod tests {
         let timings = timings.expect("timings for a successful compile");
         assert!(timings.wall_ns >= timings.parse_ns);
         assert!(timings.wall_ns >= timings.stages.total_ns());
+        assert!(
+            !timings.profile.partitions.is_empty(),
+            "profile carries one entry per partition"
+        );
+        assert!(timings.profile.totals().occupancy_peak > 0);
         let (_, ok, timings) =
             compile_record_timed("bad.qasm", "OPENQASM 2.0;\nnonsense;\n", &config);
         assert!(!ok);

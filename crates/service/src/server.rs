@@ -10,6 +10,8 @@
 //! | `GET /v1/healthz`  | liveness probe |
 //! | `GET /v1/stats`    | request + connection + cache + coalescing counters |
 //! | `GET /v1/metrics`  | Prometheus text exposition (same registry as stats) |
+//! | `GET /v1/traces`   | recent request traces; `route=`/`status=`/`min_ms=`/`limit=` filters |
+//! | `GET /v1/traces/{id}` | one trace by request id |
 //!
 //! (The unversioned PR-4 shims — `/compile`, `/healthz`, `/stats` —
 //! served their one promised migration release and are gone; they now
@@ -37,7 +39,7 @@
 //! its whole-request budget runs out (the per-read timeouts of the old
 //! thread-per-connection core never fired for such a client; it pinned
 //! a worker forever). Evictions and connection-state gauges are
-//! surfaced in `GET /v1/stats` (`oneqd-stats/v5`).
+//! surfaced in `GET /v1/stats` (`oneqd-stats/v6`).
 //!
 //! # Telemetry
 //!
@@ -212,6 +214,7 @@ pub struct ServiceState {
     healthz_requests: AtomicU64,
     stats_requests: AtomicU64,
     metrics_requests: AtomicU64,
+    traces_requests: AtomicU64,
     compile_requests: AtomicU64,
     batch_requests: AtomicU64,
     batch_records: AtomicU64,
@@ -261,6 +264,7 @@ impl ServiceState {
             healthz_requests: AtomicU64::new(0),
             stats_requests: AtomicU64::new(0),
             metrics_requests: AtomicU64::new(0),
+            traces_requests: AtomicU64::new(0),
             compile_requests: AtomicU64::new(0),
             batch_requests: AtomicU64::new(0),
             batch_records: AtomicU64::new(0),
@@ -342,6 +346,7 @@ impl ServiceState {
             ("healthz", &self.healthz_requests),
             ("stats", &self.stats_requests),
             ("metrics", &self.metrics_requests),
+            ("traces", &self.traces_requests),
             ("compile", &self.compile_requests),
             ("batch", &self.batch_requests),
         ] {
@@ -535,13 +540,14 @@ impl ServiceState {
         self.telemetry.registry.snapshot()
     }
 
-    /// Renders the `/v1/stats` body (`oneqd-stats/v5`): flat request
+    /// Renders the `/v1/stats` body (`oneqd-stats/v6`): flat request
     /// counters, then a nested `conns` object with connection-state
     /// gauges and eviction counters, then a nested `cache` object with
     /// per-tier blocks — `memory` always, `disk` carrying its counters
     /// when a spill tier is attached (`"enabled": false` otherwise) —
-    /// then a `telemetry` object (new in v5). Every value is read from
-    /// the same registry snapshot `/v1/metrics` renders, via
+    /// then a `telemetry` object (new in v5), then a `slowest` array of
+    /// the ring's worst end-to-end requests (new in v6). Every value is
+    /// read from the same registry snapshot `/v1/metrics` renders, via
     /// [`ServiceState::metrics_snapshot`].
     pub fn stats_json(&self) -> String {
         self.stats_json_from(&self.metrics_snapshot())
@@ -617,10 +623,30 @@ impl ServiceState {
             .field_u64("loop_iterations", loop_iterations)
             .field_u64("traces_recorded", c("oneqd_traces_total"))
             .field_u64("traces_buffered", self.telemetry.traces.len() as u64)
-            .field_u64("trace_log_records", c("oneqd_trace_log_records_total"));
+            .field_u64("trace_log_records", c("oneqd_trace_log_records_total"))
+            // New in v6, appended after every v5 key.
+            .field_u64("traces_requests", route("traces"));
+
+        // New in v6: the ring's current worst offenders by end-to-end
+        // time, newest first among ties — the `oneq-top` slowest table.
+        let mut slowest = String::from("[");
+        for (i, record) in self.telemetry.traces.slowest(5).iter().enumerate() {
+            if i > 0 {
+                slowest.push_str(", ");
+            }
+            let mut entry = ObjWriter::new();
+            entry
+                .field_str("request_id", &record.id)
+                .field_str("route", &record.route)
+                .field_u64("status", u64::from(record.status))
+                .field_str("outcome", &record.outcome)
+                .field_u64("total_ns", record.total_ns);
+            slowest.push_str(&entry.finish());
+        }
+        slowest.push(']');
 
         let mut out = ObjWriter::new();
-        out.field_str("schema", "oneqd-stats/v5")
+        out.field_str("schema", "oneqd-stats/v6")
             .field_u64("uptime_ms", g("oneqd_uptime_milliseconds"))
             .field_u64("workers", g("oneqd_workers"))
             .field_u64("connections", c("oneqd_connections_total"))
@@ -637,7 +663,8 @@ impl ServiceState {
             .field_u64("http_errors", c("oneqd_http_errors_total"))
             .field_raw("conns", &conns.finish())
             .field_raw("cache", &cache.finish())
-            .field_raw("telemetry", &telemetry.finish());
+            .field_raw("telemetry", &telemetry.finish())
+            .field_raw("slowest", &slowest);
         let mut body = out.finish();
         body.push('\n');
         body
@@ -1326,7 +1353,48 @@ mod event_loop {
                 );
                 (bytes, 200)
             }
-            (_, "/v1/healthz" | "/v1/stats" | "/v1/metrics") => {
+            ("GET", "/v1/traces") => {
+                state.traces_requests.fetch_add(1, Ordering::Relaxed);
+                match traces_body(state, request) {
+                    Ok(body) => (render(200, &[rid()], &body, conn), 200),
+                    Err(msg) => {
+                        state.http_errors.fetch_add(1, Ordering::Relaxed);
+                        (render_error(400, &msg, &[rid()], conn), 400)
+                    }
+                }
+            }
+            ("GET", path) if path.starts_with("/v1/traces/") => {
+                state.traces_requests.fetch_add(1, Ordering::Relaxed);
+                let id = &path["/v1/traces/".len()..];
+                match state.telemetry.traces.get(id) {
+                    Some(record) => {
+                        let mut body = record.to_json();
+                        body.push('\n');
+                        (render(200, &[rid()], &body, conn), 200)
+                    }
+                    None => {
+                        state.http_errors.fetch_add(1, Ordering::Relaxed);
+                        let bytes = render_error(
+                            404,
+                            "no trace for that request id (the ring holds the most recent 256)",
+                            &[rid()],
+                            conn,
+                        );
+                        (bytes, 404)
+                    }
+                }
+            }
+            (_, "/v1/healthz" | "/v1/stats" | "/v1/metrics" | "/v1/traces") => {
+                state.http_errors.fetch_add(1, Ordering::Relaxed);
+                let bytes = render_error(
+                    405,
+                    "method not allowed",
+                    &[("Allow", "GET".to_string()), rid()],
+                    conn,
+                );
+                (bytes, 405)
+            }
+            (_, path) if path.starts_with("/v1/traces/") => {
                 state.http_errors.fetch_add(1, Ordering::Relaxed);
                 let bytes = render_error(
                     405,
@@ -1389,6 +1457,7 @@ fn compile_via_cache(
     state: &ServiceState,
     req: &CompileRequest,
     slots: Option<&Semaphore>,
+    req_id: &str,
 ) -> (Arc<str>, bool, &'static str, CompileTrace) {
     let started = Instant::now();
     let (body, ok, outcome, timings) = compile_via_cache_inner(state, req, slots);
@@ -1398,7 +1467,7 @@ fn compile_via_cache(
     };
     state
         .telemetry
-        .observe_cache_outcome(outcome, trace.lookup_ns, trace.timings.as_ref());
+        .observe_cache_outcome(outcome, trace.lookup_ns, req_id, trace.timings.as_ref());
     (body, ok, outcome, trace)
 }
 
@@ -1469,6 +1538,65 @@ fn compile_via_cache_inner(
     }
 }
 
+/// Renders the `GET /v1/traces` body (`oneqd-traces/v1`): ring totals
+/// plus the matching records, newest first. Filters come from the query
+/// string — `route=` (exact request-path match), `status=`, `min_ms=`
+/// (end-to-end floor), `limit=` (default 50) — and an unparseable or
+/// unknown parameter is a 400, not a silent full dump.
+fn traces_body(state: &ServiceState, request: &Request) -> Result<String, String> {
+    let mut route: Option<&str> = None;
+    let mut status: Option<u16> = None;
+    let mut min_total_ns: Option<u64> = None;
+    let mut limit = 50usize;
+    for (key, value) in &request.query {
+        match key.as_str() {
+            "route" => route = Some(value.as_str()),
+            "status" => {
+                status = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("status must be a number, got {value:?}"))?,
+                );
+            }
+            "min_ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("min_ms must be a whole number, got {value:?}"))?;
+                min_total_ns = Some(ms.saturating_mul(1_000_000));
+            }
+            "limit" => {
+                limit = value
+                    .parse()
+                    .map_err(|_| format!("limit must be a number, got {value:?}"))?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown query parameter {other:?} (expected route, status, min_ms, limit)"
+                ))
+            }
+        }
+    }
+    let records = state
+        .telemetry
+        .traces
+        .query(route, status, min_total_ns, limit);
+    let mut body = format!(
+        "{{\"schema\": \"oneqd-traces/v1\", \"total\": {}, \"buffered\": {}, \"returned\": {}, \
+         \"traces\": [",
+        state.telemetry.traces.pushed(),
+        state.telemetry.traces.len(),
+        records.len()
+    );
+    for (i, record) in records.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&record.to_json());
+    }
+    body.push_str("]}\n");
+    Ok(body)
+}
+
 /// The `X-Oneqd-Cache` token for a cache hit's tier.
 fn tier_label(tier: Tier) -> &'static str {
     match tier {
@@ -1500,26 +1628,57 @@ impl HandlerTrace {
 /// The `cache` span plus, when this request actually compiled, one
 /// `compile.<stage>` span per pipeline stage laid end to end after the
 /// lookup started (stage clocks are the compiler's own, so they sum to
-/// slightly less than the enclosing `cache` span).
+/// slightly less than the enclosing `cache` span), plus one
+/// `compile.mapping.partition` child span per partition carrying the
+/// compiler-internals profile (BFS effort, seed-scan radius, grid
+/// occupancy, scratch reuse) as span attributes. Partition spans are
+/// laid end to end from the `mapping` span's start, so their extents
+/// nest inside it on a timeline view.
 fn compile_spans(cache_off: u64, trace: &CompileTrace) -> Vec<Span> {
     let clamp = |ns: u128| u64::try_from(ns).unwrap_or(u64::MAX);
     let mut spans = vec![Span::new("cache", cache_off, trace.lookup_ns)];
     if let Some(timings) = &trace.timings {
         let mut offset = cache_off;
-        let mut push = |name: &'static str, ns: u128| {
-            let dur = clamp(ns);
-            spans.push(Span::new(name, offset, dur));
-            offset = offset.saturating_add(dur);
-        };
-        push("compile.parse", timings.parse_ns);
-        for (stage, ns) in timings.stages.stages() {
-            match stage {
-                "translate" => push("compile.translate", ns),
-                "partition" => push("compile.partition", ns),
-                "fusion_graph" => push("compile.fusion_graph", ns),
-                "mapping" => push("compile.mapping", ns),
-                _ => push("compile.shuffle", ns),
+        let mut mapping_off = cache_off;
+        {
+            let mut push = |name: &'static str, ns: u128, mark: Option<&mut u64>| {
+                let dur = clamp(ns);
+                if let Some(mark) = mark {
+                    *mark = offset;
+                }
+                spans.push(Span::new(name, offset, dur));
+                offset = offset.saturating_add(dur);
+            };
+            push("compile.parse", timings.parse_ns, None);
+            for (stage, ns) in timings.stages.stages() {
+                match stage {
+                    "translate" => push("compile.translate", ns, None),
+                    "partition" => push("compile.partition", ns, None),
+                    "fusion_graph" => push("compile.fusion_graph", ns, None),
+                    "mapping" => push("compile.mapping", ns, Some(&mut mapping_off)),
+                    _ => push("compile.shuffle", ns, None),
+                }
             }
+        }
+        let mut part_off = mapping_off;
+        for (i, part) in timings.profile.partitions.iter().enumerate() {
+            let dur = clamp(part.mapping_ns);
+            spans.push(
+                Span::new("compile.mapping.partition", part_off, dur).with_attrs(vec![
+                    ("partition", i as u64),
+                    ("nodes", part.nodes as u64),
+                    ("fusion_graph_ns", clamp(part.fusion_graph_ns)),
+                    ("bfs_searches", part.map.bfs_searches),
+                    ("bfs_expansions", part.map.bfs_expansions),
+                    ("seed_scans", part.map.seed_scans),
+                    ("seed_scan_radius_max", part.map.seed_scan_radius_max),
+                    ("occupancy_peak", part.map.occupancy_peak),
+                    ("scratch_grows", part.map.scratch_grows),
+                    ("scratch_reuses", part.map.scratch_reuses),
+                    ("routing_cells", part.map.routing_cells),
+                ]),
+            );
+            part_off = part_off.saturating_add(dur);
         }
     }
     spans
@@ -1555,7 +1714,7 @@ fn handle_compile(
     };
 
     let cache_off = duration_ns(started.elapsed());
-    let (body, ok, outcome, trace) = compile_via_cache(state, &req, None);
+    let (body, ok, outcome, trace) = compile_via_cache(state, &req, None, req_id);
     let counter = if ok {
         &state.compile_ok
     } else {
@@ -1627,7 +1786,7 @@ fn handle_batch(
     // batches share the compile slots instead of multiplying them.
     let jobs = config.batch_jobs.max(1);
     let results = run_indexed(jobs, &requests, |_, req| {
-        compile_via_cache(state, req, Some(&state.batch_slots))
+        compile_via_cache(state, req, Some(&state.batch_slots), req_id)
     });
 
     state

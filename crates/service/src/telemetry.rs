@@ -21,7 +21,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Write as _};
 use std::path::Path;
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use crate::compile::RecordTimings;
 use oneq_obs::{
@@ -125,6 +125,15 @@ pub struct Telemetry {
     tier_counters: Vec<(&'static str, Counter)>,
     tier_hists: Vec<(&'static str, Histogram)>,
     trace_log_records: Counter,
+    compile_partitions: Counter,
+    compile_bfs_searches: Counter,
+    compile_bfs_expansions: Counter,
+    compile_scratch_grows: Counter,
+    compile_scratch_reuses: Counter,
+    compile_seed_scans: Counter,
+    compile_routing_cells: Counter,
+    compile_occupancy_peak: Gauge,
+    compile_seed_scan_radius_max: Gauge,
 }
 
 impl Telemetry {
@@ -227,6 +236,68 @@ impl Telemetry {
             "Trace records written to the --trace-log sink.",
             &[],
         );
+        let compile_partitions = registry.counter(
+            "oneqd_compile_partitions_total",
+            "Partitions compiled (executed compiles only).",
+            &[],
+        );
+        let compile_bfs_searches = registry.counter(
+            "oneqd_compile_bfs_searches_total",
+            "Mapper BFS searches launched across executed compiles.",
+            &[],
+        );
+        let compile_bfs_expansions = registry.counter(
+            "oneqd_compile_bfs_expansions_total",
+            "Cells expanded by the mapper's BFS across executed compiles.",
+            &[],
+        );
+        let compile_scratch_grows = registry.counter(
+            "oneqd_compile_scratch_grows_total",
+            "BFS scratch reallocations (grid grew past the scratch arena).",
+            &[],
+        );
+        let compile_scratch_reuses = registry.counter(
+            "oneqd_compile_scratch_reuses_total",
+            "BFS scratch arenas reused without reallocation.",
+            &[],
+        );
+        let compile_seed_scans = registry.counter(
+            "oneqd_compile_seed_scans_total",
+            "Ring scans for a free seed cell during fusion mapping.",
+            &[],
+        );
+        let compile_routing_cells = registry.counter(
+            "oneqd_compile_routing_cells_total",
+            "Grid cells consumed as routing auxiliaries.",
+            &[],
+        );
+        let compile_occupancy_peak = registry.gauge(
+            "oneqd_compile_occupancy_peak_cells",
+            "High-water mark of occupied grid cells in any compiled layer.",
+            &[],
+        );
+        let compile_seed_scan_radius_max = registry.gauge(
+            "oneqd_compile_seed_scan_radius_max",
+            "High-water Manhattan radius of any seed-cell ring scan.",
+            &[],
+        );
+        let build_info = registry.gauge(
+            "oneqd_build_info",
+            "Build metadata; the value is always 1.",
+            &[("version", env!("CARGO_PKG_VERSION"))],
+        );
+        build_info.set(1);
+        let start_time = registry.gauge(
+            "oneqd_start_time_seconds",
+            "Unix time at which this daemon's telemetry came up.",
+            &[],
+        );
+        start_time.set(
+            SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        );
         let sink = match trace_log {
             Some(path) => Some(Mutex::new(
                 OpenOptions::new().create(true).append(true).open(path)?,
@@ -251,6 +322,15 @@ impl Telemetry {
             tier_counters,
             tier_hists,
             trace_log_records,
+            compile_partitions,
+            compile_bfs_searches,
+            compile_bfs_expansions,
+            compile_scratch_grows,
+            compile_scratch_reuses,
+            compile_seed_scans,
+            compile_routing_cells,
+            compile_occupancy_peak,
+            compile_seed_scan_radius_max,
         })
     }
 
@@ -291,31 +371,46 @@ impl Telemetry {
 
     /// Records one compile-cache resolution: the outcome tier, the
     /// lookup-to-result time, and — when this request actually executed
-    /// the compiler — the per-stage breakdown.
+    /// the compiler — the per-stage breakdown plus the compiler-internals
+    /// profile counters. `request_id` becomes the exemplar on every
+    /// histogram bucket this observation lands in.
     pub fn observe_cache_outcome(
         &self,
         tier: &str,
         lookup_ns: u64,
+        request_id: &str,
         timings: Option<&RecordTimings>,
     ) {
         if let Some((_, counter)) = self.tier_counters.iter().find(|(t, _)| *t == tier) {
             counter.inc();
         }
         if let Some((_, hist)) = self.tier_hists.iter().find(|(t, _)| *t == tier) {
-            hist.record(lookup_ns);
+            hist.record_with_exemplar(lookup_ns, request_id);
         }
         if let Some(timings) = timings {
-            self.observe_stage("parse", timings.parse_ns);
+            self.observe_stage("parse", timings.parse_ns, request_id);
             for (stage, ns) in timings.stages.stages() {
-                self.observe_stage(stage, ns);
+                self.observe_stage(stage, ns, request_id);
             }
-            self.observe_stage("wall", timings.wall_ns);
+            self.observe_stage("wall", timings.wall_ns, request_id);
+            let totals = timings.profile.totals();
+            self.compile_partitions
+                .add(timings.profile.partitions.len() as u64);
+            self.compile_bfs_searches.add(totals.bfs_searches);
+            self.compile_bfs_expansions.add(totals.bfs_expansions);
+            self.compile_scratch_grows.add(totals.scratch_grows);
+            self.compile_scratch_reuses.add(totals.scratch_reuses);
+            self.compile_seed_scans.add(totals.seed_scans);
+            self.compile_routing_cells.add(totals.routing_cells);
+            self.compile_occupancy_peak.set_max(totals.occupancy_peak);
+            self.compile_seed_scan_radius_max
+                .set_max(totals.seed_scan_radius_max);
         }
     }
 
-    fn observe_stage(&self, stage: &str, ns: u128) {
+    fn observe_stage(&self, stage: &str, ns: u128, request_id: &str) {
         if let Some((_, hist)) = self.stage_hists.iter().find(|(s, _)| *s == stage) {
-            hist.record(u64::try_from(ns).unwrap_or(u64::MAX));
+            hist.record_with_exemplar(u64::try_from(ns).unwrap_or(u64::MAX), request_id);
         }
     }
 
@@ -333,14 +428,10 @@ impl Telemetry {
             .iter()
             .find(|(route, _)| *route == seed.route_class)
         {
-            hist.record(total_ns);
+            hist.record_with_exemplar(total_ns, &seed.id);
         }
         let mut spans = seed.spans;
-        spans.push(Span {
-            name: "write",
-            start_ns: seed.total_ns,
-            dur_ns: write_ns,
-        });
+        spans.push(Span::new("write", seed.total_ns, write_ns));
         let record = TraceRecord {
             id: seed.id,
             conn,
@@ -376,11 +467,7 @@ mod tests {
             route_class: ROUTE_COMPILE,
             status: 200,
             outcome: "miss".to_string(),
-            spans: vec![Span {
-                name: "read",
-                start_ns: 0,
-                dur_ns: total_ns,
-            }],
+            spans: vec![Span::new("read", 0, total_ns)],
             total_ns,
         }
     }
@@ -444,9 +531,9 @@ mod tests {
     fn cache_outcomes_feed_tier_and_stage_series() {
         let telemetry = Telemetry::new(None, 0).unwrap();
         let timings = RecordTimings::default();
-        telemetry.observe_cache_outcome("miss", 5_000, Some(&timings));
-        telemetry.observe_cache_outcome("memory", 800, None);
-        telemetry.observe_cache_outcome("not-a-tier", 1, None); // ignored
+        telemetry.observe_cache_outcome("miss", 5_000, "req-miss", Some(&timings));
+        telemetry.observe_cache_outcome("memory", 800, "req-mem", None);
+        telemetry.observe_cache_outcome("not-a-tier", 1, "req-x", None); // ignored
         let snap = telemetry.registry.snapshot();
         assert_eq!(
             snap.counter("oneqd_cache_outcomes_total", &[("tier", "miss")]),
@@ -465,6 +552,39 @@ mod tests {
                 .histogram("oneqd_compile_stage_seconds", &[("stage", stage)])
                 .unwrap_or_else(|| panic!("stage {stage} registered"));
             assert_eq!(hist.count, 1, "one executed compile observed for {stage}");
+            assert!(
+                hist.exemplars
+                    .iter()
+                    .any(|(_, e)| e.request_id == "req-miss"),
+                "executed compile leaves its request id as a {stage} exemplar"
+            );
         }
+    }
+
+    #[test]
+    fn build_info_and_start_time_gauges_come_up_with_the_registry() {
+        let telemetry = Telemetry::new(None, 0).unwrap();
+        let snap = telemetry.registry.snapshot();
+        assert_eq!(
+            snap.gauge(
+                "oneqd_build_info",
+                &[("version", env!("CARGO_PKG_VERSION"))]
+            ),
+            1
+        );
+        // Any plausible wall clock is after 2020; a zeroed gauge would mean
+        // the constructor never stamped it.
+        assert!(snap.gauge("oneqd_start_time_seconds", &[]) > 1_577_836_800);
+    }
+
+    #[test]
+    fn request_exemplars_survive_to_the_rendered_exposition() {
+        let telemetry = Telemetry::new(None, 0).unwrap();
+        telemetry.finish_request(PendingTrace::begin_write(seed("slow-one", 5_000_000)), 3);
+        let text = telemetry.registry.snapshot().render_prometheus();
+        assert!(
+            text.contains("# {request_id=\"slow-one\"}"),
+            "request histogram carries the exemplar: {text}"
+        );
     }
 }

@@ -308,7 +308,7 @@ fn daemon_evicts_a_slow_loris_client_without_blocking_others() {
     loop {
         let stats = http::request(addr, "GET", "/v1/stats", b"", TIMEOUT).expect("GET /v1/stats");
         let body = String::from_utf8_lossy(&stats.body).into_owned();
-        assert!(body.contains("\"schema\": \"oneqd-stats/v5\""));
+        assert!(body.contains("\"schema\": \"oneqd-stats/v6\""));
         if body.contains("\"evicted_slow_read\": 1") {
             break;
         }
@@ -416,6 +416,166 @@ fn daemon_trace_log_records_slow_requests_with_full_span_trees() {
     send_sigterm(&child);
     assert_eq!(child.wait().expect("wait for daemon").code(), Some(0));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn daemon_end_to_end_triage_from_exemplar_to_trace() {
+    // The PR-9 triage loop, end to end against the real process: a slow
+    // compile shows up as a histogram exemplar on `/v1/metrics`, the
+    // exemplar's request id resolves through `GET /v1/traces/{id}` to a
+    // span tree carrying the per-partition compiler profile, the filtered
+    // list and the stats `slowest` table both name the same offender.
+    let (mut child, addr, _stdout) = spawn_daemon(&["--workers", "2"]);
+
+    // A fast request first, so "slowest" actually has to rank.
+    let fast: &[u8] =
+        b"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n";
+    let resp = http::request_with_headers(
+        addr,
+        "POST",
+        "/v1/compile?file=fast.qasm",
+        &[("X-Oneqd-Request-Id", "triage-fast-1")],
+        fast,
+        TIMEOUT,
+    )
+    .expect("fast compile");
+    assert_eq!(resp.status, 200);
+
+    // The offender: a long nearest-neighbor cx chain (~hundreds of ms in
+    // the debug profile), under a client-chosen request id.
+    let qubits = 1200;
+    let mut slow = format!("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[{qubits}];\n");
+    for i in 0..qubits - 1 {
+        slow.push_str(&format!("cx q[{i}], q[{}];\n", i + 1));
+    }
+    let resp = http::request_with_headers(
+        addr,
+        "POST",
+        "/v1/compile?file=slow.qasm",
+        &[("X-Oneqd-Request-Id", "triage-slow-1")],
+        slow.as_bytes(),
+        TIMEOUT,
+    )
+    .expect("slow compile");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-oneqd-cache"), Some("miss"));
+    assert_eq!(
+        resp.header("x-oneqd-request-id"),
+        Some("triage-slow-1"),
+        "the id the exemplar will carry is echoed on the response"
+    );
+
+    // Step 1 — the scrape surface names the offender. The end-to-end
+    // histogram closes when the last response byte flushes (an instant
+    // after the client reads it), so poll.
+    let deadline = Instant::now() + TIMEOUT;
+    loop {
+        let metrics =
+            http::request(addr, "GET", "/v1/metrics", b"", TIMEOUT).expect("GET /v1/metrics");
+        let body = String::from_utf8_lossy(&metrics.body).into_owned();
+        if body.contains("# {request_id=\"triage-slow-1\"}") {
+            assert!(
+                body.contains("oneqd_compile_partitions_total"),
+                "compiler-internals counters are exposed: {body}"
+            );
+            assert!(
+                body.contains("oneqd_build_info{version=\""),
+                "build info gauge is exposed"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "slow request never surfaced as an exemplar: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Step 2 — the exemplar's id resolves to the full trace, and the
+    // trace carries the per-partition compiler profile as span attrs.
+    let deadline = Instant::now() + TIMEOUT;
+    let trace_body = loop {
+        let trace = http::request(addr, "GET", "/v1/traces/triage-slow-1", b"", TIMEOUT)
+            .expect("GET /v1/traces/{id}");
+        if trace.status == 200 {
+            break String::from_utf8(trace.body).expect("trace is utf-8");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "trace never reached the ring (status {})",
+            trace.status
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        trace_body.contains("\"request_id\": \"triage-slow-1\""),
+        "{trace_body}"
+    );
+    assert!(
+        trace_body.contains("\"name\": \"compile.mapping.partition\""),
+        "per-partition profile spans present: {trace_body}"
+    );
+    for attr in [
+        "\"bfs_searches\":",
+        "\"bfs_expansions\":",
+        "\"seed_scans\":",
+        "\"seed_scan_radius_max\":",
+        "\"occupancy_peak\":",
+        "\"scratch_grows\":",
+        "\"scratch_reuses\":",
+        "\"routing_cells\":",
+        "\"fusion_graph_ns\":",
+    ] {
+        assert!(
+            trace_body.contains(attr),
+            "profile attribute {attr} missing from {trace_body}"
+        );
+    }
+
+    // Step 3 — the filtered list finds the same record and the filters
+    // actually constrain it.
+    let list = http::request(
+        addr,
+        "GET",
+        "/v1/traces?route=/v1/compile&status=200&min_ms=50&limit=10",
+        b"",
+        TIMEOUT,
+    )
+    .expect("GET /v1/traces with filters");
+    assert_eq!(list.status, 200);
+    let list = String::from_utf8(list.body).expect("list is utf-8");
+    assert!(list.contains("\"schema\": \"oneqd-traces/v1\""), "{list}");
+    assert!(list.contains("\"request_id\": \"triage-slow-1\""), "{list}");
+    assert!(
+        !list.contains("\"route\": \"/v1/metrics\""),
+        "route filter holds: {list}"
+    );
+    let bad = http::request(addr, "GET", "/v1/traces?limit=banana", b"", TIMEOUT)
+        .expect("GET /v1/traces with a bad limit");
+    assert_eq!(bad.status, 400, "unparseable filters are rejected");
+    let missing = http::request(addr, "GET", "/v1/traces/no-such-id", b"", TIMEOUT)
+        .expect("GET /v1/traces/{unknown}");
+    assert_eq!(missing.status, 404);
+
+    // Step 4 — the stats `slowest` table ranks the offender first.
+    let stats = http::request(addr, "GET", "/v1/stats", b"", TIMEOUT).expect("GET /v1/stats");
+    let stats = String::from_utf8(stats.body).expect("stats is utf-8");
+    assert!(stats.contains("\"schema\": \"oneqd-stats/v6\""), "{stats}");
+    let slowest = &stats[stats
+        .find("\"slowest\"")
+        .expect("stats carries a slowest block")..];
+    assert!(
+        slowest.contains("\"request_id\": \"triage-slow-1\""),
+        "slowest table names the offender: {stats}"
+    );
+    assert!(
+        slowest.find("triage-slow-1").expect("offender present")
+            < slowest.find("triage-fast-1").unwrap_or(usize::MAX),
+        "the slow compile outranks the fast one: {slowest}"
+    );
+
+    send_sigterm(&child);
+    assert_eq!(child.wait().expect("wait for daemon").code(), Some(0));
 }
 
 #[test]

@@ -9,7 +9,10 @@ comparison from the *current* file's schema:
 * `oneq-bench-service/*` (loadgen's BENCH_service.json): a per-mode
   markdown table of throughput and latency percentiles with the relative
   change, plus the keep-alive / warm-restart speedup ratios and the
-  adversarial event-loop throughput when both files carry them.
+  adversarial event-loop throughput when both files carry them. Files of
+  v5 or later also carry `server_metrics` — per-stage and per-tier
+  percentiles scraped off the daemon's own histograms — which join the
+  table and the gate.
 * `oneq-bench-pipeline/*` (sweep's BENCH_pipeline.json): a per-benchmark
   table of wall and mapping times keyed on (bench, qubits, geometry,
   extension), plus the sweep totals.
@@ -17,12 +20,14 @@ comparison from the *current* file's schema:
 A missing PREVIOUS file is not an error: the first run of a new artifact
 has nothing to compare against, so the script prints a note and exits 0
 (CI fetches the previous artifact best-effort). Exit code is otherwise 0
-unless `--fail-pct P` is given and some throughput (service) or wall
-time (pipeline) regressed by more than P percent. CI gates the pipeline
-comparison with `--fail-pct 50` (stage wall times are stable enough for
-a generous threshold) but runs the service comparison without the flag,
-as an informational trend line (served throughput on shared runners is
-too noisy for a hard perf gate).
+unless `--fail-pct P` is given and some throughput or server-side stage
+p99 (service) or wall time (pipeline) regressed by more than P percent.
+CI gates the pipeline comparison with `--fail-pct 50` (stage wall times
+are stable enough for a generous threshold) and the service comparison
+with `--fail-pct 75`: client-observed throughput on shared runners is
+noisy, and the server-side percentiles come off log-linear histogram
+buckets with up to 12.5% quantization error, so only a gross regression
+trips the gate.
 
 Schema tolerant: modes/metrics present in only one file are reported as
 `n/a` instead of failing, so the comparison survives its own schema
@@ -119,6 +124,36 @@ def compare_service(prev, curr, fail_pct):
             ):
                 regressed.append((mode, pct))
 
+    # Server-side compile-stage and cache-tier percentiles (the
+    # `server_metrics` block, v5+): scraped off the daemon's own
+    # histograms, so they cover executed compiles only and exclude
+    # client/network time. Stage p99 joins the gate — it is the quantity
+    # this block exists to watch; tier lookups stay informational (the
+    # `miss` tier embeds whole compiles and swings with the fixture mix).
+    for block, kind in (("stages", "stage"), ("tiers", "tier")):
+        names = sorted(
+            set(dig(prev, "server_metrics", block) or {})
+            | set(dig(curr, "server_metrics", block) or {})
+        )
+        for name in names:
+            for pkey in ("p50_ns", "p99_ns"):
+                p = dig(prev, "server_metrics", block, name, pkey)
+                c = dig(curr, "server_metrics", block, name, pkey)
+                pct = delta_pct(p, c)
+                label = f"{kind} {pkey.removesuffix('_ns')}"
+                print(
+                    f"| {name} | {label} | {fmt(p, 'ms')} | {fmt(c, 'ms')} "
+                    f"| {fmt_delta(pct, False)} |"
+                )
+                if (
+                    block == "stages"
+                    and pkey == "p99_ns"
+                    and pct is not None
+                    and fail_pct is not None
+                    and pct > fail_pct
+                ):
+                    regressed.append((f"{name} {label}", pct))
+
     # The adversarial event-loop run rides the same table when present.
     p = dig(prev, "event_loop", "throughput_rps")
     c = dig(curr, "event_loop", "throughput_rps")
@@ -210,8 +245,8 @@ def main():
         type=float,
         default=None,
         metavar="P",
-        help="exit 1 on a throughput (service) or wall-time (pipeline) "
-        "regression beyond P percent",
+        help="exit 1 on a throughput or server stage-p99 (service) or "
+        "wall-time (pipeline) regression beyond P percent",
     )
     args = parser.parse_args()
 
@@ -242,7 +277,7 @@ def main():
         what = "wall-time"
     else:
         regressed = compare_service(prev, curr, args.fail_pct)
-        what = "throughput"
+        what = "throughput/stage-p99"
 
     if regressed:
         worst = ", ".join(f"{m} {pct:+.1f}%" for m, pct in regressed)

@@ -302,7 +302,7 @@ fn repeated_requests_hit_the_cache_with_identical_bytes() {
     }
 
     let stats = get_stats(&handle);
-    assert!(stats.contains("\"schema\": \"oneqd-stats/v5\""));
+    assert!(stats.contains("\"schema\": \"oneqd-stats/v6\""));
     // Memory-only server: the disk block reports itself disabled.
     assert!(stats.contains("\"disk\": {\"enabled\": false}"));
     assert_eq!(json_u64(&stats, "fills"), files.len() as u64);
