@@ -34,6 +34,8 @@
 //! assert_eq!(result.fusions, result.depth * 256);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cluster;
 pub mod interpreter;
 pub mod router;

@@ -28,6 +28,8 @@
 //! Criterion benches under `benches/` measure compiler performance per
 //! stage and end to end.
 
+#![warn(missing_docs)]
+
 pub mod scrape;
 
 use oneq::{Compiler, CompilerOptions};

@@ -25,6 +25,8 @@
 //! assert!(lowered.gates().iter().all(|g| g.is_j_or_cz()));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod benchmarks;
 mod circuit;
 pub mod decompose;

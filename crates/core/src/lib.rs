@@ -40,6 +40,8 @@
 //! assert!(program.fusions > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod fusion_graph;
 pub mod mapping;
 pub mod partition;

@@ -745,6 +745,10 @@ pub fn edge_order(graph: &Graph) -> Vec<Edge> {
     // Highest-degree seeds first for deterministic, hub-centric layouts.
     components.sort_by_key(|&n| std::cmp::Reverse(graph.degree(n)));
 
+    // One scratch buffer reused across every BFS step: neighbor lists must
+    // be sorted before emission, but allocating per node would put a heap
+    // round-trip in the innermost compile loop.
+    let mut incident: Vec<NodeId> = Vec::new();
     for seed in components {
         if visited[seed.index()] {
             continue;
@@ -752,7 +756,8 @@ pub fn edge_order(graph: &Graph) -> Vec<Edge> {
         visited[seed.index()] = true;
         let mut queue = VecDeque::from([seed]);
         while let Some(u) = queue.pop_front() {
-            let mut incident: Vec<NodeId> = graph.neighbors(u).to_vec();
+            incident.clear();
+            incident.extend_from_slice(graph.neighbors(u));
             incident.sort_by_key(|&w| {
                 (
                     bridges.contains(&Edge::new(u, w)),
@@ -760,7 +765,7 @@ pub fn edge_order(graph: &Graph) -> Vec<Edge> {
                     w,
                 )
             });
-            for w in incident {
+            for &w in &incident {
                 let e = Edge::new(u, w);
                 if seen_edges.insert(e) {
                     order.push(e);

@@ -28,6 +28,8 @@
 //! assert_eq!(circuit.gate_count(), 2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ast;
 pub mod error;
 pub mod lexer;

@@ -36,6 +36,8 @@
 //! assert!(!planarity::is_planar(&k5));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod biconnected;
 pub mod embedding;
 pub mod generators;

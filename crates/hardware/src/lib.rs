@@ -29,6 +29,8 @@
 //! assert_eq!(ResourceKind::LINE3.chain_nodes(6), 5);
 //! ```
 
+#![warn(missing_docs)]
+
 mod coupling;
 pub mod fusion;
 mod geometry;

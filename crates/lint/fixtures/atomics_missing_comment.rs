@@ -1,0 +1,7 @@
+// Seeded violation: a registered atomic memory-order operand without a
+// justification marker comment in the preceding window.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::AcqRel)
+}

@@ -1,0 +1,10 @@
+// Seeded violation: an atomic Ordering operand in a module with no
+// [[atomics]] registry entry. The ORDERING comment is present so only
+// the registration rule fires. (Also reused by the count-drift
+// scenario, which registers this file with the wrong count.)
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    // ORDERING: fixture — never compiled or run.
+    counter.fetch_add(1, Ordering::Relaxed)
+}

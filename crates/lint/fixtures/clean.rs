@@ -1,0 +1,25 @@
+// The compliant counterpart: one registered unsafe block with a SAFETY
+// comment, one registered atomic with an ORDERING comment, and
+// loop-free allocation — every rule must stay silent here.
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn read(counter: &AtomicU64) -> u64 {
+    // ORDERING: fixture — a monotonic counter read with no ordering
+    // obligations to other memory.
+    counter.load(Ordering::Relaxed)
+}
+
+pub fn poke(p: *mut u8) {
+    // SAFETY: fixture — never compiled or run.
+    unsafe {
+        *p = 0;
+    }
+}
+
+pub fn sizes(m: &HashMap<u32, u32>, xs: &[u32]) -> Vec<u32> {
+    // Allocation outside any loop is fine, and `len` is not iteration.
+    let mut copy = xs.to_vec();
+    copy.push(m.len() as u32);
+    copy
+}

@@ -1,0 +1,24 @@
+// Seeded violations for the hot-path rule: hashed-map iteration and
+// per-iteration allocation idioms in a registered hot-path module.
+use std::collections::HashMap;
+
+pub struct State {
+    pub placement: HashMap<u32, (usize, u32)>,
+}
+
+pub fn scan(state: &State, xs: &[u32]) -> usize {
+    let mut total = 0;
+    // Violation 1: iterating a hashed map on the hot path.
+    for (_k, v) in state.placement.iter() {
+        total += v.0;
+    }
+    for x in xs {
+        // Violation 2: a fresh allocation every iteration.
+        let copy = xs.to_vec();
+        total += copy.len() + *x as usize;
+        // Violation 3: collect::<Vec<_>> inside the loop.
+        let doubled = xs.iter().map(|v| v * 2).collect::<Vec<u32>>();
+        total += doubled.len();
+    }
+    total
+}

@@ -1,0 +1,4 @@
+// Seeded violations for the surface rule: a metric family and a route
+// literal that the fixture docs do not document.
+pub const FAMILIES: [&str; 2] = ["oneqd_documented_total", "oneqd_phantom_total"];
+pub const ROUTES: [&str; 2] = ["/v1/documented", "/v1/phantom"];

@@ -1,0 +1,13 @@
+// Seeded violation: two `unsafe` occurrences where the registry entry
+// allows exactly one — the "a new unsafe block snuck into a registered
+// file" case.
+pub fn poke(p: *mut u8, q: *mut u8) {
+    // SAFETY: fixture — never compiled or run.
+    unsafe {
+        *p = 0;
+    }
+    // SAFETY: fixture — never compiled or run.
+    unsafe {
+        *q = 0;
+    }
+}

@@ -1,0 +1,7 @@
+// Seeded violation: a registered carveout block whose justification
+// marker comment is absent from the preceding window.
+pub fn poke(p: *mut u8) {
+    unsafe {
+        *p = 0;
+    }
+}

@@ -1,0 +1,9 @@
+// Seeded violation: an `unsafe` block in a file with no [[carveout]]
+// registry entry. The SAFETY comment is present so only the
+// registration rule fires.
+pub fn poke(p: *mut u8) {
+    // SAFETY: fixture — never compiled or run.
+    unsafe {
+        *p = 0;
+    }
+}

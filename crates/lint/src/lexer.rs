@@ -1,0 +1,363 @@
+//! A lightweight Rust lexer: exactly enough to tell code from comments
+//! and strings, with line numbers.
+//!
+//! The lint rules only ever ask four questions of a source file — does
+//! this identifier appear in *code*, what string literals does it
+//! contain, where are its comments, and how do tokens group into small
+//! sequences (`Ordering :: Relaxed`, `collect :: < Vec`). None of that
+//! needs a grammar, so the lexer handles the lexical layer completely
+//! (nested block comments, raw/byte/c strings with hash fences, char
+//! literals vs. lifetimes) and leaves everything else as plain tokens.
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// The token payload.
+    pub tok: Tok,
+}
+
+/// Token payloads the lint rules distinguish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unsafe`, `Ordering`, `for`, ...).
+    Ident(String),
+    /// A single punctuation character (`:`, `<`, `{`, ...). Multi-char
+    /// operators arrive as consecutive tokens (`::` is `:` then `:`).
+    Punct(char),
+    /// A string literal's raw contents (quotes and hash fences
+    /// stripped, escapes left undecoded — the literals the rules match
+    /// against contain none).
+    Str(String),
+    /// A character literal (contents irrelevant to every rule).
+    Char,
+    /// A lifetime (`'a`); kept distinct so it is never a char literal.
+    Lifetime,
+    /// A numeric literal (value irrelevant to every rule).
+    Num,
+}
+
+/// A comment with the 1-based lines it spans (inclusive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// First line of the comment.
+    pub start_line: u32,
+    /// Last line of the comment (equal to `start_line` for `//` forms).
+    pub end_line: u32,
+    /// Comment text including the delimiters.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order (line, block, doc — all forms).
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// True when any comment overlapping lines `[from, to]` contains
+    /// `marker` (e.g. `"SAFETY:"`). This is how justification-comment
+    /// windows are checked.
+    pub fn comment_in_window(&self, from: u32, to: u32, marker: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.end_line >= from && c.start_line <= to && c.text.contains(marker))
+    }
+}
+
+/// Lexes `src`, splitting it into code tokens and comments.
+///
+/// The lexer is total: any byte sequence produces *some* token stream
+/// (unterminated strings or comments run to end of file), so a syntax
+/// error in a fixture can never panic the linter.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    start_line: line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    start_line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'"' => {
+                let (content, ni, nl) = lex_string(src, i, line, 0);
+                out.tokens.push(Token {
+                    line,
+                    tok: Tok::Str(content),
+                });
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'` + ident-char + (not `'`)
+                // is a lifetime; everything else is a char literal.
+                let next = b.get(i + 1).copied();
+                let after = b.get(i + 2).copied();
+                let is_lifetime = matches!(next, Some(n) if n == b'_' || n.is_ascii_alphabetic())
+                    && after != Some(b'\'');
+                if is_lifetime {
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        line,
+                        tok: Tok::Lifetime,
+                    });
+                } else {
+                    // Char literal: skip to the closing quote, honoring
+                    // a single backslash escape.
+                    i += 1;
+                    if i < b.len() && b[i] == b'\\' {
+                        i += 2;
+                    } else {
+                        // A plain char may be multi-byte UTF-8.
+                        i += src[i..].chars().next().map_or(1, char::len_utf8);
+                    }
+                    if i < b.len() && b[i] == b'\'' {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        line,
+                        tok: Tok::Char,
+                    });
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // String-literal prefixes: r"", b"", br#""#, c"", cr"".
+                let next = b.get(i).copied();
+                let is_prefix = matches!(ident, "r" | "b" | "br" | "c" | "cr");
+                if is_prefix && (next == Some(b'"') || next == Some(b'#')) {
+                    let mut hashes = 0usize;
+                    let mut j = i;
+                    while j < b.len() && b[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == b'"' {
+                        let raw = ident.contains('r');
+                        let (content, ni, nl) =
+                            lex_string(src, j, line, if raw { hashes } else { 0 });
+                        out.tokens.push(Token {
+                            line,
+                            tok: Tok::Str(content),
+                        });
+                        i = ni;
+                        line = nl;
+                        continue;
+                    }
+                }
+                out.tokens.push(Token {
+                    line,
+                    tok: Tok::Ident(ident.to_string()),
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers: digits, underscores, suffixes, and a decimal
+                // point only when a digit follows (so `0..n` stays a
+                // number and two dots).
+                while i < b.len() {
+                    let d = b[i];
+                    let number_dot = d == b'.'
+                        && b.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        && b.get(i.wrapping_sub(1)) != Some(&b'.');
+                    if d == b'_' || d.is_ascii_alphanumeric() || number_dot {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    line,
+                    tok: Tok::Num,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    line,
+                    tok: Tok::Punct(c as char),
+                });
+                i += src[i..].chars().next().map_or(1, char::len_utf8);
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a string literal starting at the opening quote `b[start]`,
+/// with `hashes` raw-string hash fences (0 = escapes are honored).
+/// Returns `(contents, next_index, next_line)`.
+fn lex_string(src: &str, start: usize, mut line: u32, hashes: usize) -> (String, usize, u32) {
+    let b = src.as_bytes();
+    let mut i = start + 1;
+    let content_start = i;
+    while i < b.len() {
+        match b[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'\\' if hashes == 0 => i += 2,
+            b'"' => {
+                // A raw string only closes when the quote is followed by
+                // the full hash fence.
+                let fence_ok = (0..hashes).all(|k| b.get(i + 1 + k) == Some(&b'#'));
+                if fence_ok {
+                    let content = src[content_start..i].to_string();
+                    return (content, i + 1 + hashes, line);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (src[content_start..].to_string(), i, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<&str> {
+        l.tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_keywords_from_the_token_stream() {
+        let src = r##"
+// unsafe in a line comment
+/* unsafe in a /* nested */ block */
+let s = "unsafe in a string";
+let r = r#"unsafe in a raw string"#;
+let actual = unsafe { 1 };
+"##;
+        let lexed = lex(src);
+        let unsafe_count = idents(&lexed).iter().filter(|s| **s == "unsafe").count();
+        assert_eq!(unsafe_count, 1, "only the code token counts");
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn string_contents_are_captured_verbatim() {
+        let lexed = lex(r#"let m = "oneqd_requests_total"; let p = "/v1/stats";"#);
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, ["oneqd_requests_total", "/v1/stats"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_a_string() {
+        let lexed = lex(r#"let s = "a\"b"; let t = 'c';"#);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.tok == Tok::Str("a\\\"b".to_string())));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = \"x\ny\";\nunsafe {}\n";
+        let lexed = lex(src);
+        let unsafe_tok = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("unsafe".into()))
+            .unwrap();
+        assert_eq!(unsafe_tok.line, 6);
+        assert_eq!(lexed.comments[0].start_line, 2);
+        assert_eq!(lexed.comments[0].end_line, 3);
+    }
+
+    #[test]
+    fn comment_window_lookup_matches_overlap() {
+        let src = "// SAFETY: fine\nunsafe {}\n";
+        let lexed = lex(src);
+        assert!(lexed.comment_in_window(1, 2, "SAFETY:"));
+        assert!(!lexed.comment_in_window(2, 2, "SAFETY:"));
+        assert!(!lexed.comment_in_window(1, 2, "ORDERING:"));
+    }
+
+    #[test]
+    fn byte_and_c_strings_lex_like_strings() {
+        let lexed = lex(r##"let a = b"bytes"; let b = br#"raw"bytes"#; let c = c"cstr";"##);
+        let strs = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Str(_)))
+            .count();
+        assert_eq!(strs, 3);
+    }
+}

@@ -1,0 +1,255 @@
+//! The checked-in invariant registry: `lint/unsafe_registry.toml`.
+//!
+//! The registry is the reviewable half of the lint: every `unsafe`
+//! carve-out, every atomics-bearing module, and every hot-path module
+//! is an explicit entry with a justification. The lint's job is to keep
+//! the registry and the tree in exact agreement — an unsafe block (or a
+//! new atomic) anywhere else fails the build, and so does a stale entry
+//! whose code no longer exists.
+//!
+//! The file format is the small TOML subset the registry needs —
+//! `[[table]]` array-of-table headers, `key = "string"` and
+//! `key = integer` pairs, `#` comments — parsed by hand like every
+//! other format in this workspace.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One registry entry: a file, how many occurrences it is allowed, and
+/// why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// Exact number of occurrences the file must contain.
+    pub count: u64,
+    /// Human justification; must be non-empty.
+    pub justification: String,
+}
+
+/// The parsed registry: unsafe carve-outs, atomics modules, hot-path
+/// modules.
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    /// `[[carveout]]` entries — files allowed to contain `unsafe`.
+    pub carveouts: Vec<Entry>,
+    /// `[[atomics]]` entries — files allowed to use atomic
+    /// `Ordering::*` operands.
+    pub atomics: Vec<Entry>,
+    /// `[[hotpath]]` entries — files under the allocation/map-iteration
+    /// lint (`count` is unused and fixed at 0).
+    pub hotpath: Vec<Entry>,
+}
+
+/// A registry parse or validation failure, with the 1-based line.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RegistryError {
+    /// 1-based line in the registry file (0 for whole-file errors).
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "registry line {}: {}", self.line, self.message)
+    }
+}
+
+fn err(line: u32, message: impl Into<String>) -> RegistryError {
+    RegistryError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses and validates registry TOML. Duplicate files within a
+/// section, missing fields, and empty justifications are errors — the
+/// registry must stay unambiguous for the rules to be exact.
+pub fn parse(src: &str) -> Result<Registry, RegistryError> {
+    let mut registry = Registry::default();
+    let mut section: Option<String> = None;
+    let mut fields: BTreeMap<String, String> = BTreeMap::new();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut section_line = 0u32;
+
+    let mut flush = |section: &Option<String>,
+                     fields: &mut BTreeMap<String, String>,
+                     counts: &mut BTreeMap<String, u64>,
+                     line: u32|
+     -> Result<(), RegistryError> {
+        let Some(name) = section else {
+            return Ok(());
+        };
+        let file = fields
+            .remove("file")
+            .ok_or_else(|| err(line, format!("[[{name}]] entry is missing `file`")))?;
+        let justification = fields
+            .remove("justification")
+            .ok_or_else(|| err(line, format!("[[{name}]] {file}: missing `justification`")))?;
+        if justification.trim().is_empty() {
+            return Err(err(line, format!("[[{name}]] {file}: empty justification")));
+        }
+        let count = counts.remove("count").unwrap_or(0);
+        if name != "hotpath" && count == 0 {
+            return Err(err(
+                line,
+                format!("[[{name}]] {file}: `count` must be present and >= 1"),
+            ));
+        }
+        let entry = Entry {
+            file,
+            count,
+            justification,
+        };
+        let list = match name.as_str() {
+            "carveout" => &mut registry.carveouts,
+            "atomics" => &mut registry.atomics,
+            "hotpath" => &mut registry.hotpath,
+            other => return Err(err(line, format!("unknown section [[{other}]]"))),
+        };
+        if list.iter().any(|e| e.file == entry.file) {
+            return Err(err(
+                line,
+                format!("[[{name}]] {}: duplicate entry", entry.file),
+            ));
+        }
+        list.push(entry);
+        fields.clear();
+        counts.clear();
+        Ok(())
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            flush(&section, &mut fields, &mut counts, section_line)?;
+            section = Some(name.trim().to_string());
+            section_line = line_no;
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(
+                line_no,
+                format!("expected `key = value`, got `{line}`"),
+            ));
+        };
+        if section.is_none() {
+            return Err(err(line_no, "key outside any [[section]]"));
+        }
+        let key = key.trim();
+        let value = value.trim();
+        if let Some(stripped) = value.strip_prefix('"') {
+            let Some(text) = stripped.strip_suffix('"') else {
+                return Err(err(line_no, "unterminated string value"));
+            };
+            fields.insert(
+                key.to_string(),
+                text.replace("\\\"", "\"").replace("\\\\", "\\"),
+            );
+        } else {
+            let n: u64 = value
+                .parse()
+                .map_err(|_| err(line_no, format!("`{key}`: expected integer or string")))?;
+            counts.insert(key.to_string(), n);
+        }
+    }
+    flush(&section, &mut fields, &mut counts, section_line)?;
+    Ok(registry)
+}
+
+/// Renders a registry skeleton for the current tree (the
+/// `--print-registry` bootstrap): observed files and counts, with
+/// justifications to be filled in by the author.
+pub fn render_skeleton(
+    carveouts: &[(String, u64)],
+    atomics: &[(String, u64)],
+    hotpath: &[String],
+) -> String {
+    let mut out = String::from(
+        "# lint/unsafe_registry.toml — regenerate with `oneq-lint --print-registry`\n",
+    );
+    for (file, count) in carveouts {
+        out.push_str(&format!(
+            "\n[[carveout]]\nfile = \"{file}\"\ncount = {count}\njustification = \"TODO\"\n"
+        ));
+    }
+    for (file, count) in atomics {
+        out.push_str(&format!(
+            "\n[[atomics]]\nfile = \"{file}\"\ncount = {count}\njustification = \"TODO\"\n"
+        ));
+    }
+    for file in hotpath {
+        out.push_str(&format!(
+            "\n[[hotpath]]\nfile = \"{file}\"\njustification = \"TODO\"\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# a comment
+[[carveout]]
+file = "crates/service/src/signal.rs"
+count = 1
+justification = "signal(2) FFI"
+
+[[atomics]]
+file = "crates/obs/src/hist.rs"
+count = 6
+justification = "relaxed histogram counters"
+
+[[hotpath]]
+file = "crates/hardware/src/grid.rs"
+justification = "dense-grid invariant"
+"#;
+
+    #[test]
+    fn parses_all_three_sections() {
+        let reg = parse(GOOD).unwrap();
+        assert_eq!(reg.carveouts.len(), 1);
+        assert_eq!(reg.carveouts[0].count, 1);
+        assert_eq!(reg.atomics[0].file, "crates/obs/src/hist.rs");
+        assert_eq!(reg.hotpath[0].file, "crates/hardware/src/grid.rs");
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let bad = "[[carveout]]\nfile = \"a.rs\"\ncount = 1\n";
+        assert!(parse(bad).unwrap_err().message.contains("justification"));
+    }
+
+    #[test]
+    fn zero_count_is_an_error_outside_hotpath() {
+        let bad = "[[atomics]]\nfile = \"a.rs\"\ncount = 0\njustification = \"x\"\n";
+        assert!(parse(bad).unwrap_err().message.contains("count"));
+    }
+
+    #[test]
+    fn duplicate_files_are_an_error() {
+        let bad = "[[hotpath]]\nfile = \"a.rs\"\njustification = \"x\"\n\
+                   [[hotpath]]\nfile = \"a.rs\"\njustification = \"y\"\n";
+        assert!(parse(bad).unwrap_err().message.contains("duplicate"));
+    }
+
+    #[test]
+    fn skeleton_round_trips_through_the_parser() {
+        let text = render_skeleton(
+            &[("crates/a.rs".into(), 2)],
+            &[("crates/b.rs".into(), 7)],
+            &["crates/c.rs".into()],
+        );
+        let reg = parse(&text).unwrap();
+        assert_eq!(reg.carveouts[0].count, 2);
+        assert_eq!(reg.atomics[0].count, 7);
+        assert_eq!(reg.hotpath[0].file, "crates/c.rs");
+    }
+}

@@ -1,0 +1,107 @@
+//! Workspace source discovery: every `.rs` file the rules apply to.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names excluded from the walk wherever they appear:
+/// vendored shims (third-party code owns its own invariants), build
+/// output, VCS internals, and fixture trees (seeded-violation inputs
+/// for the self-test, plus the QASM corpus).
+const EXCLUDED_DIRS: [&str; 4] = ["vendor", "target", ".git", "fixtures"];
+
+/// A workspace source file: its root-relative path (forward slashes)
+/// and contents.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// File contents.
+    pub text: String,
+}
+
+/// Collects every non-excluded `.rs` file under `root`, sorted by
+/// relative path so every report and registry skeleton is
+/// deterministic.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    visit(root, &mut paths)?;
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let text = fs::read_to_string(&path)?;
+        out.push(SourceFile {
+            rel_path: rel,
+            text,
+        });
+    }
+    Ok(out)
+}
+
+fn visit(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if EXCLUDED_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            visit(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_of_this_workspace_excludes_vendor_target_and_fixtures() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root above the lint crate");
+        let sources = collect_sources(&root).expect("walk succeeds");
+        assert!(
+            sources
+                .iter()
+                .any(|s| s.rel_path == "crates/lint/src/walk.rs"),
+            "the walker sees itself"
+        );
+        for s in &sources {
+            assert!(
+                !s.rel_path.starts_with("vendor/")
+                    && !s.rel_path.starts_with("target/")
+                    && !s.rel_path.contains("/fixtures/"),
+                "excluded path leaked: {}",
+                s.rel_path
+            );
+        }
+    }
+}

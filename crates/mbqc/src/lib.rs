@@ -31,6 +31,8 @@
 //! assert!(!layers.is_empty());
 //! ```
 
+#![warn(missing_docs)]
+
 mod basis;
 pub mod flow;
 mod pattern;

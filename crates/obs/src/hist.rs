@@ -121,6 +121,9 @@ impl Histogram {
     /// input.
     pub fn record(&self, ns: u64) {
         let v = ns.min(MAX_TRACKED);
+        // ORDERING: Relaxed — bucket/sum/count are independent monotonic
+        // counters; readers take point-in-time snapshots and tolerate the
+        // three updates landing non-atomically relative to each other.
         self.core.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.core.sum_ns.fetch_add(v, Ordering::Relaxed);
         self.core.count.fetch_add(1, Ordering::Relaxed);
@@ -153,6 +156,8 @@ impl Histogram {
 
     /// Total number of recorded observations.
     pub fn count(&self) -> u64 {
+        // ORDERING: Relaxed — statistics read; no dependent data is gated
+        // on this load.
         self.core.count.load(Ordering::Relaxed)
     }
 
@@ -162,6 +167,8 @@ impl Histogram {
     /// with recording may be mid-update by a handful of observations; counts
     /// never go backwards between snapshots.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // ORDERING: Relaxed — snapshot loads; per the doc comment above, a
+        // concurrent `record` may be partially visible, which callers accept.
         let buckets: Vec<u64> = self
             .core
             .buckets

@@ -20,6 +20,9 @@ pub struct Counter {
 }
 
 impl Counter {
+    // ORDERING: Relaxed throughout — each counter cell is an independent
+    // monotonic statistic; no reader derives cross-metric invariants from
+    // load order, so no acquire/release pairing is needed.
     /// Increment by one.
     pub fn inc(&self) {
         self.value.fetch_add(1, Ordering::Relaxed);
@@ -52,6 +55,9 @@ pub struct Gauge {
 }
 
 impl Gauge {
+    // ORDERING: Relaxed throughout — gauges are point-in-time readings;
+    // `set_max` relies only on fetch_max's atomicity, not on ordering
+    // against other memory.
     /// Set the gauge.
     pub fn set(&self, n: u64) {
         self.value.store(n, Ordering::Relaxed);

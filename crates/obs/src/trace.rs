@@ -179,6 +179,8 @@ impl TraceBuffer {
 
     /// Append a record, evicting the oldest when full.
     pub fn push(&self, record: TraceRecord) {
+        // ORDERING: Relaxed — `pushed` is an all-time statistic; record
+        // visibility itself is ordered by the ring Mutex, not this counter.
         self.pushed.fetch_add(1, Ordering::Relaxed);
         let mut ring = self.ring.lock().expect("trace ring poisoned");
         if ring.len() == self.capacity {
@@ -199,6 +201,7 @@ impl TraceBuffer {
 
     /// All-time number of records pushed (including evicted ones).
     pub fn pushed(&self) -> u64 {
+        // ORDERING: Relaxed — statistics read with no dependent data.
         self.pushed.load(Ordering::Relaxed)
     }
 
@@ -292,6 +295,8 @@ impl RequestIds {
 
     /// Mint the next id, e.g. `3f9c2d10a4e8b761-000001`.
     pub fn next(&self) -> String {
+        // ORDERING: Relaxed — fetch_add's atomicity alone guarantees unique
+        // ids; no other memory is published under this sequence number.
         let n = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         format!("{:016x}-{:06x}", self.prefix, n)
     }

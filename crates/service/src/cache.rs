@@ -207,6 +207,8 @@ impl CompileCache {
     /// Digest-addressed lookup (the key was already hashed — e.g. to join
     /// a [`SingleFlight`]), refreshing recency on a hit.
     pub fn get_digest(&self, digest: &[u8; 32]) -> Option<Arc<str>> {
+        // ORDERING: Relaxed — hit/miss are independent statistics counters;
+        // entry visibility is ordered by the shard Mutex held here.
         let mut shard = self.shard_of(digest).lock().expect("cache shard poisoned");
         let pos = shard.entries.iter().position(|e| e.digest == *digest);
         match pos {
@@ -258,6 +260,8 @@ impl CompileCache {
         shard.entries.push(Entry { digest, value });
         if shard.entries.len() > self.shard_capacity {
             shard.entries.remove(0);
+            // ORDERING: Relaxed — eviction statistic; shard Mutex orders
+            // the structural change itself.
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -277,6 +281,8 @@ impl CompileCache {
 
     /// Counter + occupancy snapshot.
     pub fn stats(&self) -> CacheStats {
+        // ORDERING: Relaxed — point-in-time statistics snapshot; slight
+        // skew between the three loads is acceptable to readers.
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -351,6 +357,8 @@ impl TieredCache {
     /// Fills `digest → value` after a compile: into memory now, onto
     /// disk write-behind.
     pub fn fill(&self, digest: [u8; 32], value: Arc<str>) {
+        // ORDERING: Relaxed — fill statistic; the insert below publishes the
+        // value under the shard Mutex.
         self.fills.fetch_add(1, Ordering::Relaxed);
         self.memory.insert_digest(digest, Arc::clone(&value));
         if let Some(disk) = &self.disk {
@@ -361,6 +369,7 @@ impl TieredCache {
     /// Compile results written into the cache (both tiers fill from the
     /// same event, so one counter covers them).
     pub fn fills(&self) -> u64 {
+        // ORDERING: Relaxed — statistics read with no dependent data.
         self.fills.load(Ordering::Relaxed)
     }
 
@@ -444,6 +453,8 @@ impl SingleFlight {
             }
             return match &*state {
                 FlightState::Done(body, ok) => {
+                    // ORDERING: Relaxed — coalesce statistic; the result
+                    // itself travels under the flight Mutex.
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
                     FlightRole::Follower(Some((Arc::clone(body), *ok)))
                 }
@@ -466,6 +477,7 @@ impl SingleFlight {
 
     /// Followers served from a leader's in-flight result so far.
     pub fn coalesced(&self) -> u64 {
+        // ORDERING: Relaxed — statistics read with no dependent data.
         self.coalesced.load(Ordering::Relaxed)
     }
 

@@ -57,6 +57,9 @@ where
             scope.spawn(|| {
                 let mut state = init();
                 loop {
+                    // ORDERING: Relaxed — the cursor only needs fetch_add's
+                    // atomicity for unique indices; results are published
+                    // through the slots Mutex.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         break;
@@ -116,6 +119,8 @@ impl WorkerPool {
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
         match &self.tx {
             Some(tx) => {
+                // ORDERING: Relaxed — depth is a statistics gauge; job
+                // handoff is ordered by the channel itself.
                 self.depth.fetch_add(1, Ordering::Relaxed);
                 let sent = tx.send(Box::new(job)).is_ok();
                 if !sent {
@@ -135,6 +140,8 @@ impl WorkerPool {
         use std::sync::mpsc::TrySendError;
         match &self.tx {
             Some(tx) => {
+                // ORDERING: Relaxed — same statistics gauge as `execute`;
+                // the channel orders the handoff.
                 self.depth.fetch_add(1, Ordering::Relaxed);
                 let result = tx.try_send(job).map_err(|e| match e {
                     TrySendError::Full(job) | TrySendError::Disconnected(job) => job,
@@ -152,6 +159,8 @@ impl WorkerPool {
     /// gauge the event loop publishes each iteration. Momentarily over by
     /// jobs mid-handoff; exact once the queue settles.
     pub fn depth(&self) -> usize {
+        // ORDERING: Relaxed — momentarily-stale reads are fine per the doc
+        // comment above.
         self.depth.load(Ordering::Relaxed)
     }
 
@@ -181,6 +190,8 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, depth: &AtomicUsize) {
         };
         match job {
             Ok(job) => {
+                // ORDERING: Relaxed — statistics gauge decrement; the recv
+                // above already ordered the job's memory.
                 depth.fetch_sub(1, Ordering::Relaxed);
                 job();
             }
@@ -224,6 +235,8 @@ mod tests {
             &items,
             move || {
                 // Per-worker state: (stable worker tag, items handled).
+                // ORDERING: SeqCst — test assertion counter; strongest
+                // ordering so the test never races its own bookkeeping.
                 (inits_for_workers.fetch_add(1, Ordering::SeqCst), 0u64)
             },
             |(tag, handled), i, v| {
@@ -263,6 +276,7 @@ mod tests {
             match pool.try_execute_boxed(Box::new({
                 let queued = Arc::clone(&queued_for_job);
                 move || {
+                    // ORDERING: SeqCst — test assertion counter.
                     queued.fetch_add(1, Ordering::SeqCst);
                 }
             })) {
@@ -278,6 +292,7 @@ mod tests {
         assert!(bounced.is_err(), "full queue hands the job back");
         drop(hold);
         pool.shutdown();
+        // ORDERING: SeqCst — test assertion read after join.
         assert_eq!(queued.load(Ordering::SeqCst), 1);
         assert!(
             pool.try_execute_boxed(Box::new(|| {})).is_err(),
@@ -321,10 +336,12 @@ mod tests {
         for _ in 0..100 {
             let counter = Arc::clone(&counter);
             assert!(pool.execute(move || {
+                // ORDERING: SeqCst — test assertion counter.
                 counter.fetch_add(1, Ordering::SeqCst);
             }));
         }
         pool.shutdown();
+        // ORDERING: SeqCst — test assertion read after join.
         assert_eq!(counter.load(Ordering::SeqCst), 100);
         assert!(!pool.execute(|| {}), "execute after shutdown is refused");
     }

@@ -290,6 +290,7 @@ impl ServiceState {
     /// difference against `compile_requests + batch_records` is the work
     /// the cache and the single-flight layer saved.
     pub fn compile_executions(&self) -> u64 {
+        // ORDERING: Relaxed — statistics read with no dependent data.
         self.compile_executions.load(Ordering::Relaxed)
     }
 
@@ -297,6 +298,7 @@ impl ServiceState {
     /// stalled drains). Tests and `loadgen`'s adversarial gate read this
     /// without parsing the stats body.
     pub fn evicted_slow_read(&self) -> u64 {
+        // ORDERING: Relaxed — statistics read with no dependent data.
         self.evicted_slow_read.load(Ordering::Relaxed)
     }
 
@@ -314,6 +316,8 @@ impl ServiceState {
         let gauge = |name: &str, help: &str, value: u64| {
             reg.gauge(name, help, &[]).set(value);
         };
+        // ORDERING: Relaxed — mirroring statistics into the registry is a
+        // point-in-time capture; counters are independent of each other.
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
 
         gauge(
@@ -699,6 +703,8 @@ impl ServerHandle {
 
     /// Requests shutdown and joins the server thread.
     pub fn shutdown(mut self) -> io::Result<()> {
+        // ORDERING: Relaxed — lone stop flag polled by the event loop; the
+        // join below is the real synchronization point.
         self.stop.store(true, Ordering::Relaxed);
         match self.thread.take() {
             Some(t) => t
@@ -711,6 +717,7 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
+        // ORDERING: Relaxed — same stop flag as `shutdown`; join follows.
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
@@ -772,6 +779,8 @@ impl Server {
         let stop_flag = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
             .name("oneqd-loop".to_string())
+            // ORDERING: Relaxed — stop-flag poll between loop iterations;
+            // eventual visibility is all shutdown needs.
             .spawn(move || self.run_until(|| stop_flag.load(Ordering::Relaxed)))?;
         Ok(ServerHandle {
             addr,
@@ -972,6 +981,8 @@ mod event_loop {
                 if deadline > now {
                     continue;
                 }
+                // ORDERING: Relaxed — eviction statistics; the connection
+                // teardown itself happens on this (the only) loop thread.
                 match conn.state() {
                     ConnState::Idle => {
                         self.state.idle_closed.fetch_add(1, Ordering::Relaxed);
@@ -1004,6 +1015,8 @@ mod event_loop {
                 }
             }
             let s = &self.state;
+            // ORDERING: Relaxed — connection-state gauges are point-in-time
+            // readings published for /v1/stats; no reader orders on them.
             s.conns_open
                 .store(self.open_count as u64, Ordering::Relaxed);
             s.conns_reading.store(reading, Ordering::Relaxed);
@@ -1061,6 +1074,7 @@ mod event_loop {
                         // timeout; the whole-request io_timeout arms
                         // once its first byte arrives.
                         conn.set_deadline(Some(Instant::now() + self.config.idle_timeout));
+                        // ORDERING: Relaxed — accepted-connections statistic.
                         self.state.connections.fetch_add(1, Ordering::Relaxed);
                         let slot = match self.free.pop() {
                             Some(slot) => {
@@ -1131,6 +1145,8 @@ mod event_loop {
                             // `http_errors` + the per-route counters.
                             // The stream position is unknown → the
                             // session must end after the 400.
+                            // ORDERING: Relaxed — request/error statistics;
+                            // independent counters reconciled offline.
                             self.state.requests.fetch_add(1, Ordering::Relaxed);
                             self.state.http_errors.fetch_add(1, Ordering::Relaxed);
                             let io_timeout = self.config.io_timeout;
@@ -1143,6 +1159,7 @@ mod event_loop {
                             conn.set_deadline(Some(Instant::now() + io_timeout));
                         }
                         Err(RequestError::BodyTooLarge(n)) => {
+                            // ORDERING: Relaxed — request/error statistics.
                             self.state.requests.fetch_add(1, Ordering::Relaxed);
                             self.state.http_errors.fetch_add(1, Ordering::Relaxed);
                             // The oversized body was never buffered (the
@@ -1213,6 +1230,7 @@ mod event_loop {
         /// loop, dispatches compile work to the pool. Returns `false`
         /// when the connection is now owned by a worker (stop pumping).
         fn on_request(&mut self, slot: usize, request: Request) -> bool {
+            // ORDERING: Relaxed — total-requests statistic.
             self.state.requests.fetch_add(1, Ordering::Relaxed);
             let conn = self.conns[slot].as_mut().expect("conn is live");
             conn.mark_served();
@@ -1328,6 +1346,8 @@ mod event_loop {
         let rid = || ("X-Oneqd-Request-Id", req_id.to_string());
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/v1/healthz") => {
+                // ORDERING: Relaxed — per-route request statistics, here
+                // and in every arm below; all are independent counters.
                 state.healthz_requests.fetch_add(1, Ordering::Relaxed);
                 let bytes = render(
                     200,
@@ -1354,6 +1374,7 @@ mod event_loop {
                 (bytes, 200)
             }
             ("GET", "/v1/traces") => {
+                // ORDERING: Relaxed — per-route request/error statistics.
                 state.traces_requests.fetch_add(1, Ordering::Relaxed);
                 match traces_body(state, request) {
                     Ok(body) => (render(200, &[rid()], &body, conn), 200),
@@ -1385,6 +1406,7 @@ mod event_loop {
                 }
             }
             (_, "/v1/healthz" | "/v1/stats" | "/v1/metrics" | "/v1/traces") => {
+                // ORDERING: Relaxed — error statistics for rejected methods.
                 state.http_errors.fetch_add(1, Ordering::Relaxed);
                 let bytes = render_error(
                     405,
@@ -1405,6 +1427,7 @@ mod event_loop {
                 (bytes, 405)
             }
             (_, "/v1/compile" | "/v1/compile-batch") => {
+                // ORDERING: Relaxed — error statistics, as above.
                 state.http_errors.fetch_add(1, Ordering::Relaxed);
                 let bytes = render_error(
                     405,
@@ -1478,6 +1501,7 @@ fn compile_via_cache_inner(
 ) -> (Arc<str>, bool, &'static str, Option<RecordTimings>) {
     let run = |state: &ServiceState| -> (Arc<str>, bool, Option<RecordTimings>) {
         let _slot = slots.map(Semaphore::acquire);
+        // ORDERING: Relaxed — executed-compiles statistic.
         state.compile_executions.fetch_add(1, Ordering::Relaxed);
         let (record, ok, timings) = req.record_timed();
         (Arc::from(format!("{record}\n").as_str()), ok, timings)
@@ -1693,6 +1717,8 @@ fn handle_compile(
     conn: Connection,
     req_id: &str,
 ) -> (Vec<u8>, HandlerTrace) {
+    // ORDERING: Relaxed — request/error statistics throughout this
+    // handler; all are independent counters.
     state.compile_requests.fetch_add(1, Ordering::Relaxed);
     let started = Instant::now();
     let rid = || ("X-Oneqd-Request-Id", req_id.to_string());
@@ -1720,6 +1746,7 @@ fn handle_compile(
     } else {
         &state.compile_errors
     };
+    // ORDERING: Relaxed — outcome statistic.
     counter.fetch_add(1, Ordering::Relaxed);
     let status = if ok { 200 } else { 422 };
     let headers = vec![("X-Oneqd-Cache", outcome.to_string()), rid()];
@@ -1744,6 +1771,8 @@ fn handle_batch(
     conn: Connection,
     req_id: &str,
 ) -> (Vec<u8>, HandlerTrace) {
+    // ORDERING: Relaxed — request/error statistics throughout this
+    // handler; all are independent counters.
     state.batch_requests.fetch_add(1, Ordering::Relaxed);
     let rid = || ("X-Oneqd-Request-Id", req_id.to_string());
     let text = match std::str::from_utf8(&request.body) {
@@ -1765,6 +1794,7 @@ fn handle_batch(
         match CompileRequest::from_jsonl_line(line) {
             Ok(req) => requests.push(req),
             Err(msg) => {
+                // ORDERING: Relaxed — error statistic.
                 state.http_errors.fetch_add(1, Ordering::Relaxed);
                 let bytes =
                     render_error(400, &format!("batch line {}: {msg}", i + 1), &[rid()], conn);
@@ -1789,6 +1819,8 @@ fn handle_batch(
         compile_via_cache(state, req, Some(&state.batch_slots), req_id)
     });
 
+    // ORDERING: Relaxed — per-record outcome statistics, here and in the
+    // loop below.
     state
         .batch_records
         .fetch_add(results.len() as u64, Ordering::Relaxed);

@@ -18,12 +18,15 @@ static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 /// `true` once SIGTERM or SIGINT (ctrl-c) has been delivered (or
 /// [`request_shutdown`] was called).
 pub fn shutdown_requested() -> bool {
+    // ORDERING: Relaxed — a lone flag with no dependent data; the poll
+    // loop only needs eventual visibility of the store.
     SHUTDOWN.load(Ordering::Relaxed)
 }
 
 /// Raises the shutdown flag from ordinary (non-signal) code — used by
 /// tests and available to any future admin endpoint.
 pub fn request_shutdown() {
+    // ORDERING: Relaxed — flag store publishes no other memory.
     SHUTDOWN.store(true, Ordering::Relaxed);
 }
 
@@ -43,6 +46,8 @@ mod imp {
     extern "C" fn on_signal(_signum: i32) {
         // Only an atomic store: allocation, locking, and I/O are all
         // forbidden in a signal handler.
+        // ORDERING: Relaxed — async-signal-safe flag store; no other
+        // memory is published from the handler.
         super::SHUTDOWN.store(true, Ordering::Relaxed);
     }
 

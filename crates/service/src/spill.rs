@@ -310,6 +310,8 @@ impl SpillTier {
             .and_then(|bytes| String::from_utf8(bytes).ok());
         match body {
             Some(body) => {
+                // ORDERING: Relaxed — hit statistic; record bytes were read
+                // under the state Mutex's index snapshot.
                 self.inner.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::from(body.as_str()))
             }
@@ -323,6 +325,8 @@ impl SpillTier {
                             .live
                             .saturating_sub(segment::record_size(slot.body_len as usize));
                     }
+                    // ORDERING: Relaxed — corruption-drop statistic; the
+                    // index removal happened under the state Mutex.
                     self.inner.crc_dropped.fetch_add(1, Ordering::Relaxed);
                 }
                 None
@@ -378,6 +382,8 @@ impl SpillTier {
             .values()
             .map(|s| s.total.saturating_sub(SUPERBLOCK_LEN))
             .sum();
+        // ORDERING: Relaxed — point-in-time statistics snapshot; loads may
+        // skew slightly against each other, which readers accept.
         SpillStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             appends: self.inner.appends.load(Ordering::Relaxed),
@@ -469,6 +475,8 @@ fn append_one(
                 .saturating_sub(segment::record_size(old.body_len as usize));
         }
     }
+    // ORDERING: Relaxed — append statistic; the record itself was published
+    // under the state Mutex above.
     inner.appends.fetch_add(1, Ordering::Relaxed);
     evict_over_budget(&mut state, inner, active.id);
     Ok(())
@@ -514,6 +522,8 @@ fn evict_over_budget(state: &mut State, inner: &Inner, active_id: u64) {
             let _ = std::fs::remove_file(&seg.path);
         }
         state.index.retain(|_, slot| slot.seg != oldest);
+        // ORDERING: Relaxed — eviction statistic; the structural change is
+        // ordered by the state Mutex the caller holds.
         inner.evicted_segments.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -542,6 +552,8 @@ fn recover(inner: &Inner) -> io::Result<ActiveSeg> {
         let path = segment_path(&config.dir, id);
         match segment::scan(&path) {
             Ok(outcome) => {
+                // ORDERING: Relaxed — recovery statistics, written before
+                // any reader thread exists (single-threaded startup).
                 if outcome.truncated {
                     inner.truncated_tails.fetch_add(1, Ordering::Relaxed);
                 }
@@ -598,6 +610,7 @@ fn recover(inner: &Inner) -> io::Result<ActiveSeg> {
     let garbage = live_total + dead_total;
     if dead_total > 0 && (dead_total as f64) > config.compact_ratio * garbage as f64 {
         let (new_loaded, new_index, new_live) = compact(config, &loaded, &index)?;
+        // ORDERING: Relaxed — recovery-time statistic; still single-threaded.
         inner.compactions.fetch_add(1, Ordering::Relaxed);
         loaded = new_loaded;
         index = new_index;

@@ -33,6 +33,8 @@
 //! assert!(mbqc_state.approx_eq_up_to_phase(&circuit_state, 1e-9));
 //! ```
 
+#![warn(missing_docs)]
+
 mod complex;
 pub mod pattern_sim;
 mod stabilizer;

@@ -1,0 +1,254 @@
+//! Runtime twin of `oneq-lint`'s static schema check: boots a real
+//! server (disk tier enabled, traffic flowing so every conditional
+//! block renders), flattens the live `/v1/stats` document into dotted
+//! key paths, and pins it against the committed snapshots under
+//! `lint/`:
+//!
+//!   * live keys == `lint/stats_schema_v6.txt` exactly — the server
+//!     renders precisely what the snapshot promises, no more, no less;
+//!   * live keys ⊇ `lint/stats_schema_v5.txt` — the schema stayed
+//!     append-only across the version bump.
+//!
+//! To regenerate after an intentional schema change, run with
+//! `ONEQ_UPDATE_SCHEMA_SNAPSHOT=1`; the test writes the observed key
+//! set to `lint/stats_schema_v6.txt.new` for review (the committed
+//! snapshot carries a curated header and is never clobbered).
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use oneq_service::http;
+use oneq_service::server::{Server, ServerConfig, ServerHandle};
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn snapshot_keys(path: &Path) -> BTreeSet<String> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Flattens a JSON document into dotted key paths: `conns.open`,
+/// `slowest[]`, `slowest[].route`. The emitter is ours (`ObjWriter`),
+/// so this only handles the shapes it produces — objects, arrays,
+/// strings, numbers, booleans — and panics loudly on anything else.
+fn flatten_keys(json: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let bytes = json.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos, "", &mut out);
+    out
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize, path: &str, out: &mut BTreeSet<String>) {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            loop {
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    break;
+                }
+                let key = string(b, pos);
+                skip_ws(b, pos);
+                assert_eq!(b.get(*pos), Some(&b':'), "object key needs a colon");
+                *pos += 1;
+                let child = if path.is_empty() {
+                    key
+                } else {
+                    format!("{path}.{key}")
+                };
+                value(b, pos, &child, out);
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b',') {
+                    *pos += 1;
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            // Arrays are visible even when empty (`slowest[]`); object
+            // containers are not listed, only their leaves.
+            let child = format!("{path}[]");
+            out.insert(child.clone());
+            loop {
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    break;
+                }
+                value(b, pos, &child, out);
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b',') {
+                    *pos += 1;
+                }
+            }
+        }
+        Some(b'"') => {
+            string(b, pos);
+            if !path.is_empty() {
+                out.insert(path.to_string());
+            }
+        }
+        Some(_) => {
+            // number / true / false / null: consume the bare token.
+            while *pos < b.len()
+                && !matches!(b[*pos], b',' | b'}' | b']')
+                && !b[*pos].is_ascii_whitespace()
+            {
+                *pos += 1;
+            }
+            if !path.is_empty() {
+                out.insert(path.to_string());
+            }
+        }
+        None => panic!("unexpected end of stats JSON"),
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> String {
+    skip_ws(b, pos);
+    assert_eq!(b.get(*pos), Some(&b'"'), "expected a string");
+    *pos += 1;
+    let start = *pos;
+    while *pos < b.len() && b[*pos] != b'"' {
+        if b[*pos] == b'\\' {
+            *pos += 1;
+        }
+        *pos += 1;
+    }
+    let s = String::from_utf8_lossy(&b[start..*pos]).into_owned();
+    *pos += 1; // closing quote
+    s
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oneqd-stats-schema-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn spawn_with_disk(dir: &Path) -> ServerHandle {
+    let config = ServerConfig {
+        cache_dir: Some(dir.to_path_buf()),
+        ..ServerConfig::default()
+    };
+    Server::bind("127.0.0.1:0", config)
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn server thread")
+}
+
+#[test]
+fn live_stats_keys_match_the_committed_snapshots() {
+    let dir = tempdir("golden");
+    let handle = spawn_with_disk(&dir);
+
+    // Traffic: one good compile (fills the trace ring, so `slowest` has
+    // elements) and one metrics scrape (bumps the telemetry route).
+    let qasm = b"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nh q[0];\n";
+    let resp = http::request(
+        handle.addr(),
+        "POST",
+        "/v1/compile?file=g.qasm",
+        qasm,
+        TIMEOUT,
+    )
+    .expect("POST /v1/compile");
+    assert_eq!(resp.status, 200);
+    let resp =
+        http::request(handle.addr(), "GET", "/v1/metrics", b"", TIMEOUT).expect("GET /v1/metrics");
+    assert_eq!(resp.status, 200);
+
+    let stats =
+        http::request(handle.addr(), "GET", "/v1/stats", b"", TIMEOUT).expect("GET /v1/stats");
+    assert_eq!(stats.status, 200);
+    let body = String::from_utf8(stats.body).expect("stats body is UTF-8");
+    let live = flatten_keys(&body);
+
+    let root = workspace_root();
+    if std::env::var_os("ONEQ_UPDATE_SCHEMA_SNAPSHOT").is_some() {
+        let listing = live.iter().cloned().collect::<Vec<_>>().join("\n");
+        let out = root.join("lint/stats_schema_v6.txt.new");
+        std::fs::write(&out, format!("{listing}\n")).expect("write snapshot candidate");
+        panic!(
+            "ONEQ_UPDATE_SCHEMA_SNAPSHOT set: wrote {} — fold it into the committed snapshot and re-run",
+            out.display()
+        );
+    }
+
+    let v6 = snapshot_keys(&root.join("lint/stats_schema_v6.txt"));
+    let v5 = snapshot_keys(&root.join("lint/stats_schema_v5.txt"));
+
+    let missing: Vec<_> = v6.difference(&live).collect();
+    let extra: Vec<_> = live.difference(&v6).collect();
+    assert!(
+        missing.is_empty() && extra.is_empty(),
+        "live /v1/stats keys diverge from lint/stats_schema_v6.txt\n  promised but not rendered: {missing:?}\n  rendered but not promised: {extra:?}\n  body: {body}"
+    );
+    let dropped: Vec<_> = v5.difference(&live).collect();
+    assert!(
+        dropped.is_empty(),
+        "v5 keys missing from the live document (schema must stay append-only): {dropped:?}"
+    );
+
+    handle.shutdown().expect("clean shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn memory_only_stats_still_carry_every_unconditional_key() {
+    // Without a disk tier the `cache.disk` block collapses to
+    // `{"enabled": false}` — everything else in the snapshot must still
+    // render, which pins the conditional block's exact boundary.
+    let handle = Server::bind("127.0.0.1:0", ServerConfig::default())
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn server thread");
+    let stats =
+        http::request(handle.addr(), "GET", "/v1/stats", b"", TIMEOUT).expect("GET /v1/stats");
+    let body = String::from_utf8(stats.body).expect("stats body is UTF-8");
+    let live = flatten_keys(&body);
+
+    let root = workspace_root();
+    let v6 = snapshot_keys(&root.join("lint/stats_schema_v6.txt"));
+    let disk_only: BTreeSet<_> = v6
+        .iter()
+        .filter(|k| k.starts_with("cache.disk.") && *k != "cache.disk.enabled")
+        .collect();
+    // With no traffic the slowest ring is empty: element keys are absent.
+    let element_only: BTreeSet<_> = v6.iter().filter(|k| k.starts_with("slowest[].")).collect();
+    for key in &v6 {
+        if disk_only.contains(key) || element_only.contains(key) {
+            continue;
+        }
+        assert!(
+            live.contains(key),
+            "unconditional key `{key}` missing from a memory-only /v1/stats: {body}"
+        );
+    }
+    handle.shutdown().expect("clean shutdown");
+}
